@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark file regenerates one paper table/figure: every cell of the
+table is one pytest-benchmark entry, and the entries of a table share a
+``group`` so the comparison output renders the paper's row structure with
+min/mean ratios — the "who wins, by what factor" shape the reproduction
+targets.
+
+Problem size defaults to 512 (fast everywhere) and can be raised with
+``LAAB_BENCH_N=3000`` to match the paper.  Warm-up/trace happens inside the
+fixtures, so benchmark numbers exclude decorator overheads exactly as the
+paper's do (its footnote 4).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import limit_threads
+from repro.experiments.workloads import Workloads
+
+#: Benchmark problem size (paper: 3000).
+BENCH_N = int(os.environ.get("LAAB_BENCH_N", "512"))
+
+limit_threads(int(os.environ.get("LAAB_BENCH_THREADS", "1")))
+
+
+@pytest.fixture(scope="session")
+def n() -> int:
+    return BENCH_N
+
+
+@pytest.fixture(scope="session")
+def w(n) -> Workloads:
+    return Workloads(n)
+
+
+@pytest.fixture(scope="session")
+def dense(w):
+    """(A, B, C) dense n×n operands."""
+    return w.general(0), w.general(1), w.general(2)
+
+
+@pytest.fixture(scope="session")
+def chain_ops(w):
+    """(H, x, y) for the chain experiments."""
+    return w.general(0), w.vector(0), w.vector(1)
+
+
+@pytest.fixture(scope="session")
+def structured(w):
+    """(L, T, D) structured operands of Table IV."""
+    return w.lower_triangular(), w.tridiagonal(), w.diagonal()

@@ -1,0 +1,69 @@
+"""Ablation — default vs linear-algebra-aware pipeline (extension).
+
+Quantifies what the paper's recommended optimizations would buy: each
+negative-finding expression runs through the same framework with the
+default pipeline and with the aware pipeline (chain reordering + property
+dispatch + distributivity + partial access).
+"""
+
+import pytest
+
+from repro.frameworks import tfsim
+
+
+def _pair(builder, args):
+    default_fn = tfsim.function(builder)
+    aware_fn = tfsim.function(builder, aware=True)
+    default_fn.get_concrete(*args)
+    aware_fn.get_concrete(*args)
+    return default_fn, aware_fn
+
+
+@pytest.fixture(scope="module")
+def cases(w):
+    return {
+        "chain": (
+            lambda h, x: tfsim.transpose(h) @ h @ x,
+            [w.general(0), w.vector(0)],
+        ),
+        "triangular": (lambda l, b: l @ b, [w.lower_triangular(), w.general(1)]),
+        "gram": (lambda a: a @ tfsim.transpose(a), [w.general(0)]),
+        "diagonal": (lambda d, b: d @ b, [w.diagonal(), w.general(1)]),
+        "eq10": (
+            lambda a, h, x: (a - tfsim.transpose(h) @ h) @ x,
+            [w.general(0), w.general(3), w.vector(0)],
+        ),
+        "partial": (lambda a, b: (a @ b)[2, 2], [w.general(0), w.general(1)]),
+        "orthogonal": (
+            lambda q, a: tfsim.transpose(q) @ q @ a,
+            [w.orthogonal(), w.general(1)],
+        ),
+    }
+
+
+def _bench_case(benchmark, cases, name, aware):
+    builder, args = cases[name]
+    default_fn, aware_fn = _pair(builder, args)
+    fn = aware_fn if aware else default_fn
+    benchmark(lambda: fn(*args))
+
+
+for _name in ("chain", "triangular", "gram", "diagonal", "eq10", "partial",
+              "orthogonal"):
+
+    def _make(name):
+        @pytest.mark.benchmark(group=f"ablation-{name}")
+        def bench_default(benchmark, cases):
+            _bench_case(benchmark, cases, name, aware=False)
+
+        @pytest.mark.benchmark(group=f"ablation-{name}")
+        def bench_aware(benchmark, cases):
+            _bench_case(benchmark, cases, name, aware=True)
+
+        return bench_default, bench_aware
+
+    _d, _a = _make(_name)
+    globals()[f"test_{_name}_default_pipeline"] = _d
+    globals()[f"test_{_name}_aware_pipeline"] = _a
+
+del _name, _d, _a

@@ -1,0 +1,84 @@
+"""Table II — Common Sub-expression Elimination (graph mode).
+
+Expected shape: rows 1-2 equal (CSE + x+x→2x keep one GEMM), row 3 ≈ 2×,
+row 4 ≈ 3× (no CSE without explicit parenthesization).
+"""
+
+import pytest
+
+from repro.frameworks import pytsim, tfsim
+
+
+def _tf_fns():
+    @tfsim.function
+    def s(a, b):
+        return tfsim.transpose(a) @ b
+
+    @tfsim.function
+    def s_plus_s(a, b):
+        return tfsim.transpose(a) @ b + tfsim.transpose(a) @ b
+
+    @tfsim.function
+    def paren(a, b):
+        return tfsim.transpose(tfsim.transpose(a) @ b) @ (tfsim.transpose(a) @ b)
+
+    @tfsim.function
+    def noparen(a, b):
+        return tfsim.transpose(tfsim.transpose(a) @ b) @ tfsim.transpose(a) @ b
+
+    return s, s_plus_s, paren, noparen
+
+
+def _pyt_fns():
+    @pytsim.jit.script
+    def s(a, b):
+        return a.T @ b
+
+    @pytsim.jit.script
+    def s_plus_s(a, b):
+        return a.T @ b + a.T @ b
+
+    @pytsim.jit.script
+    def paren(a, b):
+        return (a.T @ b).T @ (a.T @ b)
+
+    @pytsim.jit.script
+    def noparen(a, b):
+        return (a.T @ b).T @ a.T @ b
+
+    return s, s_plus_s, paren, noparen
+
+
+@pytest.fixture(scope="module")
+def tf_fns(dense):
+    fns = _tf_fns()
+    for fn in fns:
+        fn.get_concrete(dense[0], dense[1])
+    return fns
+
+
+@pytest.fixture(scope="module")
+def pyt_fns(dense):
+    fns = _pyt_fns()
+    for fn in fns:
+        fn.get_concrete(dense[0], dense[1])
+    return fns
+
+
+ROWS = ["AtB", "AtB_plus_AtB", "paren_gram", "noparen_gram"]
+
+
+@pytest.mark.benchmark(group="table2-cse-tf")
+@pytest.mark.parametrize("row", range(4), ids=ROWS)
+def test_tf(benchmark, dense, tf_fns, row):
+    a, b, _ = dense
+    fn = tf_fns[row]
+    benchmark(lambda: fn(a, b))
+
+
+@pytest.mark.benchmark(group="table2-cse-pyt")
+@pytest.mark.parametrize("row", range(4), ids=ROWS)
+def test_pyt(benchmark, dense, pyt_fns, row):
+    a, b, _ = dense
+    fn = pyt_fns[row]
+    benchmark(lambda: fn(a, b))

@@ -1,0 +1,99 @@
+"""Table III — matrix-chain parenthesization.
+
+Expected shape: unparenthesized HᵀHx and HᵀyxᵀH ≫ their explicit optima
+(the default evaluation is left-to-right); yᵀHᵀH ≈ its optimum;
+``multi_dot`` matches the optimum everywhere.
+"""
+
+import pytest
+
+from repro.frameworks import pytsim, tfsim
+
+
+@pytest.fixture(scope="module")
+def fns(chain_ops):
+    h, x, y = chain_ops
+
+    @tfsim.function
+    def rl_noparen(hh, xx):
+        return tfsim.transpose(hh) @ hh @ xx
+
+    @tfsim.function
+    def rl_paren(hh, xx):
+        return tfsim.transpose(hh) @ (hh @ xx)
+
+    @pytsim.jit.script
+    def lr_noparen(hh, yy):
+        return yy.T @ hh.T @ hh
+
+    @pytsim.jit.script
+    def lr_paren(hh, yy):
+        return (yy.T @ hh.T) @ hh
+
+    @tfsim.function
+    def mixed_noparen(hh, xx, yy):
+        return tfsim.transpose(hh) @ yy @ tfsim.transpose(xx) @ hh
+
+    @tfsim.function
+    def mixed_paren(hh, xx, yy):
+        return (tfsim.transpose(hh) @ yy) @ (tfsim.transpose(xx) @ hh)
+
+    rl_noparen.get_concrete(h, x)
+    rl_paren.get_concrete(h, x)
+    lr_noparen.get_concrete(h, y)
+    lr_paren.get_concrete(h, y)
+    mixed_noparen.get_concrete(h, x, y)
+    mixed_paren.get_concrete(h, x, y)
+    return {
+        "rl_noparen": rl_noparen,
+        "rl_paren": rl_paren,
+        "lr_noparen": lr_noparen,
+        "lr_paren": lr_paren,
+        "mixed_noparen": mixed_noparen,
+        "mixed_paren": mixed_paren,
+    }
+
+
+@pytest.mark.benchmark(group="table3-chain-HtHx")
+class TestRightToLeft:
+    def test_matmul_no_parens(self, benchmark, chain_ops, fns):
+        h, x, _ = chain_ops
+        benchmark(lambda: fns["rl_noparen"](h, x))
+
+    def test_matmul_explicit_parens(self, benchmark, chain_ops, fns):
+        h, x, _ = chain_ops
+        benchmark(lambda: fns["rl_paren"](h, x))
+
+    def test_multi_dot(self, benchmark, chain_ops):
+        h, x, _ = chain_ops
+        benchmark(lambda: pytsim.linalg.multi_dot([h.T, h, x]))
+
+
+@pytest.mark.benchmark(group="table3-chain-ytHtH")
+class TestLeftToRight:
+    def test_matmul_no_parens(self, benchmark, chain_ops, fns):
+        h, _, y = chain_ops
+        benchmark(lambda: fns["lr_noparen"](h, y))
+
+    def test_matmul_explicit_parens(self, benchmark, chain_ops, fns):
+        h, _, y = chain_ops
+        benchmark(lambda: fns["lr_paren"](h, y))
+
+    def test_multi_dot(self, benchmark, chain_ops):
+        h, _, y = chain_ops
+        benchmark(lambda: pytsim.linalg.multi_dot([y.T, h.T, h]))
+
+
+@pytest.mark.benchmark(group="table3-chain-HtyxtH")
+class TestMixed:
+    def test_matmul_no_parens(self, benchmark, chain_ops, fns):
+        h, x, y = chain_ops
+        benchmark(lambda: fns["mixed_noparen"](h, x, y))
+
+    def test_matmul_explicit_parens(self, benchmark, chain_ops, fns):
+        h, x, y = chain_ops
+        benchmark(lambda: fns["mixed_paren"](h, x, y))
+
+    def test_multi_dot(self, benchmark, chain_ops):
+        h, x, y = chain_ops
+        benchmark(lambda: pytsim.linalg.multi_dot([h.T, y, x.T, h]))

@@ -1,0 +1,152 @@
+"""Table IV — exploiting matrix properties.
+
+Expected shape: the SciPy BLAS column beats the frameworks' matmul whenever
+structure exists (TRMM/SYRK ≈ 0.5-0.6×, tridiagonal/diagonal scalings ≪);
+framework matmul is blind to structure; TF's opt-in ``tridiagonal_matmul``
+beats even the sequential SciPy SCAL loop.
+"""
+
+import pytest
+
+from repro.experiments.scipy_reference import (
+    diag_scale_reference,
+    gemm_reference,
+    syrk_reference,
+    tridiag_scal_reference,
+    trmm_reference,
+)
+from repro.frameworks import pytsim, tfsim
+
+
+@pytest.fixture(scope="module")
+def fns(dense, structured):
+    a, b, _ = dense
+    l, t, d = structured
+
+    @tfsim.function
+    def tf_mm(p, q):
+        return p @ q
+
+    @pytsim.jit.script
+    def pyt_mm(p, q):
+        return p @ q
+
+    @tfsim.function
+    def tf_gram(p):
+        return p @ tfsim.transpose(p)
+
+    @pytsim.jit.script
+    def pyt_gram(p):
+        return p @ p.T
+
+    @tfsim.function
+    def tf_tri_op(p, q):
+        return tfsim.linalg.tridiagonal_matmul(p, q)
+
+    for args in ((a, b), (l, b), (t, b), (d, b)):
+        tf_mm.get_concrete(*args)
+        pyt_mm.get_concrete(*args)
+    tf_gram.get_concrete(a)
+    pyt_gram.get_concrete(a)
+    tf_tri_op.get_concrete(t, b)
+    tf_tri_op.get_concrete(d, b)
+    return tf_mm, pyt_mm, tf_gram, pyt_gram, tf_tri_op
+
+
+@pytest.mark.benchmark(group="table4-AB-baseline")
+class TestDenseBaseline:
+    def test_scipy_gemm(self, benchmark, dense, w):
+        a, b, _ = dense
+        af, bf = w.fortran(a), w.fortran(b)
+        benchmark(lambda: gemm_reference(af, bf))
+
+    def test_tf_matmul(self, benchmark, dense, fns):
+        a, b, _ = dense
+        benchmark(lambda: fns[0](a, b))
+
+    def test_pyt_matmul(self, benchmark, dense, fns):
+        a, b, _ = dense
+        benchmark(lambda: fns[1](a, b))
+
+
+@pytest.mark.benchmark(group="table4-LB-triangular")
+class TestTriangular:
+    def test_scipy_trmm(self, benchmark, dense, structured, w):
+        _, b, _ = dense
+        l, _, _ = structured
+        lf, bf = w.fortran(l), w.fortran(b)
+        benchmark(lambda: trmm_reference(lf, bf))
+
+    def test_tf_matmul(self, benchmark, dense, structured, fns):
+        _, b, _ = dense
+        l, _, _ = structured
+        benchmark(lambda: fns[0](l, b))
+
+    def test_pyt_matmul(self, benchmark, dense, structured, fns):
+        _, b, _ = dense
+        l, _, _ = structured
+        benchmark(lambda: fns[1](l, b))
+
+
+@pytest.mark.benchmark(group="table4-AAt-symmetric-output")
+class TestGram:
+    def test_scipy_syrk(self, benchmark, dense, w):
+        a, _, _ = dense
+        af = w.fortran(a)
+        benchmark(lambda: syrk_reference(af))
+
+    def test_tf_matmul(self, benchmark, dense, fns):
+        a, _, _ = dense
+        benchmark(lambda: fns[2](a))
+
+    def test_pyt_matmul(self, benchmark, dense, fns):
+        a, _, _ = dense
+        benchmark(lambda: fns[3](a))
+
+
+@pytest.mark.benchmark(group="table4-TB-tridiagonal")
+class TestTridiagonal:
+    def test_scipy_scal_loop(self, benchmark, dense, structured, w):
+        _, b, _ = dense
+        _, t, _ = structured
+        tf_arr, bf = w.fortran(t), w.fortran(b)
+        benchmark(lambda: tridiag_scal_reference(tf_arr, bf))
+
+    def test_tf_matmul(self, benchmark, dense, structured, fns):
+        _, b, _ = dense
+        _, t, _ = structured
+        benchmark(lambda: fns[0](t, b))
+
+    def test_tf_tridiagonal_matmul(self, benchmark, dense, structured, fns):
+        _, b, _ = dense
+        _, t, _ = structured
+        benchmark(lambda: fns[4](t, b))
+
+    def test_pyt_matmul(self, benchmark, dense, structured, fns):
+        _, b, _ = dense
+        _, t, _ = structured
+        benchmark(lambda: fns[1](t, b))
+
+
+@pytest.mark.benchmark(group="table4-DB-diagonal")
+class TestDiagonal:
+    def test_scipy_diag_scale(self, benchmark, dense, structured, w):
+        _, b, _ = dense
+        _, _, d = structured
+        df, bf = w.fortran(d), w.fortran(b)
+        benchmark(lambda: diag_scale_reference(df, bf))
+
+    def test_tf_matmul(self, benchmark, dense, structured, fns):
+        _, b, _ = dense
+        _, _, d = structured
+        benchmark(lambda: fns[0](d, b))
+
+    def test_tf_tridiagonal_matmul(self, benchmark, dense, structured, fns):
+        _, b, _ = dense
+        _, _, d = structured
+        benchmark(lambda: fns[4](d, b))
+
+    def test_pyt_matmul(self, benchmark, dense, structured, fns):
+        _, b, _ = dense
+        _, _, d = structured
+        benchmark(lambda: fns[1](d, b))

@@ -1,0 +1,99 @@
+"""Table V — algebraic manipulation.
+
+Expected shape: Eq9 LHS ≈ 2× RHS (two GEMMs vs one); Eq10 RHS ≫ LHS (the
+RHS materializes HᵀH); blocked LHS ≈ 2× RHS.
+"""
+
+import pytest
+
+from repro.frameworks import pytsim, tfsim
+
+
+@pytest.fixture(scope="module")
+def eq9(dense):
+    a, b, c = dense
+
+    @tfsim.function
+    def lhs(p, q, r):
+        return p @ q + p @ r
+
+    @tfsim.function
+    def rhs(p, q, r):
+        return p @ (q + r)
+
+    lhs.get_concrete(a, b, c)
+    rhs.get_concrete(a, b, c)
+    return lhs, rhs
+
+
+@pytest.fixture(scope="module")
+def eq10(w):
+    a, h, x = w.general(0), w.general(3), w.vector(0)
+
+    @pytsim.jit.script
+    def lhs(p, hh, xx):
+        return p @ xx - hh.T @ (hh @ xx)
+
+    @pytsim.jit.script
+    def rhs(p, hh, xx):
+        return (p - hh.T @ hh) @ xx
+
+    lhs.get_concrete(a, h, x)
+    rhs.get_concrete(a, h, x)
+    return (a, h, x), lhs, rhs
+
+
+@pytest.fixture(scope="module")
+def blocked(w, n):
+    half = n // 2
+    a1, a2, b1, b2 = w.blocks()
+
+    @tfsim.function
+    def lhs(p1, p2, q1, q2):
+        z = tfsim.zeros(half, half)
+        ab = tfsim.concat(
+            [tfsim.concat([p1, z], axis=1), tfsim.concat([z, p2], axis=1)],
+            axis=0,
+        )
+        return ab @ tfsim.concat([q1, q2], axis=0)
+
+    @tfsim.function
+    def rhs(p1, p2, q1, q2):
+        return tfsim.concat([p1 @ q1, p2 @ q2], axis=0)
+
+    lhs.get_concrete(a1, a2, b1, b2)
+    rhs.get_concrete(a1, a2, b1, b2)
+    return (a1, a2, b1, b2), lhs, rhs
+
+
+@pytest.mark.benchmark(group="table5-eq9-distributivity")
+class TestEq9:
+    def test_lhs_AB_plus_AC(self, benchmark, dense, eq9):
+        a, b, c = dense
+        benchmark(lambda: eq9[0](a, b, c))
+
+    def test_rhs_A_B_plus_C(self, benchmark, dense, eq9):
+        a, b, c = dense
+        benchmark(lambda: eq9[1](a, b, c))
+
+
+@pytest.mark.benchmark(group="table5-eq10-distributivity")
+class TestEq10:
+    def test_lhs_three_gemvs(self, benchmark, eq10):
+        args, lhs, _ = eq10
+        benchmark(lambda: lhs(*args))
+
+    def test_rhs_materializes_HtH(self, benchmark, eq10):
+        args, _, rhs = eq10
+        benchmark(lambda: rhs(*args))
+
+
+@pytest.mark.benchmark(group="table5-blocked")
+class TestBlocked:
+    def test_lhs_full_gemm(self, benchmark, blocked):
+        args, lhs, _ = blocked
+        benchmark(lambda: lhs(*args))
+
+    def test_rhs_per_block(self, benchmark, blocked):
+        args, _, rhs = blocked
+        benchmark(lambda: rhs(*args))

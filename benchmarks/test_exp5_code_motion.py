@@ -1,0 +1,89 @@
+"""Table VI — code motion.
+
+Expected shape: loop-invariant row naive ≈ reco (unroll + CSE hoists the
+product in both frameworks); partial-access rows naive ≫ reco.
+"""
+
+import pytest
+
+from repro.frameworks import pytsim, tfsim
+
+
+@pytest.fixture(scope="module")
+def loop_fns(w, dense):
+    a, b, _ = dense
+    v1, v2, v3 = w.vector(0), w.vector(1), w.vector(2)
+
+    @tfsim.function
+    def naive(p, q, u, v, z):
+        outs = []
+        for vec in (u, v, z):
+            outs.append(p @ q + vec @ tfsim.transpose(vec))
+        return outs
+
+    @tfsim.function
+    def reco(p, q, u, v, z):
+        tmp = p @ q
+        return [tmp + vec @ tfsim.transpose(vec) for vec in (u, v, z)]
+
+    naive.get_concrete(a, b, v1, v2, v3)
+    reco.get_concrete(a, b, v1, v2, v3)
+    return (a, b, v1, v2, v3), naive, reco
+
+
+@pytest.fixture(scope="module")
+def partial_fns(dense):
+    a, b, _ = dense
+
+    @tfsim.function
+    def sum_naive(p, q):
+        return (p + q)[2, 2]
+
+    @tfsim.function
+    def sum_reco(p, q):
+        return p[2, 2] + q[2, 2]
+
+    @pytsim.jit.script
+    def prod_naive(p, q):
+        return (p @ q)[2, 2]
+
+    @pytsim.jit.script
+    def prod_reco(p, q):
+        return p[2, :] @ q[:, 2]
+
+    for fn in (sum_naive, sum_reco, prod_naive, prod_reco):
+        fn.get_concrete(a, b)
+    return sum_naive, sum_reco, prod_naive, prod_reco
+
+
+@pytest.mark.benchmark(group="table6-loop-invariant")
+class TestLoopInvariant:
+    def test_naive_product_inside_loop(self, benchmark, loop_fns):
+        args, naive, _ = loop_fns
+        benchmark(lambda: naive(*args))
+
+    def test_reco_product_hoisted(self, benchmark, loop_fns):
+        args, _, reco = loop_fns
+        benchmark(lambda: reco(*args))
+
+
+@pytest.mark.benchmark(group="table6-partial-sum")
+class TestPartialSum:
+    def test_naive_full_sum_then_slice(self, benchmark, dense, partial_fns):
+        a, b, _ = dense
+        benchmark(lambda: partial_fns[0](a, b))
+
+    def test_reco_element_sum(self, benchmark, dense, partial_fns):
+        a, b, _ = dense
+        benchmark(lambda: partial_fns[1](a, b))
+
+
+@pytest.mark.benchmark(group="table6-partial-product")
+class TestPartialProduct:
+    def test_naive_full_product_then_slice(self, benchmark, dense, partial_fns):
+        a, b, _ = dense
+        benchmark(lambda: partial_fns[2](a, b))
+
+    def test_reco_row_dot_col(self, benchmark, dense, partial_fns):
+        a, b, _ = dense
+        benchmark(lambda: partial_fns[3](a, b))

@@ -1,0 +1,72 @@
+"""Fig. 1 — image-restoration variants.
+
+Expected shape: variant 1 ≫ variants 2, 3 (O(n³) vs O(n²)); variant 3 ≤
+variant 2 (two matrix-vector products vs three).
+"""
+
+import pytest
+
+from repro.frameworks import pytsim, tfsim
+
+
+@pytest.fixture(scope="module")
+def variants(chain_ops, n):
+    h, x, y = chain_ops
+
+    @tfsim.function
+    def v1(hh, xx, yy):
+        i = tfsim.eye(n)
+        return tfsim.transpose(hh) @ yy + (i - tfsim.transpose(hh) @ hh) @ xx
+
+    @tfsim.function
+    def v2(hh, xx, yy):
+        return tfsim.transpose(hh) @ yy + xx - tfsim.transpose(hh) @ (hh @ xx)
+
+    @tfsim.function
+    def v3(hh, xx, yy):
+        return tfsim.transpose(hh) @ (yy - hh @ xx) + xx
+
+    @pytsim.jit.script
+    def v1_pyt(hh, xx, yy):
+        i = pytsim.eye(n)
+        return hh.T @ yy + (i - hh.T @ hh) @ xx
+
+    @pytsim.jit.script
+    def v3_pyt(hh, xx, yy):
+        return hh.T @ (yy - hh @ xx) + xx
+
+    for fn in (v1, v2, v3, v1_pyt, v3_pyt):
+        fn.get_concrete(h, x, y)
+    return v1, v2, v3, v1_pyt, v3_pyt
+
+
+@pytest.mark.benchmark(group="fig1-image-restoration")
+class TestFig1:
+    def test_variant1_as_written(self, benchmark, chain_ops, variants):
+        benchmark(lambda: variants[0](*chain_ops))
+
+    def test_variant2_distributed(self, benchmark, chain_ops, variants):
+        benchmark(lambda: variants[1](*chain_ops))
+
+    def test_variant3_factored(self, benchmark, chain_ops, variants):
+        benchmark(lambda: variants[2](*chain_ops))
+
+    def test_variant1_pyt(self, benchmark, chain_ops, variants):
+        benchmark(lambda: variants[3](*chain_ops))
+
+    def test_variant3_pyt(self, benchmark, chain_ops, variants):
+        benchmark(lambda: variants[4](*chain_ops))
+
+
+@pytest.mark.benchmark(group="fig1-derivation-graph")
+def test_derivation_graph_search_cost(benchmark, n):
+    """Cost of the automatic variant discovery itself (the optimizer-time
+    price a framework would pay to adopt derivation graphs)."""
+    from repro.experiments.intro_fig1 import derivation_demo
+
+    def search():
+        _, result = derivation_demo(n)
+        return result
+
+    result = benchmark(search)
+    assert result.speedup_flops > 10

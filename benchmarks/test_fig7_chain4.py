@@ -1,0 +1,34 @@
+"""Fig. 7 — all five parenthesizations of a length-4 chain.
+
+Expected shape: measured time ranks consistently with the FLOP column;
+``((AB)(CD))`` — the DP choice — is fastest.
+"""
+
+import pytest
+
+from repro.chain import enumerate_parenthesizations, evaluate_chain
+from repro.experiments.fig7_chain4 import chain_shapes
+from repro.tensor import random_general
+
+
+@pytest.fixture(scope="module")
+def chain(n):
+    shapes = chain_shapes(n)
+    operands = [
+        random_general(r, c, seed=1000 + i).numpy()
+        for i, (r, c) in enumerate(shapes)
+    ]
+    variants = enumerate_parenthesizations(shapes, ["A", "B", "C", "D"])
+    return operands, variants
+
+
+@pytest.mark.benchmark(group="fig7-chain4")
+@pytest.mark.parametrize("rank", range(5), ids=[
+    "cheapest", "second", "third", "fourth", "most-expensive"
+])
+def test_parenthesization(benchmark, chain, rank):
+    operands, variants = chain
+    var = variants[rank]
+    benchmark.extra_info["expression"] = var.expression
+    benchmark.extra_info["model_flops"] = var.flops
+    benchmark(lambda: evaluate_chain(operands, var.tree))

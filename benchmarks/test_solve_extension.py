@@ -1,0 +1,40 @@
+"""Linear-system extension — property-aware solves (paper's future work).
+
+Expected shape: Cholesky ≈ 0.5× LU for SPD systems; TRSV ≪ LU for
+triangular systems.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import blas2, lapack
+
+
+@pytest.fixture(scope="module")
+def systems(w, n):
+    rhs = np.ascontiguousarray(w.vector(0).numpy()).ravel()
+    spd = w.fortran(w.spd())
+    tri = w.fortran(w.lower_triangular()) + np.eye(n, dtype=np.float32)
+    return rhs, spd, tri
+
+
+@pytest.mark.benchmark(group="solve-spd")
+class TestSpd:
+    def test_blind_lu(self, benchmark, systems):
+        rhs, spd, _ = systems
+        benchmark(lambda: lapack.lu_solve(spd, rhs))
+
+    def test_aware_cholesky(self, benchmark, systems):
+        rhs, spd, _ = systems
+        benchmark(lambda: lapack.cholesky_solve(spd, rhs))
+
+
+@pytest.mark.benchmark(group="solve-triangular")
+class TestTriangular:
+    def test_blind_lu(self, benchmark, systems):
+        rhs, _, tri = systems
+        benchmark(lambda: lapack.lu_solve(tri, rhs))
+
+    def test_aware_trsv(self, benchmark, systems):
+        rhs, _, tri = systems
+        benchmark(lambda: blas2.trsv(tri, rhs, lower=True))

@@ -1,0 +1,58 @@
+"""Inspecting computational graphs — regenerates the paper's Fig. 3 and 4.
+
+Run:  python examples/graph_inspection.py [n]
+
+Prints the initial and optimized DAGs for the parenthesized and
+non-parenthesized Gram expressions, shows the per-pass optimization log,
+and writes Graphviz DOT files next to this script.
+"""
+
+import pathlib
+import sys
+
+from repro import limit_threads
+
+limit_threads(1)
+
+from repro import tensor as T  # noqa: E402
+from repro.frameworks import tfsim  # noqa: E402
+from repro.ir.pretty import graph_to_dot, render_graph  # noqa: E402
+
+
+def main(n: int = 128) -> None:
+    a = T.random_general(n, seed=1)
+    b = T.random_general(n, seed=2)
+
+    @tfsim.function
+    def parenthesized(p, q):
+        return tfsim.transpose(tfsim.transpose(p) @ q) @ (tfsim.transpose(p) @ q)
+
+    @tfsim.function
+    def unparenthesized(p, q):
+        return tfsim.transpose(tfsim.transpose(p) @ q) @ tfsim.transpose(p) @ q
+
+    concrete = parenthesized.get_concrete(a, b)
+    print(render_graph(concrete.graph, title="Fig. 3 initial: (AᵀB)ᵀ(AᵀB)"))
+    print()
+    print(render_graph(concrete.optimized, title="Fig. 3 optimized"))
+    print("\nper-pass log:")
+    print(concrete.pipeline_log)
+
+    print()
+    concrete2 = unparenthesized.get_concrete(a, b)
+    print(render_graph(concrete2.optimized,
+                       title="Fig. 4: (AᵀB)ᵀAᵀB — no duplicates, CSE finds nothing"))
+
+    out_dir = pathlib.Path(__file__).resolve().parent
+    for name, graph in [
+        ("fig3_initial", concrete.graph),
+        ("fig3_optimized", concrete.optimized),
+        ("fig4_optimized", concrete2.optimized),
+    ]:
+        path = out_dir / f"{name}.dot"
+        path.write_text(graph_to_dot(graph, name=name))
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 128)

@@ -1,0 +1,115 @@
+"""Image restoration by iterative backward projection (paper Fig. 1).
+
+Run:  python examples/image_restoration.py [n] [iters]
+
+The paper's introductory application (Tirer & Giryes 2018): the update
+
+    y_{k+1} := Hᵀ y_k + (I − HᵀH) x
+
+appears in an iterative restoration loop.  This example:
+
+1. runs the loop with each of the paper's three variants and reports the
+   per-iteration cost (variant 1 carries an O(n³) product — 40-80× slower);
+2. feeds variant 1 to the derivation-graph engine, which *automatically*
+   discovers variant 3 — what the paper argues frameworks should do;
+3. checks that all variants converge to the same restored signal.
+
+``H`` here is a synthetic blur operator (banded, diagonally dominant), the
+observed signal ``x`` is a blurred noisy version of a ground-truth ramp.
+"""
+
+import sys
+import time
+
+from repro import limit_threads
+
+limit_threads(1)
+
+import numpy as np  # noqa: E402
+
+from repro import tensor as T  # noqa: E402
+from repro.frameworks import tfsim  # noqa: E402
+from repro.rewrite import (  # noqa: E402
+    Add,
+    Identity,
+    MatMul,
+    Scale,
+    Symbol,
+    Transpose,
+    best_variant,
+)
+
+
+def make_blur_operator(n: int) -> T.Tensor:
+    """A normalized local blur: banded, near-orthogonal-free test operator."""
+    h = np.zeros((n, n), dtype=np.float32)
+    idx = np.arange(n)
+    h[idx, idx] = 0.6
+    h[idx[:-1], idx[1:]] = 0.2
+    h[idx[1:], idx[:-1]] = 0.2
+    return T.Tensor(h)
+
+
+def variants(n: int):
+    @tfsim.function
+    def v1(h, x, y):
+        i = tfsim.eye(n)
+        return tfsim.transpose(h) @ y + (i - tfsim.transpose(h) @ h) @ x
+
+    @tfsim.function
+    def v2(h, x, y):
+        return tfsim.transpose(h) @ y + x - tfsim.transpose(h) @ (h @ x)
+
+    @tfsim.function
+    def v3(h, x, y):
+        return tfsim.transpose(h) @ (y - h @ x) + x
+
+    return {"variant 1 (as written)": v1,
+            "variant 2 (distributed)": v2,
+            "variant 3 (factored)": v3}
+
+
+def main(n: int = 1200, iters: int = 8) -> None:
+    print(f"== image restoration (n = {n}, {iters} iterations) ==\n")
+    rng = np.random.default_rng(0)
+    truth = np.linspace(0.0, 1.0, n, dtype=np.float32).reshape(-1, 1)
+    H = make_blur_operator(n)
+    x = T.Tensor(H.numpy() @ truth + 0.01 * rng.standard_normal((n, 1)).astype(np.float32))
+
+    results = {}
+    for name, step in variants(n).items():
+        y = x
+        step(H, x, y)  # trace outside the timed loop
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            y = step(H, x, y)
+        elapsed = time.perf_counter() - t0
+        results[name] = (y, elapsed)
+        flops = step.last_report.total_flops
+        print(f"{name:<26} {elapsed:8.4f}s total "
+              f"({elapsed / iters:.4f}s/iter, {flops:,} FLOPs/iter)")
+
+    (y1, t1) = results["variant 1 (as written)"]
+    (y3, t3) = results["variant 3 (factored)"]
+    print(f"\nvariant1 / variant3 speed ratio: {t1 / t3:.1f}x "
+          "(paper reports ~40-80x at n=3000)")
+    assert y1.allclose(y3, rtol=1e-2, atol=1e-3), "variants diverged!"
+
+    # -- automatic discovery via the derivation graph ----------------------------
+    Hs, xs, ys = Symbol("H", n, n), Symbol("x", n, 1), Symbol("y", n, 1)
+    root = Add(
+        MatMul(Transpose(Hs), ys),
+        MatMul(Add(Identity(n), Scale(-1.0, MatMul(Transpose(Hs), Hs))), xs),
+    )
+    res = best_variant(root, max_nodes=300)
+    print(f"\nderivation graph: {root.pretty()}")
+    print(f"   -> discovered: {res.best.pretty()}")
+    print(f"   via rules {' -> '.join(res.path)}; "
+          f"{res.root_flops:,} -> {res.best_flops:,} FLOPs "
+          f"({res.speedup_flops:.0f}x fewer)")
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1200
+    iters = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    main(n, iters)

@@ -1,0 +1,84 @@
+"""Property-aware pipelines on a Kalman-style update (Exp. 3 + extension).
+
+Run:  python examples/property_aware_solver.py [n]
+
+A simplified Kalman filter step works with structured matrices throughout:
+a lower-triangular Cholesky factor L, a diagonal measurement-noise matrix
+D, and SPD covariances.  This example contrasts:
+
+* the default pipeline (structure-blind, like TF/PyT — every product is a
+  GEMM, every solve an LU);
+* the aware pipeline + annotations (TRMM/SYRK/diagonal scaling dispatched
+  from inferred properties);
+* the property-aware linear solve (Cholesky instead of LU for the SPD
+  innovation system) — the paper's named future-work item.
+"""
+
+import sys
+import time
+
+from repro import limit_threads
+
+limit_threads(1)
+
+import numpy as np  # noqa: E402
+
+from repro import tensor as T  # noqa: E402
+from repro.frameworks import tfsim  # noqa: E402
+from repro.kernels import lapack  # noqa: E402
+from repro.properties.annotations import as_spd  # noqa: E402
+
+
+def main(n: int = 900) -> None:
+    print(f"== property-aware Kalman-style update (n = {n}) ==\n")
+    L = T.random_lower_triangular(n, seed=1)  # covariance factor, annotated
+    D = T.random_diagonal(n, seed=2)  # measurement noise, annotated
+    Hm = T.random_general(n, seed=3)  # measurement model
+
+    # innovation covariance: S = H (L Lᵀ) Hᵀ + D²   (SPD by construction)
+    def innovation(h, l, d):
+        p = l @ tfsim.transpose(l)
+        return h @ p @ tfsim.transpose(h) + d @ d
+
+    blind = tfsim.function(innovation)
+    aware = tfsim.function(innovation, aware=True)
+    for fn in (blind, aware):
+        fn(Hm, L, D)
+
+    t0 = time.perf_counter()
+    s_blind = blind(Hm, L, D)
+    t_blind = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    s_aware = aware(Hm, L, D)
+    t_aware = time.perf_counter() - t0
+    assert s_blind.allclose(s_aware, rtol=2e-2, atol=1e-3)
+
+    print(f"default pipeline: {t_blind:.4f}s  kernels "
+          f"{blind.last_report.kernel_counts()}  "
+          f"({blind.last_report.total_flops:,} FLOPs)")
+    print(f"aware pipeline  : {t_aware:.4f}s  kernels "
+          f"{aware.last_report.kernel_counts()}  "
+          f"({aware.last_report.total_flops:,} FLOPs)")
+
+    # -- solving the innovation system: blind LU vs property-aware Cholesky ----
+    rhs = np.ascontiguousarray(T.random_vector(n, seed=4).numpy()).ravel()
+    s_np = s_aware.numpy().astype(np.float64)
+    s_np = (s_np + s_np.T) / 2 + np.eye(n) * 1e-3  # float64 symmetrize
+    s_spd = as_spd(T.Tensor(s_np.astype(np.float32)), verify=False)
+
+    t0 = time.perf_counter()
+    x_lu = lapack.lu_solve(s_spd.numpy(), rhs)
+    t_lu = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    x_chol = lapack.cholesky_solve(s_spd.numpy(), rhs)
+    t_chol = time.perf_counter() - t0
+
+    res_lu = np.linalg.norm(s_spd.numpy() @ x_lu - rhs)
+    res_chol = np.linalg.norm(s_spd.numpy() @ x_chol - rhs)
+    print(f"\nsolve S k = v:  blind LU {t_lu:.4f}s (residual {res_lu:.2e})"
+          f"   vs   Cholesky {t_chol:.4f}s (residual {res_chol:.2e})")
+    print(f"LU / Cholesky ratio: {t_lu / t_chol:.2f}x  (theory: ~2x)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 900)

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has setuptools but no ``wheel`` package and no
+network, so PEP-517 editable installs (``pip install -e .``) cannot build a
+wheel.  This shim lets ``python setup.py develop`` (which pip falls back to)
+install the package in editable mode; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

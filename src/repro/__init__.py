@@ -1,0 +1,40 @@
+"""repro — reproduction of *Benchmarking the Linear Algebra Awareness of
+TensorFlow and PyTorch* (Sankaran, Akbari Alashti, Psarras, Bientinesi;
+IPDPSW 2022, arXiv:2202.09888).
+
+The original study probes two real frameworks; this package *builds* both
+frameworks as faithful simulators over a real BLAS substrate and re-runs
+every experiment:
+
+* :mod:`repro.kernels`     — BLAS/LAPACK substrate (the "MKL" role)
+* :mod:`repro.tensor`      — dense tensors + matrix-property annotations
+* :mod:`repro.ir`          — computational-graph IR, tracing, interpreter
+* :mod:`repro.passes`      — Grappler-analogue optimizer + "aware" passes
+* :mod:`repro.chain`       — matrix-chain DP and enumeration
+* :mod:`repro.properties`  — property algebra, inference, annotations
+* :mod:`repro.rewrite`     — Linnea-analogue derivation-graph engine
+* :mod:`repro.frameworks`  — ``tfsim`` (TensorFlow) and ``pytsim`` (PyTorch)
+* :mod:`repro.bench`       — timing, bootstrap significance, reporting
+* :mod:`repro.experiments` — one module per paper table/figure (+ CLI)
+
+Quickstart::
+
+    from repro import tensor as T
+    from repro.frameworks import tfsim
+
+    A, B = T.random_general(1000, seed=1), T.random_general(1000, seed=2)
+
+    @tfsim.function
+    def f(a, b):
+        return tfsim.transpose(tfsim.transpose(a) @ b) @ (tfsim.transpose(a) @ b)
+
+    y = f(A, B)                                   # CSE: 2 GEMMs, not 3
+    print(f.last_report.kernel_counts())
+"""
+
+__version__ = "1.0.0"
+
+from .config import config, limit_threads, override
+from .errors import ReproError
+
+__all__ = ["config", "limit_threads", "override", "ReproError", "__version__"]

@@ -1,0 +1,27 @@
+"""Measurement harness: timing, bootstrap significance, reporting.
+
+Methodology follows the paper's Sec. III: single-threaded (pinned via
+``repro.config.limit_threads``), min over N repetitions (default 20, as in
+the paper), significance via the bootstrap approach of Sankaran &
+Bientinesi [11].
+"""
+
+from .timing import TimingSample, measure, measure_callable_pair
+from .bootstrap import BootstrapResult, Verdict, bootstrap_compare
+from .reporting import Cell, ExperimentTable, format_seconds
+from .registry import EXPERIMENTS, register_experiment, get_experiment
+
+__all__ = [
+    "TimingSample",
+    "measure",
+    "measure_callable_pair",
+    "BootstrapResult",
+    "Verdict",
+    "bootstrap_compare",
+    "Cell",
+    "ExperimentTable",
+    "format_seconds",
+    "EXPERIMENTS",
+    "register_experiment",
+    "get_experiment",
+]

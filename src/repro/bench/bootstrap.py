@@ -1,0 +1,102 @@
+"""Bootstrap significance testing, after Sankaran & Bientinesi [11].
+
+The paper checks "whether the performance differences are statistically
+significant (or not) using the boot-strapping approach from [11]": given
+two timing samples, repeatedly resample each with replacement, compute a
+robust statistic (a low quantile — fast machines' timing noise is
+one-sided), and count how often implementation A beats B.  The verdict is
+three-way: A faster, B faster, or statistically indistinguishable at the
+configured significance level.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+import numpy as np
+
+from ..config import config
+from ..errors import BenchmarkError
+from .timing import TimingSample
+
+
+class Verdict(enum.Enum):
+    A_FASTER = "a_faster"
+    B_FASTER = "b_faster"
+    INDISTINGUISHABLE = "indistinguishable"
+
+
+@dataclasses.dataclass(frozen=True)
+class BootstrapResult:
+    """Outcome of comparing two timing distributions."""
+
+    label_a: str
+    label_b: str
+    p_a_faster: float  # bootstrap probability that A's statistic < B's
+    ratio_ci: tuple[float, float]  # CI of stat_b / stat_a (speedup of A)
+    verdict: Verdict
+    alpha: float
+
+    @property
+    def significant(self) -> bool:
+        return self.verdict is not Verdict.INDISTINGUISHABLE
+
+    def describe(self) -> str:
+        word = {
+            Verdict.A_FASTER: f"{self.label_a} faster",
+            Verdict.B_FASTER: f"{self.label_b} faster",
+            Verdict.INDISTINGUISHABLE: "indistinguishable",
+        }[self.verdict]
+        lo, hi = self.ratio_ci
+        return (
+            f"{word} (P[{self.label_a} < {self.label_b}] = {self.p_a_faster:.3f}, "
+            f"speedup CI [{lo:.2f}x, {hi:.2f}x], alpha={self.alpha})"
+        )
+
+
+def bootstrap_compare(
+    a: TimingSample,
+    b: TimingSample,
+    *,
+    quantile: float = 0.1,
+    n_boot: int | None = None,
+    alpha: float | None = None,
+    seed: int = 0,
+) -> BootstrapResult:
+    """Compare two samples; see module docstring.
+
+    ``quantile`` picks the statistic (0.1 ≈ near-best performance, robust
+    to a single outlier-fast rep; 0.0 would be the raw min).
+    """
+    if not 0.0 <= quantile <= 1.0:
+        raise BenchmarkError(f"quantile must be in [0, 1], got {quantile}")
+    n_boot = config.bootstrap_samples if n_boot is None else n_boot
+    alpha = config.alpha if alpha is None else alpha
+    rng = np.random.default_rng(seed)
+    xa = a.as_array()
+    xb = b.as_array()
+    idx_a = rng.integers(0, len(xa), size=(n_boot, len(xa)))
+    idx_b = rng.integers(0, len(xb), size=(n_boot, len(xb)))
+    stat_a = np.quantile(xa[idx_a], quantile, axis=1)
+    stat_b = np.quantile(xb[idx_b], quantile, axis=1)
+    p_a = float(np.mean(stat_a < stat_b))
+    ratios = stat_b / np.maximum(stat_a, 1e-12)
+    ci = (
+        float(np.quantile(ratios, alpha / 2)),
+        float(np.quantile(ratios, 1 - alpha / 2)),
+    )
+    if p_a >= 1 - alpha:
+        verdict = Verdict.A_FASTER
+    elif p_a <= alpha:
+        verdict = Verdict.B_FASTER
+    else:
+        verdict = Verdict.INDISTINGUISHABLE
+    return BootstrapResult(
+        label_a=a.label,
+        label_b=b.label,
+        p_a_faster=p_a,
+        ratio_ci=ci,
+        verdict=verdict,
+        alpha=alpha,
+    )

@@ -1,0 +1,40 @@
+"""Cache control for measurements.
+
+The paper's Fig. 6 discussion (citing Peise & Bientinesi [34]) notes that
+variants with identical FLOP counts can differ in execution time because of
+memory/cache effects from instruction ordering.  Observing such effects
+requires controlling the cache state between repetitions; this module
+provides a simple flusher: streaming over a buffer larger than the
+last-level cache evicts the working set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Default flush size: comfortably larger than common LLC sizes.
+DEFAULT_FLUSH_BYTES = 64 * 1024 * 1024
+
+
+class CacheFlusher:
+    """Evicts the CPU caches by streaming a large buffer.
+
+    >>> flush = CacheFlusher()
+    >>> flush()           # between timed repetitions
+    """
+
+    def __init__(self, nbytes: int = DEFAULT_FLUSH_BYTES) -> None:
+        self._buffer = np.zeros(max(nbytes, 1) // 8, dtype=np.float64)
+        self._toggle = 0.0
+
+    @property
+    def nbytes(self) -> int:
+        return self._buffer.nbytes
+
+    def __call__(self) -> float:
+        """Touch every cache line of the buffer (read-modify-write)."""
+        self._toggle += 1.0
+        self._buffer += self._toggle
+        # A reduction forces the writes to complete and returns a value the
+        # optimizer cannot elide.
+        return float(self._buffer[:: 4096].sum())

@@ -1,0 +1,52 @@
+"""Experiment registry: names → table-producing callables.
+
+Each experiment module registers itself at import; the CLI and the
+benchmark suite iterate the registry so "run every table and figure" is one
+loop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+from ..errors import BenchmarkError
+from .reporting import ExperimentTable
+
+#: An experiment entry point: run(n, repetitions) -> ExperimentTable.
+ExperimentFn = Callable[..., ExperimentTable]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentInfo:
+    name: str
+    paper_artifact: str  # e.g. "Table III", "Fig. 1"
+    fn: ExperimentFn
+    description: str
+
+
+EXPERIMENTS: dict[str, ExperimentInfo] = {}
+
+
+def register_experiment(
+    name: str, paper_artifact: str, description: str
+) -> Callable[[ExperimentFn], ExperimentFn]:
+    """Decorator: register an experiment under ``name``."""
+
+    def wrap(fn: ExperimentFn) -> ExperimentFn:
+        if name in EXPERIMENTS:
+            raise BenchmarkError(f"experiment {name!r} registered twice")
+        EXPERIMENTS[name] = ExperimentInfo(name, paper_artifact, fn, description)
+        return fn
+
+    return wrap
+
+
+def get_experiment(name: str) -> ExperimentInfo:
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise BenchmarkError(
+            f"unknown experiment {name!r}; known: {known}"
+        ) from None

@@ -1,0 +1,142 @@
+"""Tabular reporting that mirrors the paper's tables.
+
+An :class:`ExperimentTable` has named columns and labelled rows of
+:class:`Cell` values (seconds, strings, or missing "–"), renders to console
+text and markdown, and serializes to JSON for EXPERIMENTS.md regeneration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+
+def format_seconds(t: float | None) -> str:
+    """Paper-style compact seconds: 0.40, 0.006, 6e-4."""
+    if t is None:
+        return "–"
+    if t >= 0.1:
+        return f"{t:.2f}"
+    if t >= 0.001:
+        return f"{t:.3f}"
+    return f"{t:.1e}"
+
+
+@dataclasses.dataclass
+class Cell:
+    """One table cell: a timing (seconds), free text, or absent."""
+
+    seconds: float | None = None
+    text: str | None = None
+    note: str = ""
+
+    def render(self) -> str:
+        if self.text is not None:
+            return self.text
+        base = format_seconds(self.seconds)
+        return f"{base}{self.note}"
+
+    def to_json(self) -> Any:
+        if self.text is not None:
+            return self.text
+        return self.seconds
+
+
+@dataclasses.dataclass
+class ExperimentTable:
+    """A labelled grid of results for one paper table/figure."""
+
+    title: str
+    columns: list[str]
+    rows: list[tuple[str, dict[str, Cell]]] = dataclasses.field(default_factory=list)
+    notes: list[str] = dataclasses.field(default_factory=list)
+
+    def add_row(self, label: str, **cells: Cell | float | str | None) -> None:
+        """Add a row; bare floats become timing cells, strings text cells.
+
+        Keyword names must match ``columns`` with non-alphanumeric
+        characters replaced by underscores.
+        """
+        normalized: dict[str, Cell] = {}
+        keymap = {self._keyify(c): c for c in self.columns}
+        for key, value in cells.items():
+            col = keymap.get(key)
+            if col is None:
+                raise KeyError(
+                    f"{key!r} does not match any column of {self.columns}"
+                )
+            if isinstance(value, Cell):
+                normalized[col] = value
+            elif isinstance(value, str):
+                normalized[col] = Cell(text=value)
+            elif value is None:
+                normalized[col] = Cell()
+            else:
+                normalized[col] = Cell(seconds=float(value))
+        self.rows.append((label, normalized))
+
+    @staticmethod
+    def _keyify(column: str) -> str:
+        return "".join(ch if ch.isalnum() else "_" for ch in column)
+
+    def cell(self, row_label: str, column: str) -> Cell:
+        """Look up a cell (raises KeyError when absent)."""
+        for label, cells in self.rows:
+            if label == row_label:
+                return cells[column]
+        raise KeyError(f"no row labelled {row_label!r}")
+
+    def seconds(self, row_label: str, column: str) -> float:
+        """Timing value of a cell (raises if it is text/missing)."""
+        cell = self.cell(row_label, column)
+        if cell.seconds is None:
+            raise KeyError(f"cell ({row_label!r}, {column!r}) has no timing")
+        return cell.seconds
+
+    # -- rendering ----------------------------------------------------------
+
+    def render(self) -> str:
+        label_w = max([len(r[0]) for r in self.rows] + [len(self.title), 10])
+        col_ws = [max(len(c), 10) for c in self.columns]
+        lines = [self.title, "=" * len(self.title)]
+        header = " " * label_w + " | " + " | ".join(
+            c.rjust(w) for c, w in zip(self.columns, col_ws)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for label, cells in self.rows:
+            rendered = [
+                cells.get(c, Cell()).render().rjust(w)
+                for c, w in zip(self.columns, col_ws)
+            ]
+            lines.append(label.ljust(label_w) + " | " + " | ".join(rendered))
+        for note in self.notes:
+            lines.append(f"  * {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        lines = [f"### {self.title}", ""]
+        lines.append("| | " + " | ".join(self.columns) + " |")
+        lines.append("|---" * (len(self.columns) + 1) + "|")
+        for label, cells in self.rows:
+            rendered = [cells.get(c, Cell()).render() for c in self.columns]
+            lines.append(f"| {label} | " + " | ".join(rendered) + " |")
+        for note in self.notes:
+            lines.append(f"\n*{note}*")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload = {
+            "title": self.title,
+            "columns": self.columns,
+            "rows": [
+                {
+                    "label": label,
+                    "cells": {c: cell.to_json() for c, cell in cells.items()},
+                }
+                for label, cells in self.rows
+            ],
+            "notes": self.notes,
+        }
+        return json.dumps(payload, indent=2)

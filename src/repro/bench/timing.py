@@ -1,0 +1,133 @@
+"""Timing primitives.
+
+``measure`` returns the full repetition sample; the paper reports the
+*minimum* over 20 repetitions, so :attr:`TimingSample.best` is the headline
+statistic, but quartiles are retained for the bootstrap test.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gc
+import time
+from collections.abc import Callable
+
+import numpy as np
+
+from ..config import config
+from ..errors import BenchmarkError
+
+
+@dataclasses.dataclass(frozen=True)
+class TimingSample:
+    """Per-repetition wall times of one implementation."""
+
+    label: str
+    times: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.times:
+            raise BenchmarkError(f"{self.label}: empty timing sample")
+
+    @property
+    def best(self) -> float:
+        """Minimum — the paper's headline statistic."""
+        return min(self.times)
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.times))
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.times))
+
+    def quantile(self, q: float) -> float:
+        return float(np.quantile(self.times, q))
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.times, dtype=np.float64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TimingSample({self.label!r}, n={len(self.times)}, "
+            f"best={self.best:.4g}s, median={self.median:.4g}s)"
+        )
+
+
+def measure(
+    fn: Callable[[], object],
+    *,
+    label: str = "impl",
+    repetitions: int | None = None,
+    warmup: int | None = None,
+    disable_gc: bool = True,
+) -> TimingSample:
+    """Time ``fn()`` over repeated calls.
+
+    Warm-up runs (default from config; they also absorb trace/compile cost,
+    mirroring the paper's exclusion of decorator overheads) are untimed.
+    GC is paused around each timed region so collection pauses don't land
+    in the sample.
+    """
+    reps = config.repetitions if repetitions is None else repetitions
+    warm = config.warmup if warmup is None else warmup
+    if reps < 1:
+        raise BenchmarkError(f"repetitions must be >= 1, got {reps}")
+    for _ in range(warm):
+        fn()
+    times: list[float] = []
+    gc_was_enabled = gc.isenabled()
+    try:
+        if disable_gc:
+            gc.collect()
+            gc.disable()
+        for _ in range(reps):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+    finally:
+        if disable_gc and gc_was_enabled:
+            gc.enable()
+    return TimingSample(label, tuple(times))
+
+
+def measure_callable_pair(
+    fn_a: Callable[[], object],
+    fn_b: Callable[[], object],
+    *,
+    labels: tuple[str, str] = ("a", "b"),
+    repetitions: int | None = None,
+    warmup: int | None = None,
+) -> tuple[TimingSample, TimingSample]:
+    """Measure two implementations with *interleaved* repetitions.
+
+    Interleaving makes the pair robust against slow drift (thermal,
+    frequency scaling): each repetition of A is adjacent in time to one of
+    B.  Used by the significance-test paths.
+    """
+    reps = config.repetitions if repetitions is None else repetitions
+    warm = config.warmup if warmup is None else warmup
+    for _ in range(warm):
+        fn_a()
+        fn_b()
+    times_a: list[float] = []
+    times_b: list[float] = []
+    gc_was_enabled = gc.isenabled()
+    try:
+        gc.collect()
+        gc.disable()
+        for _ in range(reps):
+            start = time.perf_counter()
+            fn_a()
+            times_a.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            fn_b()
+            times_b.append(time.perf_counter() - start)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return (
+        TimingSample(labels[0], tuple(times_a)),
+        TimingSample(labels[1], tuple(times_b)),
+    )

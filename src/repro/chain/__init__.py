@@ -1,0 +1,27 @@
+"""Matrix-chain machinery: DP optimizer and exhaustive enumeration.
+
+Supports Experiment 2 (Table III), Fig. 7 (all parenthesizations of a
+length-4 chain with FLOP counts), ``pytsim.linalg.multi_dot``, and the
+opt-in chain-reordering pass.
+"""
+
+from .dp import ChainSolution, optimal_parenthesization
+from .enumeration import (
+    Parenthesization,
+    catalan,
+    count_parenthesizations,
+    enumerate_parenthesizations,
+)
+from .solver import chain_cost, evaluate_chain, parse_tree_flops
+
+__all__ = [
+    "ChainSolution",
+    "optimal_parenthesization",
+    "Parenthesization",
+    "catalan",
+    "count_parenthesizations",
+    "enumerate_parenthesizations",
+    "chain_cost",
+    "evaluate_chain",
+    "parse_tree_flops",
+]

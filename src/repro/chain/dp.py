@@ -1,0 +1,127 @@
+"""The classical O(m³) matrix-chain-order dynamic program.
+
+Given dimensions ``d₀ × d₁, d₁ × d₂, …, d_{m-1} × d_m``, find the
+parenthesization minimizing total GEMM FLOPs (2·dᵢdₖdⱼ per product).  This
+is the algorithm behind ``torch.linalg.multi_dot``, which the paper points
+end users to (Fig. 5), and behind the opt-in chain-reordering pass that
+shows what the frameworks *could* do automatically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import ChainError
+
+#: A parse tree over chain positions: either an int leaf or a (left, right)
+#: tuple of sub-trees.
+Tree = "int | tuple"
+
+
+@dataclasses.dataclass(frozen=True)
+class ChainSolution:
+    """Result of the DP: optimal tree, its FLOPs, and the DP tables."""
+
+    dims: tuple[int, ...]
+    tree: object
+    flops: int
+    cost_table: tuple[tuple[int, ...], ...]
+    split_table: tuple[tuple[int, ...], ...]
+
+    def describe(self, names: list[str] | None = None) -> str:
+        """Render the tree with operand names, e.g. ``((A B) (C D))``."""
+        names = names or [f"M{i}" for i in range(len(self.dims) - 1)]
+
+        def render(tree: object) -> str:
+            if isinstance(tree, int):
+                return names[tree]
+            left, right = tree
+            return f"({render(left)} {render(right)})"
+
+        return render(self.tree)
+
+
+def chain_dims(shapes: list[tuple[int, int]]) -> tuple[int, ...]:
+    """Collapse operand shapes into the DP's dimension vector.
+
+    Raises :class:`ChainError` if consecutive operands are incompatible.
+    """
+    if not shapes:
+        raise ChainError("empty matrix chain")
+    dims = [shapes[0][0]]
+    for i, (rows, cols) in enumerate(shapes):
+        if rows != dims[-1]:
+            raise ChainError(
+                f"chain operand {i} has {rows} rows, expected {dims[-1]} "
+                f"(shapes: {shapes})"
+            )
+        dims.append(cols)
+    return tuple(dims)
+
+
+def optimal_parenthesization(
+    shapes: list[tuple[int, int]] | tuple[tuple[int, int], ...]
+) -> ChainSolution:
+    """Run the DP; returns the minimum-FLOP :class:`ChainSolution`.
+
+    >>> sol = optimal_parenthesization([(10, 100), (100, 5), (5, 50)])
+    >>> sol.describe(["A", "B", "C"])
+    '((A B) C)'
+    """
+    dims = chain_dims(list(shapes))
+    m = len(dims) - 1
+    if m == 0:
+        raise ChainError("empty matrix chain")
+    # cost[i][j]: min FLOPs to compute product of operands i..j inclusive.
+    cost = [[0] * m for _ in range(m)]
+    split = [[0] * m for _ in range(m)]
+    for length in range(2, m + 1):
+        for i in range(m - length + 1):
+            j = i + length - 1
+            best = None
+            best_k = i
+            for k in range(i, j):
+                c = (
+                    cost[i][k]
+                    + cost[k + 1][j]
+                    + 2 * dims[i] * dims[k + 1] * dims[j + 1]
+                )
+                if best is None or c < best:
+                    best = c
+                    best_k = k
+            cost[i][j] = best if best is not None else 0
+            split[i][j] = best_k
+
+    def build(i: int, j: int) -> object:
+        if i == j:
+            return i
+        k = split[i][j]
+        return (build(i, k), build(k + 1, j))
+
+    return ChainSolution(
+        dims=dims,
+        tree=build(0, m - 1),
+        flops=cost[0][m - 1],
+        cost_table=tuple(tuple(row) for row in cost),
+        split_table=tuple(tuple(row) for row in split),
+    )
+
+
+def left_to_right_tree(m: int) -> object:
+    """The default evaluation order the paper measures in both frameworks."""
+    if m < 1:
+        raise ChainError("empty matrix chain")
+    tree: object = 0
+    for i in range(1, m):
+        tree = (tree, i)
+    return tree
+
+
+def right_to_left_tree(m: int) -> object:
+    """Fully right-associated order, optimal for ``HᵀHx``-style chains."""
+    if m < 1:
+        raise ChainError("empty matrix chain")
+    tree: object = m - 1
+    for i in range(m - 2, -1, -1):
+        tree = (i, tree)
+    return tree

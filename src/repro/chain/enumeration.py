@@ -1,0 +1,106 @@
+"""Exhaustive enumeration of chain parenthesizations (Catalan numbers).
+
+Regenerates the paper's Fig. 7: for a chain of length 4, all
+C₃ = 5 parenthesizations with their FLOP formulas.  Also the brute-force
+oracle the tests compare the DP against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+from collections.abc import Iterator
+
+from ..errors import ChainError
+from .dp import chain_dims
+
+
+@functools.lru_cache(maxsize=None)
+def catalan(k: int) -> int:
+    """The k-th Catalan number C_k = (2k)! / ((k+1)! k!).
+
+    >>> [catalan(i) for i in range(6)]
+    [1, 1, 2, 5, 14, 42]
+    """
+    if k < 0:
+        raise ChainError(f"Catalan index must be non-negative, got {k}")
+    result = 1
+    for i in range(k):
+        result = result * 2 * (2 * i + 1) // (i + 2)
+    return result
+
+
+def count_parenthesizations(m: int) -> int:
+    """Number of parenthesizations of a length-m chain: C_{m-1}."""
+    if m < 1:
+        raise ChainError("empty matrix chain")
+    return catalan(m - 1)
+
+
+@dataclasses.dataclass(frozen=True)
+class Parenthesization:
+    """One way to evaluate the chain: tree + total FLOPs + rendering."""
+
+    tree: object
+    flops: int
+    expression: str
+
+
+def _trees(i: int, j: int) -> Iterator[object]:
+    """All parse trees over leaves i..j inclusive."""
+    if i == j:
+        yield i
+        return
+    for k in range(i, j):
+        for left in _trees(i, k):
+            for right in _trees(k + 1, j):
+                yield (left, right)
+
+
+def _tree_flops(tree: object, dims: tuple[int, ...]) -> tuple[int, int, int]:
+    """Return (rows, cols, flops) of evaluating ``tree``."""
+    if isinstance(tree, int):
+        return dims[tree], dims[tree + 1], 0
+    left, right = tree
+    lr, lc, lf = _tree_flops(left, dims)
+    rr, rc, rf = _tree_flops(right, dims)
+    assert lc == rr, "enumeration produced incompatible split"
+    return lr, rc, lf + rf + 2 * lr * lc * rc
+
+
+def _render(tree: object, names: list[str]) -> str:
+    if isinstance(tree, int):
+        return names[tree]
+    left, right = tree
+    return f"({_render(left, names)} {_render(right, names)})"
+
+
+def enumerate_parenthesizations(
+    shapes: list[tuple[int, int]],
+    names: list[str] | None = None,
+) -> list[Parenthesization]:
+    """All parenthesizations of the chain, sorted cheapest first.
+
+    For Fig. 7's ABCD chain this returns the 5 variants with their FLOP
+    counts; the cheapest entry matches the DP solution (tested).
+    """
+    dims = chain_dims(shapes)
+    m = len(dims) - 1
+    if m > 12:
+        raise ChainError(
+            f"refusing to enumerate C_{m-1} = {catalan(m - 1)} trees; "
+            "use the DP for long chains"
+        )
+    names = names or [f"M{i}" for i in range(m)]
+    if len(names) != m:
+        raise ChainError(f"need {m} names, got {len(names)}")
+    out = [
+        Parenthesization(
+            tree=t,
+            flops=_tree_flops(t, dims)[2],
+            expression=_render(t, names),
+        )
+        for t in _trees(0, m - 1)
+    ]
+    out.sort(key=lambda p: p.flops)
+    return out

@@ -1,0 +1,67 @@
+"""Evaluating chains: cost of a given tree, and numeric execution.
+
+Bridges the DP/enumeration layer to concrete arrays (used by
+``pytsim.linalg.multi_dot``) and to the IR (used by the chain-reordering
+pass, which builds nested ``matmul`` nodes following the optimal tree).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ChainError
+from ..kernels import blas3
+from .dp import chain_dims, optimal_parenthesization
+
+
+def parse_tree_flops(tree: object, dims: tuple[int, ...]) -> int:
+    """Total GEMM FLOPs of evaluating ``tree`` over ``dims``."""
+
+    def walk(t: object) -> tuple[int, int, int]:
+        if isinstance(t, int):
+            if not 0 <= t < len(dims) - 1:
+                raise ChainError(f"tree leaf {t} out of range")
+            return dims[t], dims[t + 1], 0
+        left, right = t
+        lr, lc, lf = walk(left)
+        rr, rc, rf = walk(right)
+        if lc != rr:
+            raise ChainError(f"tree splits chain inconsistently at {t!r}")
+        return lr, rc, lf + rf + 2 * lr * lc * rc
+
+    return walk(tree)[2]
+
+
+def chain_cost(shapes: list[tuple[int, int]], tree: object | None = None) -> int:
+    """FLOPs of evaluating the chain with ``tree`` (default: optimal)."""
+    dims = chain_dims(shapes)
+    if tree is None:
+        return optimal_parenthesization(shapes).flops
+    return parse_tree_flops(tree, dims)
+
+
+def evaluate_chain(
+    operands: list[np.ndarray],
+    tree: object | None = None,
+) -> np.ndarray:
+    """Numerically evaluate the chain following ``tree`` (default: optimal).
+
+    Every 2-D product goes through the BLAS substrate so timings are
+    comparable with framework executions.
+    """
+    if not operands:
+        raise ChainError("empty matrix chain")
+    arrays = [np.asarray(a) for a in operands]
+    for a in arrays:
+        if a.ndim != 2:
+            raise ChainError(f"chain operands must be matrices, got shape {a.shape}")
+    if tree is None:
+        tree = optimal_parenthesization([a.shape for a in arrays]).tree
+
+    def walk(t: object) -> np.ndarray:
+        if isinstance(t, int):
+            return arrays[t]
+        left, right = t
+        return blas3.gemm(walk(left), walk(right))
+
+    return walk(tree)

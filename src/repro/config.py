@@ -1,0 +1,143 @@
+"""Global configuration for the LAAB reproduction.
+
+The paper's measurements are single-threaded, float32, with a fixed problem
+size (n = 3000) and 20 repetitions.  This module centralizes those knobs so
+experiments, tests, and benchmarks share one source of truth.
+
+Thread pinning
+--------------
+BLAS libraries read their thread-count environment variables at load time, so
+:func:`limit_threads` is only fully effective when called *before* numpy is
+imported (the ``laab`` CLI does this).  When called later it still sets the
+variables — useful for subprocess workers — and additionally tries the
+``threadpoolctl``-style control exposed by scipy when available.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Iterator
+
+from .errors import ConfigError
+
+#: Environment variables consulted by the common BLAS implementations.
+_BLAS_THREAD_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "BLIS_NUM_THREADS",
+)
+
+
+def limit_threads(n: int = 1) -> None:
+    """Pin the BLAS/OpenMP thread pools to ``n`` threads via environment.
+
+    Mirrors the paper's single-core methodology (Sec. III).  Safe to call
+    multiple times; later calls overwrite earlier ones.
+    """
+    if n < 1:
+        raise ConfigError(f"thread count must be >= 1, got {n}")
+    for var in _BLAS_THREAD_VARS:
+        os.environ[var] = str(n)
+
+
+@dataclasses.dataclass
+class Config:
+    """Runtime configuration shared across the package.
+
+    Attributes
+    ----------
+    default_dtype:
+        Numpy dtype name used when tensors are created without an explicit
+        dtype.  The paper notes both TF and PyTorch default to single
+        precision; we follow suit.
+    problem_size:
+        The ``n`` used by experiments when none is given.  The paper uses
+        3000; the default here is smaller so the full suite runs in minutes
+        on commodity hardware.  Ratios, not absolute times, are the target.
+    repetitions:
+        Number of timed repetitions per measurement (paper: 20).
+    warmup:
+        Untimed warm-up executions before measuring.
+    bootstrap_samples:
+        Resamples drawn by the significance test of [11].
+    alpha:
+        Significance level for the bootstrap verdict.
+    seed:
+        Seed for operand generation, so measurements are reproducible.
+    """
+
+    default_dtype: str = "float32"
+    problem_size: int = 1000
+    repetitions: int = 20
+    warmup: int = 2
+    bootstrap_samples: int = 1000
+    alpha: float = 0.05
+    seed: int = 20220220  # arXiv submission date of the paper
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` if any field is out of range."""
+        if self.default_dtype not in ("float32", "float64"):
+            raise ConfigError(
+                f"default_dtype must be float32 or float64, got {self.default_dtype!r}"
+            )
+        if self.problem_size < 1:
+            raise ConfigError(f"problem_size must be positive, got {self.problem_size}")
+        if self.repetitions < 1:
+            raise ConfigError(f"repetitions must be positive, got {self.repetitions}")
+        if self.warmup < 0:
+            raise ConfigError(f"warmup must be non-negative, got {self.warmup}")
+        if self.bootstrap_samples < 1:
+            raise ConfigError(
+                f"bootstrap_samples must be positive, got {self.bootstrap_samples}"
+            )
+        if not 0.0 < self.alpha < 1.0:
+            raise ConfigError(f"alpha must be in (0, 1), got {self.alpha}")
+
+
+#: The process-wide configuration instance.
+config = Config()
+
+
+class override:
+    """Context manager that temporarily overrides fields of :data:`config`.
+
+    Example
+    -------
+    >>> from repro.config import config, override
+    >>> with override(problem_size=50):
+    ...     assert config.problem_size == 50
+    """
+
+    def __init__(self, **fields: object) -> None:
+        unknown = set(fields) - {f.name for f in dataclasses.fields(Config)}
+        if unknown:
+            raise ConfigError(f"unknown config fields: {sorted(unknown)}")
+        self._fields = fields
+        self._saved: dict[str, object] = {}
+
+    def __enter__(self) -> Config:
+        for name, value in self._fields.items():
+            self._saved[name] = getattr(config, name)
+            setattr(config, name, value)
+        try:
+            config.validate()
+        except ConfigError:
+            # Roll back: an invalid override must not leak into the
+            # process-wide config.
+            self.__exit__()
+            raise
+        return config
+
+    def __exit__(self, *exc: object) -> None:
+        for name, value in self._saved.items():
+            setattr(config, name, value)
+
+
+def iter_thread_vars() -> Iterator[tuple[str, str | None]]:
+    """Yield the current values of the BLAS thread environment variables."""
+    for var in _BLAS_THREAD_VARS:
+        yield var, os.environ.get(var)

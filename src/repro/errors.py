@@ -1,0 +1,52 @@
+"""Exception hierarchy for the LAAB reproduction.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers can distinguish library failures from
+programming mistakes (plain ``TypeError``/``ValueError`` coming out of numpy).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ShapeError(ReproError, ValueError):
+    """Operand shapes are incompatible for the requested operation."""
+
+
+class DTypeError(ReproError, TypeError):
+    """Operand dtypes are unsupported or inconsistent."""
+
+
+class PropertyError(ReproError, ValueError):
+    """A matrix-property annotation is inconsistent with the data or operation."""
+
+
+class KernelError(ReproError, RuntimeError):
+    """A BLAS/LAPACK kernel failed or no kernel matches the request."""
+
+
+class GraphError(ReproError, RuntimeError):
+    """The expression IR / computational graph is malformed."""
+
+
+class TracingError(GraphError):
+    """A Python callable could not be traced into a computational graph."""
+
+
+class RewriteError(ReproError, RuntimeError):
+    """A rewrite rule was applied to an expression it does not match."""
+
+
+class ChainError(ReproError, ValueError):
+    """A matrix chain is empty or has incompatible dimensions."""
+
+
+class BenchmarkError(ReproError, RuntimeError):
+    """A measurement could not be carried out as requested."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid global configuration value was supplied."""

@@ -1,0 +1,40 @@
+"""Experiment modules — one per table/figure of the paper.
+
+Importing this package registers every experiment with
+:mod:`repro.bench.registry`:
+
+========  ==============  ====================================================
+Name      Paper artifact  Content
+========  ==============  ====================================================
+fig1      Fig. 1          image-restoration variants (distributivity +
+                          associativity); derivation-graph auto-discovery
+table1    Table I         Eager vs Graph vs MKL-C reference
+exp1      Table II        common sub-expression elimination
+exp2      Table III       matrix-chain parenthesization (+ multi_dot)
+fig6      Fig. 6          equal-FLOP instruction orders (memory effects)
+fig7      Fig. 7          all parenthesizations of a length-4 chain
+exp3      Table IV        matrix properties (TRMM/SYRK/tridiag/diag)
+exp4      Table V         algebraic manipulation (distributivity, blocked)
+exp5      Table VI        code motion (LICM, partial operand access)
+ablation  (extension)     default vs aware pipelines on every test expression
+solve     (extension)     property-aware linear-system solve (LU vs Cholesky)
+========  ==============  ====================================================
+"""
+
+from . import (  # noqa: F401  (imported for registration side effects)
+    ablation,
+    exp1_cse,
+    exp2_chains,
+    exp3_properties,
+    exp4_algebraic,
+    exp5_code_motion,
+    fig6_order,
+    fig7_chain4,
+    intro_fig1,
+    solve_systems,
+    table1_modes,
+)
+from .sizes import experiment_size
+from .workloads import Workloads
+
+__all__ = ["experiment_size", "Workloads"]

@@ -1,0 +1,32 @@
+"""Shared measurement helpers for experiment modules."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..bench.timing import TimingSample, measure
+from ..frameworks.common import CompiledFunction
+from ..tensor.tensor import Tensor
+
+
+def time_compiled(
+    fn: CompiledFunction,
+    args: list[Tensor],
+    *,
+    label: str,
+    repetitions: int | None = None,
+) -> TimingSample:
+    """Time a graph-mode function: trace/optimize first (untimed — the
+    paper excludes decorator overheads), then measure steady-state calls."""
+    fn.get_concrete(*args)
+    return measure(lambda: fn(*args), label=label, repetitions=repetitions)
+
+
+def time_eager(
+    thunk: Callable[[], object],
+    *,
+    label: str,
+    repetitions: int | None = None,
+) -> TimingSample:
+    """Time an eager expression (a closure over bound operands)."""
+    return measure(thunk, label=label, repetitions=repetitions)

@@ -1,0 +1,141 @@
+"""Ablation (extension) — default vs linear-algebra-aware pipelines.
+
+Not a paper table: this experiment answers the paper's implicit question —
+*how much would the recommended optimizations actually buy?* — by running
+each of the paper's negative-finding expressions through the same simulated
+framework twice: once with the default (TF/PyT-faithful) pipeline and once
+with the aware pipeline (chain reordering + property dispatch +
+distributivity + partial access).
+"""
+
+from __future__ import annotations
+
+from ..bench.registry import register_experiment
+from ..bench.reporting import Cell, ExperimentTable
+from ..frameworks import tfsim
+from ._measure import time_compiled
+from .sizes import experiment_size
+from .workloads import Workloads
+
+
+def _cases(n: int):
+    """(label, function builder, args builder) per ablation case."""
+
+    def chain_fn(aware: bool):
+        @tfsim.function(aware=aware)
+        def fn(h, x):
+            return tfsim.transpose(h) @ h @ x
+
+        return fn
+
+    def mixed_fn(aware: bool):
+        @tfsim.function(aware=aware)
+        def fn(h, x, y):
+            return tfsim.transpose(h) @ y @ tfsim.transpose(x) @ h
+
+        return fn
+
+    def trmm_fn(aware: bool):
+        @tfsim.function(aware=aware)
+        def fn(l, b):
+            return l @ b
+
+        return fn
+
+    def syrk_fn(aware: bool):
+        @tfsim.function(aware=aware)
+        def fn(a):
+            return a @ tfsim.transpose(a)
+
+        return fn
+
+    def tridiag_fn(aware: bool):
+        @tfsim.function(aware=aware)
+        def fn(t, b):
+            return t @ b
+
+        return fn
+
+    def diag_fn(aware: bool):
+        @tfsim.function(aware=aware)
+        def fn(d, b):
+            return d @ b
+
+        return fn
+
+    def eq9_fn(aware: bool):
+        @tfsim.function(aware=aware)
+        def fn(a, b, c):
+            return a @ b + a @ c
+
+        return fn
+
+    def eq10_fn(aware: bool):
+        @tfsim.function(aware=aware)
+        def fn(a, h, x):
+            return (a - tfsim.transpose(h) @ h) @ x
+
+        return fn
+
+    def partial_fn(aware: bool):
+        @tfsim.function(aware=aware)
+        def fn(a, b):
+            return (a @ b)[2, 2]
+
+        return fn
+
+    def ortho_fn(aware: bool):
+        @tfsim.function(aware=aware)
+        def fn(q, a):
+            return tfsim.transpose(q) @ q @ a
+
+        return fn
+
+    w = Workloads(n)
+    return [
+        ("chain HᵀHx", chain_fn, [w.general(0), w.vector(0)]),
+        ("chain HᵀyxᵀH", mixed_fn, [w.general(0), w.vector(0), w.vector(1)]),
+        ("triangular LB", trmm_fn, [w.lower_triangular(), w.general(1)]),
+        ("gram AAᵀ", syrk_fn, [w.general(0)]),
+        ("tridiagonal TB", tridiag_fn, [w.tridiagonal(), w.general(1)]),
+        ("diagonal DB", diag_fn, [w.diagonal(), w.general(1)]),
+        ("distributivity AB+AC", eq9_fn, [w.general(0), w.general(1), w.general(2)]),
+        ("distributivity (A−HᵀH)x", eq10_fn, [w.general(0), w.general(3), w.vector(0)]),
+        ("partial (AB)[2,2]", partial_fn, [w.general(0), w.general(1)]),
+        ("orthogonal QᵀQA", ortho_fn, [w.orthogonal(), w.general(1)]),
+    ]
+
+
+@register_experiment(
+    "ablation",
+    "extension",
+    "default vs aware optimization pipeline on every negative-finding expression",
+)
+def run(n: int | None = None, repetitions: int | None = None) -> ExperimentTable:
+    n = experiment_size(n)
+    table = ExperimentTable(
+        title=f"Ablation: default vs aware pipeline (tfsim), n = {n}",
+        columns=["default (s)", "aware (s)", "speedup", "FLOPs default", "FLOPs aware"],
+    )
+    for label, builder, args in _cases(n):
+        default_fn = builder(False)
+        aware_fn = builder(True)
+        td = time_compiled(default_fn, args, label="default",
+                           repetitions=repetitions)
+        ta = time_compiled(aware_fn, args, label="aware",
+                           repetitions=repetitions)
+        fd = default_fn.last_report.total_flops
+        fa = aware_fn.last_report.total_flops
+        table.add_row(
+            label,
+            default__s_=td.best,
+            aware__s_=ta.best,
+            speedup=Cell(text=f"{td.best / max(ta.best, 1e-9):.1f}x"),
+            FLOPs_default=Cell(text=f"{fd:,}"),
+            FLOPs_aware=Cell(text=f"{fa:,}"),
+        )
+    table.notes.append(
+        "aware pipeline = default + chain reordering, property dispatch, "
+        "distributivity, partial-access (repro.passes.aware_pipeline)"
+    )
+    return table

@@ -1,0 +1,130 @@
+"""``laab`` — command-line entry point for the benchmark suite.
+
+Examples::
+
+    laab list                       # show available experiments
+    laab run all                    # every table and figure, default size
+    laab run exp2 --n 2000          # one experiment at a custom size
+    laab run all --paper-scale      # n = 3000 like the paper (slow)
+    laab run exp3 --json out.json   # machine-readable results
+    laab graphs                     # print Fig. 3 / Fig. 4 DAGs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..config import config, limit_threads
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="laab",
+        description="Linear-Algebra-Awareness Benchmarks (IPDPSW'22 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one experiment or 'all'")
+    run.add_argument("experiment", help="experiment name or 'all'")
+    run.add_argument("--n", type=int, default=None, help="problem size")
+    run.add_argument("--reps", type=int, default=None, help="timed repetitions")
+    run.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's n = 3000 (overrides --n)",
+    )
+    run.add_argument("--threads", type=int, default=1,
+                     help="BLAS threads (paper: 1)")
+    run.add_argument("--json", default=None, help="also write results as JSON")
+    run.add_argument("--markdown", default=None,
+                     help="also write results as markdown")
+
+    sub.add_parser("list", help="list experiments")
+    graphs = sub.add_parser("graphs",
+                            help="print the Fig. 3 / Fig. 4 computational graphs")
+    graphs.add_argument("--n", type=int, default=128)
+    return parser
+
+
+def _cmd_list() -> int:
+    from ..bench.registry import EXPERIMENTS
+
+    width = max(len(k) for k in EXPERIMENTS)
+    for name, info in sorted(EXPERIMENTS.items()):
+        print(f"{name.ljust(width)}  {info.paper_artifact:<10}  {info.description}")
+    return 0
+
+
+def _cmd_graphs(n: int) -> int:
+    from ..frameworks import tfsim
+    from ..ir.pretty import render_graph
+    from ..tensor import random_general
+
+    a = random_general(n, seed=1)
+    b = random_general(n, seed=2)
+
+    @tfsim.function
+    def parenthesized(p, q):
+        return tfsim.transpose(tfsim.transpose(p) @ q) @ (tfsim.transpose(p) @ q)
+
+    @tfsim.function
+    def unparenthesized(p, q):
+        return tfsim.transpose(tfsim.transpose(p) @ q) @ tfsim.transpose(p) @ q
+
+    print(render_graph(parenthesized.initial_graph(a, b),
+                       title="Fig. 3 initial: (AᵀB)ᵀ(AᵀB)"))
+    print()
+    print(render_graph(parenthesized.optimized_graph(a, b),
+                       title="Fig. 3 optimized: (AᵀB)ᵀ(AᵀB)"))
+    print()
+    print(render_graph(unparenthesized.optimized_graph(a, b),
+                       title="Fig. 4: (AᵀB)ᵀAᵀB (no duplicates -> no CSE)"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    limit_threads(args.threads)
+    # Experiments import numpy transitively; registration happens here so
+    # limit_threads above is set before any BLAS pool spins up.
+    from .. import experiments  # noqa: F401
+    from ..bench.registry import EXPERIMENTS, get_experiment
+
+    n = 3000 if args.paper_scale else args.n
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    tables = []
+    for name in names:
+        info = get_experiment(name)
+        print(f"\n>>> {info.name} ({info.paper_artifact}): {info.description}")
+        table = info.fn(n=n, repetitions=args.reps)
+        tables.append(table)
+        print(table.render())
+    if args.json:
+        import json
+
+        payload = [json.loads(t.to_json()) for t in tables]
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"\nwrote {args.json}")
+    if args.markdown:
+        with open(args.markdown, "w") as fh:
+            fh.write("\n\n".join(t.to_markdown() for t in tables))
+        print(f"wrote {args.markdown}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        from .. import experiments  # noqa: F401
+
+        return _cmd_list()
+    if args.command == "graphs":
+        return _cmd_graphs(args.n)
+    if args.command == "run":
+        return _cmd_run(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

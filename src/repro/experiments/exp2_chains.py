@@ -1,0 +1,140 @@
+"""Experiment 2 (Table III) — Optimization of Matrix Chains.
+
+Three chains whose optimal association differs (paper Eq. 5-7):
+
+* ``HᵀHx``    — optimal right-to-left ``Hᵀ(Hx)``: O(n²);
+* ``yᵀHᵀH``   — optimal left-to-right ``(yᵀHᵀ)H``: O(n²) (and the default!);
+* ``HᵀyxᵀH``  — optimal mixed ``(Hᵀy)(xᵀH)``: O(n²).
+
+For each: unparenthesized ``matmul`` in both frameworks (expected:
+left-to-right regardless of cost), the explicitly parenthesized optimum,
+and PyTorch's ``multi_dot`` (expected: matches the optimum).
+"""
+
+from __future__ import annotations
+
+from ..bench.registry import register_experiment
+from ..bench.reporting import Cell, ExperimentTable
+from ..frameworks import pytsim, tfsim
+from ._measure import time_compiled
+from .sizes import experiment_size
+from .workloads import Workloads
+
+
+def _chain_functions():
+    """Rows: (label, tf_fn, pyt_fn, multi_dot_args_builder | None)."""
+
+    # -- right-to-left optimal: HᵀHx --------------------------------------------
+    @tfsim.function
+    def tf_rl(h, x):
+        return tfsim.transpose(h) @ h @ x
+
+    @pytsim.jit.script
+    def pyt_rl(h, x):
+        return h.T @ h @ x
+
+    @tfsim.function
+    def tf_rl_opt(h, x):
+        return tfsim.transpose(h) @ (h @ x)
+
+    @pytsim.jit.script
+    def pyt_rl_opt(h, x):
+        return h.T @ (h @ x)
+
+    # -- left-to-right optimal: yᵀHᵀH ---------------------------------------------
+    @tfsim.function
+    def tf_lr(h, y):
+        return tfsim.transpose(y) @ tfsim.transpose(h) @ h
+
+    @pytsim.jit.script
+    def pyt_lr(h, y):
+        return y.T @ h.T @ h
+
+    @tfsim.function
+    def tf_lr_opt(h, y):
+        return (tfsim.transpose(y) @ tfsim.transpose(h)) @ h
+
+    @pytsim.jit.script
+    def pyt_lr_opt(h, y):
+        return (y.T @ h.T) @ h
+
+    # -- mixed optimal: HᵀyxᵀH -----------------------------------------------------
+    @tfsim.function
+    def tf_mixed(h, x, y):
+        return tfsim.transpose(h) @ y @ tfsim.transpose(x) @ h
+
+    @pytsim.jit.script
+    def pyt_mixed(h, x, y):
+        return h.T @ y @ x.T @ h
+
+    @tfsim.function
+    def tf_mixed_opt(h, x, y):
+        return (tfsim.transpose(h) @ y) @ (tfsim.transpose(x) @ h)
+
+    @pytsim.jit.script
+    def pyt_mixed_opt(h, x, y):
+        return (h.T @ y) @ (x.T @ h)
+
+    return [
+        ("HᵀHx", tf_rl, pyt_rl, "rl"),
+        ("Hᵀ(Hx)", tf_rl_opt, pyt_rl_opt, None),
+        ("yᵀHᵀH", tf_lr, pyt_lr, "lr"),
+        ("(yᵀHᵀ)H", tf_lr_opt, pyt_lr_opt, None),
+        ("HᵀyxᵀH", tf_mixed, pyt_mixed, "mixed"),
+        ("(Hᵀy)(xᵀH)", tf_mixed_opt, pyt_mixed_opt, None),
+    ]
+
+
+@register_experiment(
+    "exp2",
+    "Table III",
+    "matrix-chain parenthesization: matmul default order vs optimum vs multi_dot",
+)
+def run(n: int | None = None, repetitions: int | None = None) -> ExperimentTable:
+    n = experiment_size(n)
+    w = Workloads(n)
+    h = w.general(0)
+    x = w.vector(0)
+    y = w.vector(1)
+
+    table = ExperimentTable(
+        title=f"Table III: matrix chains, execution time (s), n = {n}",
+        columns=["TF matmul", "PyT matmul", "PyT multi_dot"],
+    )
+
+    # multi_dot closures per chain kind (eager, like the paper's usage)
+    def md_rl():
+        return pytsim.linalg.multi_dot([h.T, h, x])
+
+    def md_lr():
+        return pytsim.linalg.multi_dot([y.T, h.T, h])
+
+    def md_mixed():
+        return pytsim.linalg.multi_dot([h.T, y, x.T, h])
+
+    multi_dots = {"rl": md_rl, "lr": md_lr, "mixed": md_mixed}
+
+    for label, tf_fn, pyt_fn, md_kind in _chain_functions():
+        args = [h, x] if "y" not in label else ([h, y] if "x" not in label else [h, x, y])
+        tf_t = time_compiled(tf_fn, args, label="tf", repetitions=repetitions)
+        pyt_t = time_compiled(pyt_fn, args, label="pyt", repetitions=repetitions)
+        if md_kind is not None:
+            from ..bench.timing import measure
+
+            md_t = measure(multi_dots[md_kind], label="multi_dot",
+                           repetitions=repetitions)
+            md_cell: Cell | float = md_t.best
+        else:
+            md_cell = Cell(text="–")
+        table.add_row(
+            label,
+            TF_matmul=tf_t.best,
+            PyT_matmul=pyt_t.best,
+            PyT_multi_dot=md_cell,
+        )
+    table.notes.append(
+        "expected shape: HᵀHx and HᵀyxᵀH unparenthesized ≫ their optima "
+        "(default is left-to-right); yᵀHᵀH unparenthesized ≈ optimum; "
+        "multi_dot ≈ optimum everywhere"
+    )
+    return table

@@ -1,0 +1,138 @@
+"""Experiment 4 (Table V) — Algebraic Manipulation.
+
+Three equations, LHS and RHS measured separately in graph mode; the
+expectation is that LHS and RHS times differ (the frameworks do *not*
+rewrite across the equality):
+
+* Eq. 9:  ``AB + AC  =  A(B + C)``      — RHS saves a whole GEMM (≈ 2×);
+* Eq. 10: ``Ax − Hᵀ(Hx)  =  (A − HᵀH)x`` — LHS is three GEMVs, RHS has an
+  O(n³) product (≈ 40× at n = 3000);
+* Eq. 11: ``A_B B_B = [(A₁B₁); (A₂B₂)]`` — blocked structure halves the
+  FLOPs (≈ 2×).  ``A_B`` is built by explicit concatenation inside the
+  graph so the optimizer *could* see the construction.
+"""
+
+from __future__ import annotations
+
+from ..bench.registry import register_experiment
+from ..bench.reporting import ExperimentTable
+from ..frameworks import pytsim, tfsim
+from ._measure import time_compiled
+from .sizes import experiment_size
+from .workloads import Workloads
+
+
+def _functions(n: int):
+    half = n // 2
+
+    # -- Eq. 9 ------------------------------------------------------------------
+    @tfsim.function
+    def tf_eq9_lhs(a, b, c):
+        return a @ b + a @ c
+
+    @pytsim.jit.script
+    def pyt_eq9_lhs(a, b, c):
+        return a @ b + a @ c
+
+    @tfsim.function
+    def tf_eq9_rhs(a, b, c):
+        return a @ (b + c)
+
+    @pytsim.jit.script
+    def pyt_eq9_rhs(a, b, c):
+        return a @ (b + c)
+
+    # -- Eq. 10 ------------------------------------------------------------------
+    @tfsim.function
+    def tf_eq10_lhs(a, h, x):
+        return a @ x - tfsim.transpose(h) @ (h @ x)
+
+    @pytsim.jit.script
+    def pyt_eq10_lhs(a, h, x):
+        return a @ x - h.T @ (h @ x)
+
+    @tfsim.function
+    def tf_eq10_rhs(a, h, x):
+        return (a - tfsim.transpose(h) @ h) @ x
+
+    @pytsim.jit.script
+    def pyt_eq10_rhs(a, h, x):
+        return (a - h.T @ h) @ x
+
+    # -- Eq. 11 (blocked) -----------------------------------------------------------
+    @tfsim.function
+    def tf_blocked_lhs(a1, a2, b1, b2):
+        z = tfsim.zeros(half, half)
+        top = tfsim.concat([a1, z], axis=1)
+        bottom = tfsim.concat([z, a2], axis=1)
+        ab = tfsim.concat([top, bottom], axis=0)
+        bb = tfsim.concat([b1, b2], axis=0)
+        return ab @ bb
+
+    @pytsim.jit.script
+    def pyt_blocked_lhs(a1, a2, b1, b2):
+        z = pytsim.zeros(half, half)
+        top = pytsim.cat([a1, z], dim=1)
+        bottom = pytsim.cat([z, a2], dim=1)
+        ab = pytsim.cat([top, bottom], dim=0)
+        bb = pytsim.cat([b1, b2], dim=0)
+        return ab @ bb
+
+    @tfsim.function
+    def tf_blocked_rhs(a1, a2, b1, b2):
+        return tfsim.concat([a1 @ b1, a2 @ b2], axis=0)
+
+    @pytsim.jit.script
+    def pyt_blocked_rhs(a1, a2, b1, b2):
+        return pytsim.cat([a1 @ b1, a2 @ b2], dim=0)
+
+    return {
+        "eq9": (tf_eq9_lhs, tf_eq9_rhs, pyt_eq9_lhs, pyt_eq9_rhs),
+        "eq10": (tf_eq10_lhs, tf_eq10_rhs, pyt_eq10_lhs, pyt_eq10_rhs),
+        "blocked": (tf_blocked_lhs, tf_blocked_rhs, pyt_blocked_lhs,
+                    pyt_blocked_rhs),
+    }
+
+
+@register_experiment(
+    "exp4",
+    "Table V",
+    "algebraic manipulation: distributivity (Eq. 9, Eq. 10) and blocked matrices",
+)
+def run(n: int | None = None, repetitions: int | None = None) -> ExperimentTable:
+    n = experiment_size(n)
+    w = Workloads(n)
+    a, b, c = w.general(0), w.general(1), w.general(2)
+    h = w.general(3)
+    x = w.vector(0)
+    a1, a2, b1, b2 = w.blocks()
+    fns = _functions(n)
+
+    table = ExperimentTable(
+        title=f"Table V: algebraic manipulations, execution time (s), n = {n}",
+        columns=["TF LHS", "TF RHS", "PyT LHS", "PyT RHS"],
+    )
+
+    rows = [
+        ("Distributivity Eq[9]", "eq9", [a, b, c]),
+        ("Distributivity Eq[10]", "eq10", [a, h, x]),
+        ("Blocked matrices", "blocked", [a1, a2, b1, b2]),
+    ]
+    for label, key, args in rows:
+        tf_lhs, tf_rhs, pyt_lhs, pyt_rhs = fns[key]
+        t1 = time_compiled(tf_lhs, args, label="tf_lhs", repetitions=repetitions)
+        t2 = time_compiled(tf_rhs, args, label="tf_rhs", repetitions=repetitions)
+        t3 = time_compiled(pyt_lhs, args, label="pyt_lhs", repetitions=repetitions)
+        t4 = time_compiled(pyt_rhs, args, label="pyt_rhs", repetitions=repetitions)
+        table.add_row(
+            label,
+            TF_LHS=t1.best,
+            TF_RHS=t2.best,
+            PyT_LHS=t3.best,
+            PyT_RHS=t4.best,
+        )
+    table.notes.append(
+        "expected shape: Eq9 LHS ≈ 2× RHS; Eq10 RHS ≫ LHS (O(n³) vs O(n²)); "
+        "blocked LHS ≈ 2× RHS — the frameworks never cross the equalities"
+    )
+    return table

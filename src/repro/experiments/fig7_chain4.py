@@ -1,0 +1,77 @@
+"""Fig. 7 — all parenthesizations of a length-4 matrix chain.
+
+The paper's figure lists the C₃ = 5 parenthesizations of ``ABCD`` with
+their FLOP formulas.  This experiment regenerates the figure over a chain
+whose sizes make the *mixed* order ``(AB)(CD)`` optimal (the interesting
+case neither pure order finds), reporting the modelled FLOPs and the
+measured execution time of each variant, plus ``multi_dot``'s choice.
+"""
+
+from __future__ import annotations
+
+from ..bench.registry import register_experiment
+from ..bench.reporting import Cell, ExperimentTable
+from ..bench.timing import measure
+from ..chain import (
+    count_parenthesizations,
+    enumerate_parenthesizations,
+    evaluate_chain,
+    optimal_parenthesization,
+)
+from ..tensor import random_general
+from .sizes import experiment_size
+
+
+def chain_shapes(n: int) -> list[tuple[int, int]]:
+    """Shapes making (AB)(CD) optimal: a narrow waist in the middle.
+
+    A: n×n, B: n×k, C: k×n, D: n×n with k = n/50 — both pure orders drag an
+    O(n³) product along; the mixed order computes two thin products and one
+    n×k·k×n GEMM.
+    """
+    k = max(2, n // 50)
+    return [(n, n), (n, k), (k, n), (n, n)]
+
+
+@register_experiment(
+    "fig7",
+    "Fig. 7",
+    "all 5 parenthesizations of a length-4 chain: FLOPs and measured time",
+)
+def run(n: int | None = None, repetitions: int | None = None) -> ExperimentTable:
+    n = experiment_size(n)
+    shapes = chain_shapes(n)
+    names = ["A", "B", "C", "D"]
+    operands = [
+        random_general(r, c, seed=1000 + i).numpy()
+        for i, (r, c) in enumerate(shapes)
+    ]
+
+    variants = enumerate_parenthesizations(shapes, names)
+    assert len(variants) == count_parenthesizations(4) == 5
+    optimal = optimal_parenthesization(shapes)
+
+    table = ExperimentTable(
+        title=(
+            f"Fig. 7: parenthesizations of ABCD, "
+            f"shapes {'x'.join(str(s[0]) for s in shapes)}x{shapes[-1][1]}"
+        ),
+        columns=["FLOPs", "measured (s)", "optimal?"],
+    )
+    for var in variants:
+        sample = measure(
+            lambda tree=var.tree: evaluate_chain(operands, tree),
+            label=var.expression,
+            repetitions=repetitions,
+        )
+        table.add_row(
+            var.expression,
+            FLOPs=Cell(text=f"{var.flops:,}"),
+            measured__s_=sample.best,
+            optimal_=Cell(text="← DP choice" if var.tree == optimal.tree else ""),
+        )
+    table.notes.append(
+        f"DP optimum: {optimal.describe(names)} with {optimal.flops:,} FLOPs; "
+        "expected shape: measured time ranks consistently with the FLOP column"
+    )
+    return table

@@ -1,0 +1,30 @@
+"""Problem sizes for experiments.
+
+The paper uses n = 3000 throughout.  Default benches use the configured
+``problem_size`` (1000) so the full suite finishes in minutes anywhere; the
+CLI's ``--paper-scale`` switch restores 3000.  Ratios — the reproduction
+target — are stable across this range because all the contrasted kernels
+are O(n³)-vs-O(n²) or constant-factor separated.
+"""
+
+from __future__ import annotations
+
+from ..config import config
+from ..errors import ConfigError
+
+#: Per-experiment size floor: below this the contrasted effects drown in
+#: per-call overhead (empirically ~2 µs per kernel dispatch).
+_MIN_SIZE = 64
+
+
+def experiment_size(n: int | None = None) -> int:
+    """Resolve the effective problem size (argument wins over config)."""
+    size = config.problem_size if n is None else n
+    if size < _MIN_SIZE:
+        raise ConfigError(
+            f"problem size {size} is below the measurement floor {_MIN_SIZE}; "
+            "timings would measure dispatch overhead, not kernels"
+        )
+    if size % 2:
+        size += 1  # blocked-matrix experiment needs an even n
+    return size

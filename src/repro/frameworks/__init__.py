@@ -1,0 +1,29 @@
+"""The two simulated ML frameworks under study.
+
+``tfsim`` stands in for TensorFlow 2.7 and ``pytsim`` for PyTorch 1.10 —
+the versions the paper benchmarks.  Both share the same tensor substrate,
+IR, optimizer-pass library, and BLAS kernels; they differ exactly where the
+real frameworks differ in ways the paper measures:
+
+===========================  =======================  ========================
+Aspect                        tfsim (TensorFlow)       pytsim (PyTorch)
+===========================  =======================  ========================
+Graph-mode entry              ``@tfsim.function``      ``@pytsim.jit.script``
+First-call (trace) overhead   small (≈6e-4 s paper)    larger (≈2e-3 s paper)
+Opt-in tridiagonal product    ``linalg.tridiagonal_    —
+                              matmul``
+Opt-in chain solver           —                        ``linalg.multi_dot``
+===========================  =======================  ========================
+
+Neither framework's default pipeline performs chain reordering, property
+dispatch, distributivity, or partial-access rewrites — the paper's central
+negative findings.  Both accept an ``aware=True`` escape hatch on their
+graph-mode decorators to run the extended pipeline, powering the ablation
+benchmarks.
+"""
+
+from . import tfsim
+from . import pytsim
+from .common import CompiledFunction, FrameworkProfile
+
+__all__ = ["tfsim", "pytsim", "CompiledFunction", "FrameworkProfile"]

@@ -1,0 +1,156 @@
+"""Machinery shared by the simulated frameworks.
+
+The central class is :class:`CompiledFunction` — what ``@tfsim.function``
+and ``@pytsim.jit.script`` return.  It implements the trace-once /
+execute-many contract of the real decorators:
+
+* the first call with a new *input signature* (shapes, dtypes, property
+  annotations) traces the Python function into a graph, runs the
+  framework's optimization pipeline, and caches the result;
+* subsequent calls execute the cached optimized graph directly;
+* trace/optimize time is recorded separately (``last_trace_seconds``) — the
+  analogue of the paper's footnote-4 decorator overheads, which its
+  measurements exclude.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from ..errors import TracingError
+from ..ir.graph import Graph
+from ..ir.interpreter import ExecutionReport, Interpreter
+from ..ir.tracing import trace
+from ..passes import PassPipeline, aware_pipeline, default_pipeline
+from ..tensor.tensor import Tensor
+
+
+@dataclasses.dataclass(frozen=True)
+class FrameworkProfile:
+    """Identity and knobs of one simulated framework."""
+
+    name: str
+    #: The decorator overhead the paper reports (seconds); informational —
+    #: the simulator's real overhead is the measured trace time.
+    paper_decorator_overhead_s: float
+    pipeline_factory: Callable[[], PassPipeline]
+    aware_pipeline_factory: Callable[[], PassPipeline]
+
+
+TF_PROFILE = FrameworkProfile(
+    name="tfsim",
+    paper_decorator_overhead_s=6e-4,
+    pipeline_factory=default_pipeline,
+    aware_pipeline_factory=aware_pipeline,
+)
+
+PYT_PROFILE = FrameworkProfile(
+    name="pytsim",
+    paper_decorator_overhead_s=2e-3,
+    pipeline_factory=default_pipeline,
+    aware_pipeline_factory=aware_pipeline,
+)
+
+
+def _signature(args: Sequence[Tensor]) -> tuple:
+    sig = []
+    for a in args:
+        if not isinstance(a, Tensor):
+            raise TracingError(
+                f"compiled functions take Tensor arguments, got {type(a).__name__}"
+            )
+        sig.append((a.shape, str(a.dtype), frozenset(a.props)))
+    return tuple(sig)
+
+
+@dataclasses.dataclass
+class ConcreteFunction:
+    """One traced+optimized specialization of a compiled function."""
+
+    graph: Graph
+    optimized: Graph
+    trace_seconds: float
+    pipeline_log: str
+
+
+class CompiledFunction:
+    """Graph-mode wrapper around a Python callable (see module docstring)."""
+
+    def __init__(
+        self,
+        fn: Callable,
+        profile: FrameworkProfile,
+        *,
+        aware: bool = False,
+    ) -> None:
+        self._fn = fn
+        self.profile = profile
+        self.aware = aware
+        self._cache: dict[tuple, ConcreteFunction] = {}
+        self.trace_count = 0
+        self.last_trace_seconds = 0.0
+        self.last_report: ExecutionReport | None = None
+        self.__doc__ = fn.__doc__
+        self.__name__ = getattr(fn, "__name__", "compiled_fn")
+
+    # -- tracing ---------------------------------------------------------------
+
+    def get_concrete(self, *args: Tensor) -> ConcreteFunction:
+        """Trace/optimize for this signature (cached); does not execute."""
+        sig = _signature(args)
+        hit = self._cache.get(sig)
+        if hit is not None:
+            return hit
+        start = time.perf_counter()
+        graph = trace(self._fn, list(args))
+        factory = (
+            self.profile.aware_pipeline_factory
+            if self.aware
+            else self.profile.pipeline_factory
+        )
+        pipeline = factory()
+        optimized = pipeline.run(graph)
+        elapsed = time.perf_counter() - start
+        concrete = ConcreteFunction(
+            graph=graph,
+            optimized=optimized,
+            trace_seconds=elapsed,
+            pipeline_log=pipeline.describe(),
+        )
+        self._cache[sig] = concrete
+        self.trace_count += 1
+        self.last_trace_seconds = elapsed
+        return concrete
+
+    # -- execution ---------------------------------------------------------------
+
+    def __call__(self, *args: Tensor):
+        concrete = self.get_concrete(*args)
+        interp = Interpreter(record=True)
+        outputs, report = interp.run(concrete.optimized, [a.data for a in args])
+        self.last_report = report
+        tensors = [Tensor(np.ascontiguousarray(o)) for o in outputs]
+        if len(tensors) == 1:
+            return tensors[0]
+        return tuple(tensors)
+
+    # -- introspection -------------------------------------------------------------
+
+    def initial_graph(self, *args: Tensor) -> Graph:
+        """The pre-optimization DAG (the paper's Fig. 3 left side)."""
+        return self.get_concrete(*args).graph
+
+    def optimized_graph(self, *args: Tensor) -> Graph:
+        """The post-optimization DAG (the paper's Fig. 3 right side)."""
+        return self.get_concrete(*args).optimized
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "aware" if self.aware else "default"
+        return (
+            f"<CompiledFunction {self.__name__} [{self.profile.name}/{mode}] "
+            f"traces={self.trace_count}>"
+        )

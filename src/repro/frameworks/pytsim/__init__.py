@@ -1,0 +1,47 @@
+"""pytsim — the PyTorch stand-in.
+
+Public API mirrors the PyTorch surface the paper's benchmark code touches:
+
+* ``pytsim.jit.script`` — the graph-mode decorator (``@torch.jit.script``);
+* ``pytsim.tensor`` / ``eye`` / ``zeros`` / ``ones`` — tensor creation;
+* ``pytsim.matmul`` / ``t`` / ``add`` / ``sub`` / ``mul`` / ``neg`` /
+  ``cat`` — eager-or-traced ops (operators work too);
+* ``pytsim.linalg.multi_dot`` — the chain solver the paper points users to
+  (Fig. 5): solves the matrix-chain problem by dynamic programming and
+  evaluates in the minimum-FLOP order.
+
+pytsim has **no** ``tridiagonal_matmul`` — matching the paper's Table IV
+("n.a." in the PyT optimized column).
+"""
+
+from . import jit
+from . import linalg
+from .tensor_api import (
+    add,
+    cat,
+    eye,
+    matmul,
+    mul,
+    neg,
+    ones,
+    sub,
+    t,
+    tensor,
+    zeros,
+)
+
+__all__ = [
+    "jit",
+    "linalg",
+    "tensor",
+    "eye",
+    "zeros",
+    "ones",
+    "matmul",
+    "t",
+    "add",
+    "sub",
+    "mul",
+    "neg",
+    "cat",
+]

@@ -1,0 +1,85 @@
+"""pytsim ops: PyTorch-flavoured names over the shared substrate."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ...errors import TracingError
+from ...ir import builder
+from ...ir.tracing import SymbolicTensor
+from ...tensor import creation
+from ...tensor.tensor import Tensor
+
+TensorLike = "Tensor | SymbolicTensor"
+
+
+def tensor(value: object, dtype: object | None = None) -> Tensor:
+    """Create an eager tensor (``torch.tensor``)."""
+    return Tensor(value, dtype=dtype)
+
+
+def eye(n: int, dtype: object | None = None) -> Tensor:
+    """Identity (``torch.eye``)."""
+    return creation.eye(n, dtype=dtype)
+
+
+def zeros(m: int, n: int | None = None, dtype: object | None = None) -> Tensor:
+    """Zeros (``torch.zeros``)."""
+    return creation.zeros(m, n, dtype=dtype)
+
+
+def ones(m: int, n: int | None = None, dtype: object | None = None) -> Tensor:
+    """Ones (``torch.ones``)."""
+    return creation.ones(m, n, dtype=dtype)
+
+
+def matmul(a: TensorLike, b: TensorLike) -> TensorLike:
+    """Matrix product (``torch.matmul`` / ``@``)."""
+    return a @ b
+
+
+def t(a: TensorLike) -> TensorLike:
+    """Transpose (``torch.t`` / ``.T``)."""
+    return a.T
+
+
+def add(a: TensorLike, b: TensorLike) -> TensorLike:
+    """Element-wise sum (``torch.add``)."""
+    return a + b
+
+
+def sub(a: TensorLike, b: TensorLike) -> TensorLike:
+    """Element-wise difference (``torch.sub``)."""
+    return a - b
+
+
+def mul(a: TensorLike, alpha: float) -> TensorLike:
+    """Scalar scaling (``torch.mul`` with a Python scalar)."""
+    return a * alpha
+
+
+def neg(a: TensorLike) -> TensorLike:
+    """Negation (``torch.neg``)."""
+    return -a
+
+
+def cat(values: Sequence[TensorLike], dim: int = 0) -> TensorLike:
+    """Concatenation (``torch.cat``)."""
+    values = list(values)
+    if not values:
+        raise TracingError("cat needs at least one value")
+    if any(isinstance(v, SymbolicTensor) for v in values):
+        nodes = []
+        for v in values:
+            if isinstance(v, SymbolicTensor):
+                nodes.append(v.node)
+            elif isinstance(v, Tensor):
+                nodes.append(builder.const(v.data))
+            else:
+                nodes.append(builder.const(np.asarray(v)))
+        return SymbolicTensor(builder.concat(nodes, axis=dim))
+    return creation.concat(
+        [v if isinstance(v, Tensor) else Tensor(v) for v in values], axis=dim
+    )

@@ -1,0 +1,56 @@
+"""tfsim — the TensorFlow stand-in.
+
+Public API mirrors the TF surface the paper's benchmark code touches:
+
+* ``tfsim.function`` — the ``@tf.function`` graph-mode decorator;
+* ``tfsim.constant`` / ``eye`` / ``zeros`` / ``ones`` — tensor creation;
+* ``tfsim.matmul`` / ``transpose`` / ``add`` / ``subtract`` / ``multiply``
+  / ``negative`` / ``concat`` — eager-or-traced ops (the ``@`` operator
+  works too);
+* ``tfsim.linalg`` — ``matmul``, ``tridiagonal_matmul`` (the opt-in
+  structured kernel of Experiment 3), ``matrix_transpose``;
+* ``tfsim.fori_loop`` — the framework-specific loop construct (the paper:
+  loops in Graph mode "have to be handled specially using framework
+  specific constructs"); Python ``for`` loops simply unroll at trace time;
+* ``tfsim.grappler`` — the graph optimizer (inspect pipelines & graphs).
+
+Everything executes on the shared BLAS substrate; in Eager mode each op
+runs immediately with no cross-op optimization, in Graph mode the traced
+DAG goes through the Grappler-analogue pipeline first.
+"""
+
+from . import grappler
+from . import linalg
+from .eager import (
+    add,
+    concat,
+    constant,
+    eye,
+    fori_loop,
+    matmul,
+    multiply,
+    negative,
+    ones,
+    subtract,
+    transpose,
+    zeros,
+)
+from .function import function
+
+__all__ = [
+    "function",
+    "constant",
+    "eye",
+    "zeros",
+    "ones",
+    "matmul",
+    "transpose",
+    "add",
+    "subtract",
+    "multiply",
+    "negative",
+    "concat",
+    "fori_loop",
+    "linalg",
+    "grappler",
+]

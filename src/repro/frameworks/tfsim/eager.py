@@ -1,0 +1,127 @@
+"""tfsim ops: each function works eagerly on Tensors and symbolically under
+tracing — the same polymorphism that lets real TF code run in both modes
+unchanged (the property the paper's Fig. 2 code relies on)."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from ...errors import TracingError
+from ...ir import builder
+from ...ir.tracing import SymbolicTensor, trace_loop
+from ...tensor import creation
+from ...tensor.tensor import Tensor
+
+TensorLike = "Tensor | SymbolicTensor"
+
+
+def constant(value: object, dtype: object | None = None) -> Tensor:
+    """Create an eager tensor (``tf.constant``)."""
+    return Tensor(value, dtype=dtype)
+
+
+def eye(n: int, dtype: object | None = None) -> Tensor:
+    """Identity tensor (``tf.eye``), annotated IDENTITY."""
+    return creation.eye(n, dtype=dtype)
+
+
+def zeros(m: int, n: int | None = None, dtype: object | None = None) -> Tensor:
+    """Zero tensor (``tf.zeros``), annotated ZERO."""
+    return creation.zeros(m, n, dtype=dtype)
+
+
+def ones(m: int, n: int | None = None, dtype: object | None = None) -> Tensor:
+    """All-ones tensor (``tf.ones``)."""
+    return creation.ones(m, n, dtype=dtype)
+
+
+def matmul(a: TensorLike, b: TensorLike) -> TensorLike:
+    """Matrix product (``tf.matmul`` / the ``@`` operator)."""
+    return a @ b
+
+
+def transpose(a: TensorLike) -> TensorLike:
+    """Transpose (``tf.transpose``)."""
+    return a.T
+
+
+def add(a: TensorLike, b: TensorLike) -> TensorLike:
+    """Element-wise sum (``tf.add`` / ``+``)."""
+    return a + b
+
+
+def subtract(a: TensorLike, b: TensorLike) -> TensorLike:
+    """Element-wise difference (``tf.subtract`` / ``-``)."""
+    return a - b
+
+
+def multiply(a: TensorLike, alpha: float) -> TensorLike:
+    """Scalar scaling (``tf.multiply`` with a Python scalar)."""
+    return a * alpha
+
+
+def negative(a: TensorLike) -> TensorLike:
+    """Element-wise negation (``tf.negative``)."""
+    return -a
+
+
+def concat(values: Sequence[TensorLike], axis: int = 0) -> TensorLike:
+    """Concatenation (``tf.concat``).
+
+    This is the op Experiment 4 uses to build the blocked matrix *inside*
+    the computational graph, so the construction is visible to the
+    optimizer (which still fails to exploit it — the paper's finding).
+    """
+    values = list(values)
+    if not values:
+        raise TracingError("concat needs at least one value")
+    if any(isinstance(v, SymbolicTensor) for v in values):
+        nodes = []
+        for v in values:
+            if isinstance(v, SymbolicTensor):
+                nodes.append(v.node)
+            elif isinstance(v, Tensor):
+                nodes.append(builder.const(v.data))
+            else:
+                nodes.append(builder.const(np.asarray(v)))
+        return SymbolicTensor(builder.concat(nodes, axis=axis))
+    return creation.concat([v if isinstance(v, Tensor) else Tensor(v) for v in values],
+                           axis=axis)
+
+
+def fori_loop(
+    trip_count: int,
+    body: Callable,
+    init: TensorLike,
+    captured: Sequence[TensorLike] = (),
+) -> TensorLike:
+    """Counted loop with one carried value (``tf.while_loop`` analogue).
+
+    ``body(i, carried, *captured) -> carried'``.  Under tracing this emits
+    a single ``loop`` node whose rolled body is optimized by the LICM pass;
+    eagerly it just runs the Python loop.
+    """
+    symbolic = isinstance(init, SymbolicTensor) or any(
+        isinstance(c, SymbolicTensor) for c in captured
+    )
+    if symbolic:
+        if isinstance(init, Tensor):
+            init = SymbolicTensor(builder.const(init.data), init.props)
+        sym_captured = []
+        for c in captured:
+            if isinstance(c, SymbolicTensor):
+                sym_captured.append(c)
+            elif isinstance(c, Tensor):
+                sym_captured.append(SymbolicTensor(builder.const(c.data), c.props))
+            else:
+                raise TracingError(
+                    f"captured value must be tensor-like, got {type(c).__name__}"
+                )
+        return trace_loop(body, init, sym_captured, trip_count=trip_count)
+    carried = init
+    for i in range(trip_count):
+        carried = body(Tensor(np.array([[float(i)]], dtype=str(init.dtype))),
+                       carried, *captured)
+    return carried

@@ -1,0 +1,28 @@
+"""tfsim's graph optimizer — the Grappler analogue.
+
+Thin façade over :mod:`repro.passes` that exposes the same pipelines
+``@tfsim.function`` uses, for direct experimentation on graphs (e.g. to
+regenerate Fig. 3's before/after comparison without running anything).
+"""
+
+from __future__ import annotations
+
+from ...ir.graph import Graph
+from ...passes import PassPipeline, aware_pipeline, default_pipeline
+
+
+def pipeline(*, aware: bool = False) -> PassPipeline:
+    """The optimization pipeline graph mode runs (optionally the aware one)."""
+    return aware_pipeline() if aware else default_pipeline()
+
+
+def optimize(graph: Graph, *, aware: bool = False) -> Graph:
+    """Run the (default or aware) pipeline over ``graph``."""
+    return pipeline(aware=aware).run(graph)
+
+
+def optimization_report(graph: Graph, *, aware: bool = False) -> str:
+    """Optimize and return the per-pass node-count log."""
+    p = pipeline(aware=aware)
+    p.run(graph)
+    return p.describe()

@@ -1,0 +1,70 @@
+"""Expression IR: the computational-graph layer of the simulated frameworks.
+
+Both ``tfsim`` and ``pytsim`` lower user code to this IR — a directed
+acyclic graph of :class:`~repro.ir.node.Node` objects (Fig. 3/4 of the
+paper) — then run their optimization pipelines over it and execute it with
+the :mod:`~repro.ir.interpreter` on top of the BLAS substrate.
+
+Layout
+------
+``node``        Node objects (immutable, shape/dtype-inferred on build).
+``ops``         Op registry: shape/dtype inference + arity validation.
+``graph``       Graph container: outputs, topological order, rebuilds.
+``builder``     Functional constructors (``matmul(a, b)``, ...).
+``tracing``     SymbolicTensor + ``trace()``: Python callables → Graph.
+``interpreter`` Reference executor with kernel/FLOP accounting.
+``pretty``      Text / DOT rendering (regenerates Fig. 3 and Fig. 4).
+``validate``    Structural well-formedness checks.
+"""
+
+from .node import Node
+from .ops import OP_REGISTRY, OpSpec
+from .graph import Graph
+from .builder import (
+    add,
+    concat,
+    const,
+    dot,
+    input_node,
+    loop,
+    matmul,
+    neg,
+    scale,
+    slice_,
+    sub,
+    transpose,
+    tridiagonal_matmul,
+)
+from .tracing import SymbolicTensor, trace
+from .interpreter import ExecutionReport, Interpreter, run_graph
+from .pretty import graph_to_dot, render_graph, summarize_graph
+from .validate import validate_graph
+
+__all__ = [
+    "Node",
+    "OpSpec",
+    "OP_REGISTRY",
+    "Graph",
+    "input_node",
+    "const",
+    "matmul",
+    "transpose",
+    "add",
+    "sub",
+    "neg",
+    "scale",
+    "dot",
+    "slice_",
+    "concat",
+    "tridiagonal_matmul",
+    "loop",
+    "SymbolicTensor",
+    "trace",
+    "Interpreter",
+    "ExecutionReport",
+    "run_graph",
+    "render_graph",
+    "summarize_graph",
+    "graph_to_dot",
+    "validate_graph",
+]

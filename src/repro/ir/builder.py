@@ -1,0 +1,145 @@
+"""Functional node constructors.
+
+These are the only sanctioned way to build nodes outside of passes; they
+normalize attributes (slice selectors, transpose flags) so that structurally
+equal computations produce structurally equal nodes — a precondition for
+CSE to work at all.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..errors import GraphError
+from ..tensor.properties import PropertySet
+from .graph import Graph
+from .node import Node
+
+
+def input_node(
+    shape: tuple[int, int],
+    dtype: object = "float32",
+    *,
+    name: str | None = None,
+    index: int | None = None,
+    props: PropertySet | None = None,
+) -> Node:
+    """A graph input placeholder.
+
+    ``props`` carries optional property annotations picked up by the
+    property-inference pass; ``index`` records the positional argument the
+    tracer bound this input to.
+    """
+    attrs: dict[str, Any] = {"shape": tuple(shape), "dtype": str(np.dtype(dtype))}
+    if index is not None:
+        attrs["index"] = index
+    if props is not None:
+        attrs["props"] = frozenset(props)
+    return Node("input", (), attrs, name=name)
+
+
+def const(value: np.ndarray, *, name: str | None = None) -> Node:
+    """An embedded constant (normalized to 2-D)."""
+    arr = np.asarray(value)
+    if arr.ndim == 0:
+        arr = arr.reshape(1, 1)
+    elif arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    return Node("const", (), {"value": arr}, name=name)
+
+
+def matmul(
+    a: Node,
+    b: Node,
+    *,
+    trans_a: bool = False,
+    trans_b: bool = False,
+    kernel: str | None = None,
+) -> Node:
+    """Matrix product node; transpose flags map onto BLAS TRANSA/TRANSB."""
+    attrs: dict[str, Any] = {"trans_a": bool(trans_a), "trans_b": bool(trans_b)}
+    if kernel is not None:
+        attrs["kernel"] = kernel
+    return Node("matmul", (a, b), attrs)
+
+
+def transpose(a: Node) -> Node:
+    return Node("transpose", (a,))
+
+
+def add(a: Node, b: Node) -> Node:
+    return Node("add", (a, b))
+
+
+def sub(a: Node, b: Node) -> Node:
+    return Node("sub", (a, b))
+
+
+def neg(a: Node) -> Node:
+    return Node("neg", (a,))
+
+
+def scale(a: Node, alpha: float) -> Node:
+    return Node("scale", (a,), {"alpha": float(alpha)})
+
+
+def dot(a: Node, b: Node) -> Node:
+    return Node("dot", (a, b))
+
+
+def _normalize_selector(sel: Any) -> Any:
+    """Normalize a python index/slice into the IR's selector encoding."""
+    if sel is None:
+        return None
+    if isinstance(sel, (int, np.integer)):
+        return int(sel)
+    if isinstance(sel, slice):
+        if sel.step not in (None, 1):
+            raise GraphError("strided slices are not supported in the IR")
+        if sel.start is None and sel.stop is None:
+            return None
+        return (sel.start, sel.stop)
+    if isinstance(sel, tuple) and len(sel) == 2:
+        return (sel[0], sel[1])
+    raise GraphError(f"unsupported slice selector {sel!r}")
+
+
+def slice_(a: Node, rows: Any = None, cols: Any = None) -> Node:
+    """Rectangular sub-block; ``rows``/``cols`` are ints, (start, stop)
+    pairs, python slices, or None (take all)."""
+    return Node(
+        "slice",
+        (a,),
+        {"rows": _normalize_selector(rows), "cols": _normalize_selector(cols)},
+    )
+
+
+def concat(nodes: list[Node] | tuple[Node, ...], *, axis: int = 0) -> Node:
+    return Node("concat", tuple(nodes), {"axis": int(axis)})
+
+
+def tridiagonal_matmul(t: Node, b: Node) -> Node:
+    """TF's opt-in banded product (Sec. III-C)."""
+    return Node("tridiagonal_matmul", (t, b))
+
+
+def loop(
+    body: Graph,
+    init: Node,
+    captured: list[Node] | tuple[Node, ...] = (),
+    *,
+    trip_count: int,
+) -> Node:
+    """A counted loop carrying one value.
+
+    ``body`` must have inputs ``[idx, carried, *captured]`` (idx is a 1×1
+    tensor holding the float iteration number) and exactly one output of the
+    carried shape.
+    """
+    return Node(
+        "loop",
+        (init, *captured),
+        {"body": body, "trip_count": int(trip_count)},
+    )

@@ -1,0 +1,132 @@
+"""IR nodes.
+
+A :class:`Node` is an immutable record ``(op, inputs, attrs)`` plus the
+inferred ``shape`` and ``dtype``.  Identity is object identity — two nodes
+with identical structure are *different* nodes until the CSE pass merges
+them (that distinction is precisely what Fig. 3 of the paper illustrates:
+the initial graph contains two structurally identical ``matmul`` nodes).
+
+Attrs are stored as a plain dict but must contain only hashable values
+(ndarray constants are keyed by content digest via :meth:`attrs_key`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+import numpy as np
+
+from ..errors import GraphError
+
+_ids = itertools.count()
+
+
+class Node:
+    """One operation in the computational graph.
+
+    Parameters
+    ----------
+    op:
+        Op name; must be registered in :data:`repro.ir.ops.OP_REGISTRY`.
+    inputs:
+        Producer nodes, in positional order.
+    attrs:
+        Op-specific attributes (e.g. ``trans_a`` for matmul, ``alpha`` for
+        scale, the ndarray ``value`` for const).
+    shape / dtype:
+        Normally inferred by the op registry; pass explicitly only from
+        :mod:`repro.ir.ops` itself.
+    """
+
+    __slots__ = ("op", "inputs", "attrs", "shape", "dtype", "uid", "name")
+
+    def __init__(
+        self,
+        op: str,
+        inputs: tuple["Node", ...] = (),
+        attrs: dict[str, Any] | None = None,
+        *,
+        shape: tuple[int, int] | None = None,
+        dtype: np.dtype | None = None,
+        name: str | None = None,
+    ) -> None:
+        from .ops import OP_REGISTRY  # local import to avoid cycle
+
+        try:
+            spec = OP_REGISTRY[op]
+        except KeyError:
+            raise GraphError(f"unknown op {op!r}") from None
+        attrs = dict(attrs or {})
+        inputs = tuple(inputs)
+        for i, inp in enumerate(inputs):
+            if not isinstance(inp, Node):
+                raise GraphError(
+                    f"{op}: input {i} is {type(inp).__name__}, expected Node"
+                )
+        spec.validate(inputs, attrs)
+        if shape is None or dtype is None:
+            inferred_shape, inferred_dtype = spec.infer(inputs, attrs)
+            shape = inferred_shape if shape is None else shape
+            dtype = inferred_dtype if dtype is None else dtype
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "inputs", inputs)
+        object.__setattr__(self, "attrs", attrs)
+        object.__setattr__(self, "shape", tuple(shape))
+        object.__setattr__(self, "dtype", np.dtype(dtype))
+        object.__setattr__(self, "uid", next(_ids))
+        object.__setattr__(self, "name", name or f"{op}_{self.uid}")
+
+    def __setattr__(self, key: str, value: Any) -> None:  # pragma: no cover
+        raise AttributeError("Node is immutable; build a new node instead")
+
+    # -- structural keys -----------------------------------------------------
+
+    def attrs_key(self) -> tuple:
+        """Canonical hashable form of the attrs (for CSE keys).
+
+        ndarray values are replaced by ``(shape, dtype, sha1-of-bytes)``;
+        frozensets and primitives pass through.
+        """
+        items = []
+        for k in sorted(self.attrs):
+            v = self.attrs[k]
+            if isinstance(v, np.ndarray):
+                import hashlib
+
+                digest = hashlib.sha1(np.ascontiguousarray(v).tobytes()).hexdigest()
+                items.append((k, ("ndarray", v.shape, str(v.dtype), digest)))
+            elif isinstance(v, (frozenset, tuple, str, int, float, bool, type(None))):
+                items.append((k, v))
+            else:
+                items.append((k, repr(v)))
+        return tuple(items)
+
+    def signature(self) -> tuple:
+        """Shallow structural key: op + attrs + *identities* of inputs.
+
+        Two nodes with equal signatures compute the same value provided
+        their inputs are already deduplicated — exactly the invariant the
+        bottom-up CSE pass maintains.
+        """
+        return (self.op, self.attrs_key(), tuple(id(i) for i in self.inputs))
+
+    # -- conveniences --------------------------------------------------------
+
+    @property
+    def is_vector(self) -> bool:
+        return 1 in self.shape
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.shape == (1, 1)
+
+    @property
+    def is_square(self) -> bool:
+        return self.shape[0] == self.shape[1]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        ins = ", ".join(i.name for i in self.inputs)
+        extra = {k: v for k, v in self.attrs.items() if not isinstance(v, np.ndarray)}
+        attr_s = f" {extra}" if extra else ""
+        return f"<{self.name}: {self.op}({ins}){attr_s} -> {self.shape} {self.dtype}>"

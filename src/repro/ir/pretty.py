@@ -1,0 +1,90 @@
+"""Rendering graphs as text and DOT — regenerates the paper's Fig. 3 and 4.
+
+The paper draws I/O as circles and math ops as rounded rectangles; the DOT
+export follows the same convention (``shape=ellipse`` vs ``shape=box,
+style=rounded``).
+"""
+
+from __future__ import annotations
+
+from .graph import Graph
+from .node import Node
+
+_IO_OPS = frozenset({"input", "const"})
+
+
+def _label(node: Node) -> str:
+    if node.op == "input":
+        return node.name.split("_t")[0] if "_t" in node.name else node.name
+    if node.op == "matmul":
+        flags = []
+        if node.attrs.get("trans_a"):
+            flags.append("Tᵃ")
+        if node.attrs.get("trans_b"):
+            flags.append("Tᵇ")
+        if node.attrs.get("kernel"):
+            flags.append(str(node.attrs["kernel"]))
+        return "matmul" + (f" [{','.join(flags)}]" if flags else "")
+    if node.op == "scale":
+        return f"scale ×{node.attrs['alpha']:g}"
+    if node.op == "slice":
+        return f"slice [{node.attrs.get('rows')},{node.attrs.get('cols')}]"
+    if node.op == "loop":
+        return f"loop ×{node.attrs['trip_count']}"
+    return node.op
+
+
+def render_graph(graph: Graph, *, title: str | None = None) -> str:
+    """Multi-line text rendering in topological order.
+
+    >>> from repro.ir import builder
+    >>> a = builder.input_node((2, 2), name="A")
+    >>> print(render_graph(Graph([builder.transpose(a)])))  # doctest: +SKIP
+    """
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    index = {id(n): i for i, n in enumerate(graph.topological())}
+    out_ids = {id(o) for o in graph.outputs}
+    for node in graph.topological():
+        ins = ", ".join(f"%{index[id(i)]}" for i in node.inputs)
+        marker = "  ->ret" if id(node) in out_ids else ""
+        lines.append(
+            f"%{index[id(node)]:<3} = {_label(node)}({ins})"
+            f"  : {node.shape[0]}x{node.shape[1]} {node.dtype}{marker}"
+        )
+    counts = graph.op_counts()
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    lines.append(f"-- {len(graph)} nodes ({summary})")
+    return "\n".join(lines)
+
+
+def summarize_graph(graph: Graph) -> dict[str, int]:
+    """Op histogram plus totals — the numbers the Fig. 3 comparison uses."""
+    out = dict(graph.op_counts())
+    out["__nodes__"] = len(graph)
+    out["__outputs__"] = len(graph.outputs)
+    return out
+
+
+def graph_to_dot(graph: Graph, *, name: str = "G") -> str:
+    """Graphviz DOT source (circles for I/O, rounded boxes for math ops)."""
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    index = {id(n): i for i, n in enumerate(graph.topological())}
+    for node in graph.topological():
+        nid = f"n{index[id(node)]}"
+        label = _label(node).replace('"', "'")
+        if node.op in _IO_OPS:
+            lines.append(f'  {nid} [label="{label}", shape=ellipse];')
+        else:
+            lines.append(f'  {nid} [label="{label}", shape=box, style=rounded];')
+    for node in graph.topological():
+        for inp in node.inputs:
+            lines.append(f"  n{index[id(inp)]} -> n{index[id(node)]};")
+    for i, out in enumerate(graph.outputs):
+        rid = f"ret{i}"
+        lines.append(f'  {rid} [label="ret", shape=ellipse];')
+        lines.append(f"  n{index[id(out)]} -> {rid};")
+    lines.append("}")
+    return "\n".join(lines)

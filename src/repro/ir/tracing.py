@@ -1,0 +1,243 @@
+"""Tracing: turning Python callables into computational graphs.
+
+This is the mechanism behind ``@tfsim.function`` and
+``@pytsim.jit.script``: the wrapped Python function is executed once with
+:class:`SymbolicTensor` arguments; every operation the Python code performs
+records a node, and the result is a :class:`~repro.ir.graph.Graph` (the
+paper's Fig. 3 "Initial Graph").
+
+Python ``for`` loops over ``range`` unroll during tracing, exactly like
+TF's autograph treats static loops — which is what makes loop-invariant
+code motion reduce to duplicate-node elimination in the DAG (Experiment 5).
+Framework-specific loop *constructs* (``tfsim.fori_loop``) instead produce
+an explicit ``loop`` node whose body is a sub-graph, which the dedicated
+LICM pass optimizes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from ..errors import TracingError
+from ..properties import algebra as prop_algebra
+from ..tensor.properties import Property, PropertySet, closure
+from ..tensor.tensor import Tensor
+from . import builder
+from .graph import Graph
+from .node import Node
+
+_trace_ids = itertools.count()
+
+
+class SymbolicTensor:
+    """A tensor-shaped placeholder that records operations as IR nodes.
+
+    Mirrors the :class:`~repro.tensor.tensor.Tensor` operator surface so
+    that the same user code runs eagerly or under tracing.  Carries a
+    property set for trace-time bookkeeping; the properties are *recorded*
+    on input nodes but not consulted by the default pipelines (matching the
+    frameworks under study).
+    """
+
+    __slots__ = ("node", "props")
+
+    def __init__(self, node: Node, props: PropertySet | None = None) -> None:
+        self.node = node
+        self.props = props if props is not None else frozenset({Property.GENERAL})
+
+    # -- metadata ------------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.node.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.node.dtype
+
+    def has(self, prop: Property) -> bool:
+        return prop in self.props
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SymbolicTensor({self.node!r})"
+
+    # -- operator surface ------------------------------------------------------
+
+    @property
+    def T(self) -> "SymbolicTensor":
+        return SymbolicTensor(
+            builder.transpose(self.node), prop_algebra.transpose_props(self.props)
+        )
+
+    def __matmul__(self, other: "SymbolicTensor") -> "SymbolicTensor":
+        other = _as_symbolic(other, like=self)
+        props = prop_algebra.matmul_props(
+            self.props,
+            other.props,
+            square_result=self.shape[0] == other.shape[1],
+        )
+        return SymbolicTensor(builder.matmul(self.node, other.node), props)
+
+    def __add__(self, other: "SymbolicTensor") -> "SymbolicTensor":
+        other = _as_symbolic(other, like=self)
+        return SymbolicTensor(
+            builder.add(self.node, other.node),
+            prop_algebra.add_props(self.props, other.props),
+        )
+
+    def __sub__(self, other: "SymbolicTensor") -> "SymbolicTensor":
+        other = _as_symbolic(other, like=self)
+        return SymbolicTensor(
+            builder.sub(self.node, other.node),
+            prop_algebra.add_props(self.props, other.props, negate_b=True),
+        )
+
+    # Reflected ops: an eager Tensor (or ndarray) on the left of a traced
+    # operand folds into the graph as a constant node.
+    def __rmatmul__(self, other: object) -> "SymbolicTensor":
+        return _as_symbolic(other, like=self).__matmul__(self)
+
+    def __radd__(self, other: object) -> "SymbolicTensor":
+        return _as_symbolic(other, like=self).__add__(self)
+
+    def __rsub__(self, other: object) -> "SymbolicTensor":
+        return _as_symbolic(other, like=self).__sub__(self)
+
+    def __neg__(self) -> "SymbolicTensor":
+        return SymbolicTensor(
+            builder.neg(self.node), prop_algebra.negate_props(self.props)
+        )
+
+    def __mul__(self, alpha: float) -> "SymbolicTensor":
+        if isinstance(alpha, SymbolicTensor):
+            raise TracingError(
+                "`*` is scalar scaling; use `@` for matrix products"
+            )
+        return SymbolicTensor(
+            builder.scale(self.node, float(alpha)),
+            prop_algebra.scale_props(self.props, float(alpha)),
+        )
+
+    __rmul__ = __mul__
+
+    def __getitem__(self, key: object) -> "SymbolicTensor":
+        rows, cols = _split_key(key)
+        node = builder.slice_(self.node, rows, cols)
+        return SymbolicTensor(
+            node, prop_algebra.slice_props(self.props, *node.shape)
+        )
+
+
+def _split_key(key: object) -> tuple[object, object]:
+    if isinstance(key, tuple):
+        if len(key) != 2:
+            raise TracingError(f"expected 2-D index, got {key!r}")
+        return key[0], key[1]
+    return key, None
+
+
+def _as_symbolic(value: object, *, like: SymbolicTensor) -> SymbolicTensor:
+    if isinstance(value, SymbolicTensor):
+        return value
+    if isinstance(value, Tensor):
+        return SymbolicTensor(builder.const(value.data), value.props)
+    if isinstance(value, np.ndarray):
+        return SymbolicTensor(builder.const(value))
+    raise TracingError(
+        f"cannot mix {type(value).__name__} into a traced expression"
+    )
+
+
+def _make_input(value: object, index: int, trace_id: int) -> SymbolicTensor:
+    if isinstance(value, Tensor):
+        node = builder.input_node(
+            value.shape,
+            value.dtype,
+            name=f"arg{index}_t{trace_id}",
+            index=index,
+            props=value.props,
+        )
+        return SymbolicTensor(node, value.props)
+    if isinstance(value, np.ndarray):
+        arr = value.reshape(-1, 1) if value.ndim == 1 else value
+        node = builder.input_node(
+            arr.shape, arr.dtype, name=f"arg{index}_t{trace_id}", index=index
+        )
+        return SymbolicTensor(node)
+    if isinstance(value, SymbolicTensor):
+        # Re-tracing with an existing placeholder (nested traces).
+        return value
+    raise TracingError(
+        f"trace arguments must be Tensor/ndarray, got {type(value).__name__}"
+    )
+
+
+def trace(fn: Callable, example_args: Sequence[object]) -> Graph:
+    """Trace ``fn`` with placeholders shaped like ``example_args``.
+
+    Returns a Graph whose inputs follow the positional argument order.
+    ``fn`` may return a SymbolicTensor or a tuple/list of them.
+    """
+    trace_id = next(_trace_ids)
+    sym_args = [_make_input(a, i, trace_id) for i, a in enumerate(example_args)]
+    result = fn(*sym_args)
+    if isinstance(result, SymbolicTensor):
+        outputs = [result.node]
+    elif isinstance(result, (tuple, list)) and result and all(
+        isinstance(r, SymbolicTensor) for r in result
+    ):
+        outputs = [r.node for r in result]
+    else:
+        raise TracingError(
+            "traced function must return SymbolicTensor(s); got "
+            f"{type(result).__name__}. (Did the function return a plain "
+            "number or numpy array, escaping the trace?)"
+        )
+    return Graph(outputs, inputs=[s.node for s in sym_args])
+
+
+def trace_loop(
+    body: Callable,
+    init: SymbolicTensor,
+    captured: Sequence[SymbolicTensor] = (),
+    *,
+    trip_count: int,
+) -> SymbolicTensor:
+    """Build an explicit ``loop`` node by tracing ``body`` into a sub-graph.
+
+    ``body(idx, carried, *captured)`` must return the next carried value.
+    ``idx`` is a 1×1 tensor holding the iteration number.  This models the
+    framework-specific loop constructs the paper mentions (``tf.while_loop``
+    etc.); Python ``for`` loops simply unroll instead.
+    """
+    trace_id = next(_trace_ids)
+    idx = SymbolicTensor(
+        builder.input_node((1, 1), init.dtype, name=f"loop_idx_t{trace_id}")
+    )
+    carried_in = SymbolicTensor(
+        builder.input_node(init.shape, init.dtype, name=f"loop_carried_t{trace_id}"),
+        init.props,
+    )
+    captured_in = [
+        SymbolicTensor(
+            builder.input_node(
+                c.shape, c.dtype, name=f"loop_cap{i}_t{trace_id}", props=c.props
+            ),
+            c.props,
+        )
+        for i, c in enumerate(captured)
+    ]
+    result = body(idx, carried_in, *captured_in)
+    if not isinstance(result, SymbolicTensor):
+        raise TracingError("loop body must return a SymbolicTensor")
+    body_graph = Graph(
+        [result.node],
+        inputs=[idx.node, carried_in.node, *(c.node for c in captured_in)],
+    )
+    node = builder.loop(
+        body_graph, init.node, [c.node for c in captured], trip_count=trip_count
+    )
+    return SymbolicTensor(node, init.props)

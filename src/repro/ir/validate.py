@@ -1,0 +1,70 @@
+"""Structural well-formedness checks for graphs.
+
+Run after every optimizer pass in debug mode: a pass that corrupts shapes,
+introduces unknown ops, or breaks loop-body signatures fails loudly here
+rather than producing silently wrong arithmetic downstream.
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+from .graph import Graph
+from .node import Node
+from .ops import OP_REGISTRY
+
+
+def validate_graph(graph: Graph, *, _depth: int = 0) -> None:
+    """Raise :class:`GraphError` if the graph is malformed.
+
+    Checks, per node:
+
+    * the op is registered and the arity matches;
+    * the recorded shape/dtype equal what inference derives from the
+      (current) inputs — catching passes that rewired inputs without
+      re-deriving metadata;
+    * loop bodies are themselves valid graphs with consistent signatures.
+
+    Also verifies global acyclicity (implied by a successful topological
+    walk over immutable nodes, but re-checked defensively) and that every
+    declared graph input is an ``input`` node.
+    """
+    if _depth > 16:
+        raise GraphError("loop nesting deeper than 16 — runaway graph?")
+    seen: set[int] = set()
+    for node in graph.topological():
+        if id(node) in seen:
+            raise GraphError(f"node {node.name} appears twice in topological order")
+        seen.add(id(node))
+        _validate_node(node, _depth)
+    for inp in graph.inputs:
+        if inp.op != "input":
+            raise GraphError(f"declared input {inp.name} has op {inp.op!r}")
+    for node in graph.topological():
+        for i in node.inputs:
+            if id(i) not in seen:
+                raise GraphError(
+                    f"node {node.name} references {i.name} outside the graph"
+                )
+
+
+def _validate_node(node: Node, depth: int) -> None:
+    spec = OP_REGISTRY.get(node.op)
+    if spec is None:
+        raise GraphError(f"unregistered op {node.op!r} on node {node.name}")
+    if spec.arity is not None and len(node.inputs) != spec.arity:
+        raise GraphError(
+            f"{node.name}: op {node.op} expects {spec.arity} inputs, "
+            f"has {len(node.inputs)}"
+        )
+    spec.validate(node.inputs, node.attrs)
+    shape, dtype = spec.infer(node.inputs, node.attrs)
+    if tuple(shape) != tuple(node.shape):
+        raise GraphError(
+            f"{node.name}: recorded shape {node.shape} != inferred {shape}"
+        )
+    if dtype != node.dtype:
+        raise GraphError(
+            f"{node.name}: recorded dtype {node.dtype} != inferred {dtype}"
+        )
+    if node.op == "loop":
+        validate_graph(node.attrs["body"], _depth=depth + 1)

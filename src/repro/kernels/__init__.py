@@ -1,0 +1,85 @@
+"""BLAS/LAPACK kernel substrate — the reproduction's stand-in for Intel MKL.
+
+The paper's frameworks link to MKL; here every mathematical operation in the
+simulated frameworks bottoms out in this package, which dispatches to the
+*compiled* BLAS shipped inside scipy (``scipy.linalg.blas`` /
+``scipy.linalg.lapack``).  The package also carries the FLOP cost model used
+by the chain optimizer, the property-aware dispatcher, and the derivation
+graph.
+
+Sub-modules
+-----------
+``blas1`` / ``blas2`` / ``blas3``
+    Level-1/2/3 BLAS wrappers (SCAL, AXPY, DOT, GEMV, GER, GEMM, TRMM, SYRK,
+    SYMM, TRSM, ...), dtype-dispatching between float32 and float64.
+``lapack``
+    The few LAPACK factorizations used by the linear-system extension
+    (POTRF, GETRF, POTRS/GETRS-based solves).
+``special``
+    Structured-matrix kernels that BLAS does not provide as single calls:
+    tridiagonal and diagonal matrix products (the paper's Experiment 3) and
+    block-diagonal GEMM (Experiment 4).
+``flops``
+    Closed-form FLOP counts per kernel.
+``registry``
+    A kernel registry mapping (operation, operand properties) to the cheapest
+    applicable kernel — the machinery a "linear-algebra-aware" framework
+    would need (Sec. III-C discussion).
+"""
+
+from .blas1 import asum, axpy, copy as copy_vector, dot, nrm2, scal
+from .blas2 import gemv, ger, symv, trmv, trsv
+from .blas3 import gemm, symm, syrk, trmm, trsm
+from .lapack import cholesky_solve, getrf, lu_solve, potrf
+from .special import (
+    block_diag_matmul,
+    diag_matmul,
+    tridiag_from_bands,
+    tridiagonal_matmul,
+)
+from .flops import (
+    FLOP_FORMULAS,
+    flops_gemm,
+    flops_gemv,
+    flops_syrk,
+    flops_trmm,
+    kernel_flops,
+)
+from .registry import KernelInfo, KernelRegistry, default_registry, select_matmul_kernel
+
+__all__ = [
+    "asum",
+    "axpy",
+    "copy_vector",
+    "dot",
+    "nrm2",
+    "scal",
+    "gemv",
+    "ger",
+    "symv",
+    "trmv",
+    "trsv",
+    "gemm",
+    "symm",
+    "syrk",
+    "trmm",
+    "trsm",
+    "potrf",
+    "getrf",
+    "cholesky_solve",
+    "lu_solve",
+    "tridiagonal_matmul",
+    "tridiag_from_bands",
+    "diag_matmul",
+    "block_diag_matmul",
+    "FLOP_FORMULAS",
+    "kernel_flops",
+    "flops_gemm",
+    "flops_gemv",
+    "flops_trmm",
+    "flops_syrk",
+    "KernelInfo",
+    "KernelRegistry",
+    "default_registry",
+    "select_matmul_kernel",
+]

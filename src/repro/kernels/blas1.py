@@ -1,0 +1,94 @@
+"""Level-1 BLAS wrappers: vector-vector operations.
+
+Each function validates operands, dispatches on dtype to the compiled
+single/double precision routine in :mod:`scipy.linalg.blas`, and returns a
+plain ndarray (or scalar).  None of the wrappers mutate their inputs unless
+explicitly documented.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import blas as _blas
+
+from ..errors import KernelError
+from .validation import (
+    as_ndarray,
+    check_same_length,
+    require_same_dtype,
+    require_vector,
+)
+
+_SCAL = {np.dtype(np.float32): _blas.sscal, np.dtype(np.float64): _blas.dscal}
+_AXPY = {np.dtype(np.float32): _blas.saxpy, np.dtype(np.float64): _blas.daxpy}
+_DOT = {np.dtype(np.float32): _blas.sdot, np.dtype(np.float64): _blas.ddot}
+_NRM2 = {np.dtype(np.float32): _blas.snrm2, np.dtype(np.float64): _blas.dnrm2}
+_ASUM = {np.dtype(np.float32): _blas.sasum, np.dtype(np.float64): _blas.dasum}
+_COPY = {np.dtype(np.float32): _blas.scopy, np.dtype(np.float64): _blas.dcopy}
+
+
+def _routine(table: dict, dtype: np.dtype, name: str):
+    try:
+        return table[np.dtype(dtype)]
+    except KeyError:  # pragma: no cover - guarded by validation
+        raise KernelError(f"no {name} kernel for dtype {dtype}") from None
+
+
+def scal(alpha: float, x: np.ndarray, *, overwrite: bool = False) -> np.ndarray:
+    """SCAL: return ``alpha * x`` (n FLOPs).
+
+    With ``overwrite=True`` the input buffer is scaled in place and returned,
+    saving an allocation — the mode used by the tridiagonal row-scaling
+    decomposition of Experiment 3.
+    """
+    x = require_vector(as_ndarray(x, "x"), "x")
+    fn = _routine(_SCAL, x.dtype, "scal")
+    if not overwrite:
+        x = x.copy()
+    # f2py's SCAL always scales in place (no overwrite flag); the copy
+    # above protects the caller's buffer.
+    return fn(x.dtype.type(alpha), x)
+
+
+def axpy(alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """AXPY: return ``alpha * x + y`` (2n FLOPs).  ``y`` is not modified."""
+    x = as_ndarray(x, "x")
+    y = as_ndarray(y, "y")
+    check_same_length(x, y)
+    require_same_dtype((x, "x"), (y, "y"))
+    fn = _routine(_AXPY, x.dtype, "axpy")
+    # f2py's AXPY updates y in place and returns it; copy to keep y intact.
+    out = y.copy()
+    return fn(x, out, a=x.dtype.type(alpha))
+
+
+def dot(x: np.ndarray, y: np.ndarray) -> float:
+    """DOT: return the inner product ``x . y`` (2n FLOPs)."""
+    x = as_ndarray(x, "x")
+    y = as_ndarray(y, "y")
+    check_same_length(x, y)
+    require_same_dtype((x, "x"), (y, "y"))
+    fn = _routine(_DOT, x.dtype, "dot")
+    return float(fn(x, y))
+
+
+def nrm2(x: np.ndarray) -> float:
+    """NRM2: return the Euclidean norm of ``x`` (~2n FLOPs)."""
+    x = require_vector(as_ndarray(x, "x"), "x")
+    fn = _routine(_NRM2, x.dtype, "nrm2")
+    return float(fn(x))
+
+
+def asum(x: np.ndarray) -> float:
+    """ASUM: return the sum of absolute values of ``x`` (n FLOPs)."""
+    x = require_vector(as_ndarray(x, "x"), "x")
+    fn = _routine(_ASUM, x.dtype, "asum")
+    return float(fn(x))
+
+
+def copy(x: np.ndarray) -> np.ndarray:
+    """COPY: return a fresh buffer holding ``x`` (0 FLOPs, n memops)."""
+    x = require_vector(as_ndarray(x, "x"), "x")
+    fn = _routine(_COPY, x.dtype, "copy")
+    out = np.empty_like(x)
+    return fn(x, out)

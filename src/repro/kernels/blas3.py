@@ -1,0 +1,188 @@
+"""Level-3 BLAS wrappers: matrix-matrix operations.
+
+These are the kernels whose relative costs drive every experiment in the
+paper: GEMM (the 2mnk baseline), TRMM and SYRK (the half-cost structured
+kernels of Experiment 3), SYMM, and TRSM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import blas as _blas
+
+from ..errors import KernelError, ShapeError
+from .validation import (
+    as_ndarray,
+    check_matmul_shapes,
+    require_matrix,
+    require_same_dtype,
+    require_square,
+)
+
+_GEMM = {np.dtype(np.float32): _blas.sgemm, np.dtype(np.float64): _blas.dgemm}
+_TRMM = {np.dtype(np.float32): _blas.strmm, np.dtype(np.float64): _blas.dtrmm}
+_SYRK = {np.dtype(np.float32): _blas.ssyrk, np.dtype(np.float64): _blas.dsyrk}
+_SYMM = {np.dtype(np.float32): _blas.ssymm, np.dtype(np.float64): _blas.dsymm}
+_TRSM = {np.dtype(np.float32): _blas.strsm, np.dtype(np.float64): _blas.dtrsm}
+
+
+def _routine(table: dict, dtype: np.dtype, name: str):
+    try:
+        return table[np.dtype(dtype)]
+    except KeyError:  # pragma: no cover
+        raise KernelError(f"no {name} kernel for dtype {dtype}") from None
+
+
+def gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    alpha: float = 1.0,
+    trans_a: bool = False,
+    trans_b: bool = False,
+) -> np.ndarray:
+    """GEMM: return ``alpha * op(A) op(B)`` (2mnk FLOPs).
+
+    The transpose flags map to the BLAS ``TRANSA``/``TRANSB`` arguments, so
+    ``AᵀB`` costs no explicit transpose — exactly how the paper's reference
+    "MKL-C" implementation computes the Table I expressions.  The scaling
+    ``alpha`` rides along for free, which is why the frameworks' CSE rewrite
+    of ``AᵀB + AᵀB`` into ``2·(AᵀB)`` has negligible overhead (Experiment 1).
+    """
+    a = require_matrix(as_ndarray(a, "a"), "a")
+    b = require_matrix(as_ndarray(b, "b"), "b")
+    require_same_dtype((a, "a"), (b, "b"))
+    op_a = a.T if trans_a else a
+    op_b = b.T if trans_b else b
+    check_matmul_shapes(op_a, op_b)
+    fn = _routine(_GEMM, a.dtype, "gemm")
+    return fn(
+        a.dtype.type(alpha),
+        a,
+        b,
+        trans_a=1 if trans_a else 0,
+        trans_b=1 if trans_b else 0,
+    )
+
+
+def trmm(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    alpha: float = 1.0,
+    side_left: bool = True,
+    lower: bool = True,
+    trans_a: bool = False,
+    unit_diag: bool = False,
+) -> np.ndarray:
+    """TRMM: triangular matrix product ``alpha * op(A) B`` (or ``B op(A)``).
+
+    Cost: ~n²m FLOPs — half of the 2n²m a GEMM would spend, because the zero
+    triangle is never touched.  This is the kernel the paper's SciPy
+    reference uses for the ``LB`` row of Table IV.
+    """
+    a = require_square(as_ndarray(a, "a"), "a")
+    b = require_matrix(as_ndarray(b, "b"), "b")
+    require_same_dtype((a, "a"), (b, "b"))
+    n = a.shape[0]
+    if side_left and b.shape[0] != n:
+        raise ShapeError(f"trmm: A is {a.shape}, B is {b.shape} (left multiply)")
+    if not side_left and b.shape[1] != n:
+        raise ShapeError(f"trmm: A is {a.shape}, B is {b.shape} (right multiply)")
+    fn = _routine(_TRMM, a.dtype, "trmm")
+    return fn(
+        a.dtype.type(alpha),
+        a,
+        b,
+        side=0 if side_left else 1,
+        lower=1 if lower else 0,
+        trans_a=1 if trans_a else 0,
+        diag=1 if unit_diag else 0,
+    )
+
+
+def syrk(
+    a: np.ndarray,
+    *,
+    alpha: float = 1.0,
+    trans: bool = False,
+    lower: bool = True,
+    fill: bool = True,
+) -> np.ndarray:
+    """SYRK: symmetric rank-k update ``alpha * A Aᵀ`` (or ``Aᵀ A`` when ``trans``).
+
+    Cost: ~n²k FLOPs — half a GEMM — because only one triangle of the
+    symmetric result is computed.  By default the missing triangle is filled
+    in afterwards (an O(n²) copy) so the return value is a full dense
+    matrix, comparable with ``gemm(a, a.T)``; pass ``fill=False`` to get the
+    raw one-triangle BLAS output.
+    """
+    a = require_matrix(as_ndarray(a, "a"), "a")
+    fn = _routine(_SYRK, a.dtype, "syrk")
+    c = fn(a.dtype.type(alpha), a, trans=1 if trans else 0, lower=1 if lower else 0)
+    if fill:
+        # Mirror the computed triangle into the other half.
+        if lower:
+            c = c + np.tril(c, -1).T
+        else:
+            c = c + np.triu(c, 1).T
+    return c
+
+
+def symm(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    alpha: float = 1.0,
+    side_left: bool = True,
+    lower: bool = True,
+) -> np.ndarray:
+    """SYMM: ``alpha * A B`` with symmetric ``A`` (2n²m FLOPs; same count as
+    GEMM but only one triangle of ``A`` is read, halving its memory traffic)."""
+    a = require_square(as_ndarray(a, "a"), "a")
+    b = require_matrix(as_ndarray(b, "b"), "b")
+    require_same_dtype((a, "a"), (b, "b"))
+    n = a.shape[0]
+    if side_left and b.shape[0] != n:
+        raise ShapeError(f"symm: A is {a.shape}, B is {b.shape} (left multiply)")
+    if not side_left and b.shape[1] != n:
+        raise ShapeError(f"symm: A is {a.shape}, B is {b.shape} (right multiply)")
+    fn = _routine(_SYMM, a.dtype, "symm")
+    return fn(
+        a.dtype.type(alpha),
+        a,
+        b,
+        side=0 if side_left else 1,
+        lower=1 if lower else 0,
+    )
+
+
+def trsm(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    alpha: float = 1.0,
+    side_left: bool = True,
+    lower: bool = True,
+    trans_a: bool = False,
+    unit_diag: bool = False,
+) -> np.ndarray:
+    """TRSM: solve ``op(A) X = alpha B`` with triangular ``A`` (~n²m FLOPs)."""
+    a = require_square(as_ndarray(a, "a"), "a")
+    b = require_matrix(as_ndarray(b, "b"), "b")
+    require_same_dtype((a, "a"), (b, "b"))
+    n = a.shape[0]
+    if side_left and b.shape[0] != n:
+        raise ShapeError(f"trsm: A is {a.shape}, B is {b.shape} (left solve)")
+    if not side_left and b.shape[1] != n:
+        raise ShapeError(f"trsm: A is {a.shape}, B is {b.shape} (right solve)")
+    fn = _routine(_TRSM, a.dtype, "trsm")
+    return fn(
+        a.dtype.type(alpha),
+        a,
+        b,
+        side=0 if side_left else 1,
+        lower=1 if lower else 0,
+        trans_a=1 if trans_a else 0,
+        diag=1 if unit_diag else 0,
+    )

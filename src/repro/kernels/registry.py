@@ -1,0 +1,241 @@
+"""Kernel registry: property-driven kernel selection.
+
+This is the machinery the paper finds *missing* from TF/PyT: given the
+properties of the operands of a matrix product, choose the cheapest
+applicable kernel (Sec. III-C).  The default simulated-framework pipelines
+never consult it; the opt-in ``property_dispatch`` pass does.
+
+The registry maps a (op, operand-properties) query to a
+:class:`KernelInfo` carrying the FLOP formula and an executor closure, so
+the chain optimizer and derivation graph can cost structured products
+correctly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+import numpy as np
+
+from ..errors import KernelError
+from ..tensor.properties import Property, PropertySet
+from . import blas3, special
+from .flops import (
+    flops_diag_matmul,
+    flops_gemm,
+    flops_symm,
+    flops_tridiag_matmul,
+    flops_trmm,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelInfo:
+    """A dispatchable matrix-product kernel.
+
+    Attributes
+    ----------
+    name:
+        BLAS-style kernel name (``gemm``, ``trmm``, ...).
+    description:
+        Human-readable note shown in experiment reports.
+    flops:
+        ``flops(m, k, n) -> int`` for an (m×k)·(k×n) product.
+    applicable:
+        ``applicable(props_a, props_b) -> bool``.
+    execute:
+        ``execute(a, b, props_a, props_b) -> ndarray``.
+    priority:
+        Tie-break: lower runs first when FLOP counts tie (prefer the more
+        specialized kernel).
+    """
+
+    name: str
+    description: str
+    flops: Callable[[int, int, int], int]
+    applicable: Callable[[PropertySet, PropertySet], bool]
+    execute: Callable[[np.ndarray, np.ndarray, PropertySet, PropertySet], np.ndarray]
+    priority: int = 100
+
+
+def _exec_gemm(a, b, pa, pb):
+    return blas3.gemm(a, b)
+
+
+def _exec_identity_left(a, b, pa, pb):
+    return np.array(b, copy=True)
+
+
+def _exec_zero(a, b, pa, pb):
+    return np.zeros((a.shape[0], b.shape[1]), dtype=a.dtype)
+
+
+def _exec_diag_left(a, b, pa, pb):
+    return special.diag_matmul(a, b)
+
+
+def _exec_tridiag_left(a, b, pa, pb):
+    return special.tridiagonal_matmul(a, b)
+
+
+def _exec_trmm_left(a, b, pa, pb):
+    lower = Property.LOWER_TRIANGULAR in pa
+    return blas3.trmm(a, b, lower=lower)
+
+
+def _exec_trmm_right(a, b, pa, pb):
+    lower = Property.LOWER_TRIANGULAR in pb
+    return blas3.trmm(b, a, side_left=False, lower=lower)
+
+
+def _exec_symm_left(a, b, pa, pb):
+    return blas3.symm(a, b)
+
+
+#: FLOP formulas below take (m, k, n) of the product (m×k)·(k×n).
+_DEFAULT_KERNELS: tuple[KernelInfo, ...] = (
+    KernelInfo(
+        name="zero",
+        description="either operand is a zero matrix: result is zero, 0 FLOPs",
+        flops=lambda m, k, n: 0,
+        applicable=lambda pa, pb: Property.ZERO in pa or Property.ZERO in pb,
+        execute=_exec_zero,
+        priority=0,
+    ),
+    KernelInfo(
+        name="identity",
+        description="left operand is the identity: result is B, 0 FLOPs",
+        flops=lambda m, k, n: 0,
+        applicable=lambda pa, pb: Property.IDENTITY in pa,
+        execute=_exec_identity_left,
+        priority=1,
+    ),
+    KernelInfo(
+        name="identity_right",
+        description="right operand is the identity: result is A, 0 FLOPs",
+        flops=lambda m, k, n: 0,
+        applicable=lambda pa, pb: Property.IDENTITY in pb,
+        execute=lambda a, b, pa, pb: np.array(a, copy=True),
+        priority=1,
+    ),
+    KernelInfo(
+        name="diag_matmul",
+        description="left operand diagonal: row scaling, nm FLOPs",
+        flops=lambda m, k, n: flops_diag_matmul(k, n),
+        applicable=lambda pa, pb: Property.DIAGONAL in pa,
+        execute=_exec_diag_left,
+        priority=10,
+    ),
+    KernelInfo(
+        name="tridiagonal_matmul",
+        description="left operand tridiagonal: banded scaling, 6nm FLOPs",
+        flops=lambda m, k, n: flops_tridiag_matmul(k, n),
+        applicable=lambda pa, pb: Property.TRIDIAGONAL in pa,
+        execute=_exec_tridiag_left,
+        priority=20,
+    ),
+    KernelInfo(
+        name="trmm",
+        description="left operand triangular: TRMM, n²m FLOPs (half of GEMM)",
+        flops=lambda m, k, n: flops_trmm(m, n),
+        applicable=lambda pa, pb: Property.LOWER_TRIANGULAR in pa
+        or Property.UPPER_TRIANGULAR in pa,
+        execute=_exec_trmm_left,
+        priority=30,
+    ),
+    KernelInfo(
+        name="trmm_right",
+        description="right operand triangular: TRMM from the right, mn² FLOPs",
+        flops=lambda m, k, n: flops_trmm(n, m),
+        applicable=lambda pa, pb: Property.LOWER_TRIANGULAR in pb
+        or Property.UPPER_TRIANGULAR in pb,
+        execute=_exec_trmm_right,
+        priority=31,
+    ),
+    KernelInfo(
+        name="symm",
+        description="left operand symmetric: SYMM, 2n²m FLOPs (half the "
+        "memory traffic of GEMM)",
+        flops=lambda m, k, n: flops_symm(m, n),
+        applicable=lambda pa, pb: Property.SYMMETRIC in pa,
+        execute=_exec_symm_left,
+        priority=40,
+    ),
+    KernelInfo(
+        name="gemm",
+        description="general dense product: GEMM, 2mkn FLOPs",
+        flops=flops_gemm,
+        applicable=lambda pa, pb: True,
+        execute=_exec_gemm,
+        priority=1000,
+    ),
+)
+
+
+class KernelRegistry:
+    """Ordered collection of :class:`KernelInfo` with cheapest-first selection."""
+
+    def __init__(self, kernels: tuple[KernelInfo, ...] = _DEFAULT_KERNELS) -> None:
+        self._kernels = list(kernels)
+
+    def register(self, kernel: KernelInfo) -> None:
+        """Add a kernel (e.g. a framework-specific special op)."""
+        self._kernels.append(kernel)
+
+    def __iter__(self):
+        return iter(self._kernels)
+
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+    def get(self, name: str) -> KernelInfo:
+        """Look up a kernel by name."""
+        for k in self._kernels:
+            if k.name == name:
+                return k
+        raise KernelError(f"no kernel named {name!r} is registered")
+
+    def candidates(
+        self, props_a: PropertySet, props_b: PropertySet
+    ) -> list[KernelInfo]:
+        """All kernels applicable to the given operand properties."""
+        return [k for k in self._kernels if k.applicable(props_a, props_b)]
+
+    def select(
+        self,
+        props_a: PropertySet,
+        props_b: PropertySet,
+        m: int,
+        k: int,
+        n: int,
+    ) -> KernelInfo:
+        """The cheapest applicable kernel for an (m×k)·(k×n) product."""
+        options = self.candidates(props_a, props_b)
+        if not options:  # pragma: no cover - gemm is always applicable
+            raise KernelError("no applicable kernel (registry is empty?)")
+        return min(options, key=lambda ki: (ki.flops(m, k, n), ki.priority))
+
+
+#: Process-wide default registry.
+default_registry = KernelRegistry()
+
+
+def select_matmul_kernel(
+    props_a: PropertySet,
+    props_b: PropertySet,
+    m: int,
+    k: int,
+    n: int,
+    *,
+    registry: KernelRegistry | None = None,
+) -> KernelInfo:
+    """Convenience wrapper over :meth:`KernelRegistry.select`.
+
+    >>> from repro.tensor.properties import Property, closure
+    >>> ki = select_matmul_kernel(closure({Property.DIAGONAL}), frozenset(), 8, 8, 8)
+    >>> ki.name
+    'diag_matmul'
+    """
+    reg = registry if registry is not None else default_registry
+    return reg.select(props_a, props_b, m, k, n)

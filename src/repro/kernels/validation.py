@@ -1,0 +1,106 @@
+"""Operand validation shared by the kernel wrappers.
+
+The raw f2py BLAS wrappers accept almost anything and fail with cryptic
+messages (or silently up-cast); these helpers give the kernel layer the
+strictness of a real library front end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DTypeError, ShapeError
+
+#: dtypes the kernel layer supports (the paper's experiments use float32).
+SUPPORTED_DTYPES = (np.float32, np.float64)
+
+
+def as_ndarray(x: object, name: str) -> np.ndarray:
+    """Convert ``x`` to an ndarray of a supported floating dtype.
+
+    Integer and bool inputs are promoted to the default float32 (mirroring
+    the frameworks' default), float16 is promoted to float32, float64 is
+    kept.  Complex input is rejected.
+    """
+    a = np.asarray(x)
+    if a.dtype in SUPPORTED_DTYPES:
+        return a
+    if np.issubdtype(a.dtype, np.complexfloating):
+        raise DTypeError(f"{name}: complex dtypes are not supported (got {a.dtype})")
+    if a.dtype == np.float16:
+        return a.astype(np.float32)
+    if np.issubdtype(a.dtype, np.integer) or a.dtype == np.bool_:
+        return a.astype(np.float32)
+    if np.issubdtype(a.dtype, np.floating):
+        return a.astype(np.float64)
+    raise DTypeError(f"{name}: unsupported dtype {a.dtype}")
+
+
+def require_matrix(a: np.ndarray, name: str) -> np.ndarray:
+    """Require a 2-D array."""
+    if a.ndim != 2:
+        raise ShapeError(f"{name}: expected a matrix (2-D), got shape {a.shape}")
+    return a
+
+
+def require_vector(x: np.ndarray, name: str) -> np.ndarray:
+    """Require a 1-D array."""
+    if x.ndim != 1:
+        raise ShapeError(f"{name}: expected a vector (1-D), got shape {x.shape}")
+    return x
+
+
+def require_square(a: np.ndarray, name: str) -> np.ndarray:
+    """Require a square matrix."""
+    require_matrix(a, name)
+    if a.shape[0] != a.shape[1]:
+        raise ShapeError(f"{name}: expected a square matrix, got shape {a.shape}")
+    return a
+
+
+def require_same_dtype(*pairs: tuple[np.ndarray, str]) -> np.dtype:
+    """Require all operands share one dtype; return it.
+
+    BLAS has no mixed-precision kernels: a float32/float64 mix is an error
+    here rather than a silent promotion, because a silent promotion would
+    silently double the FLOP cost being measured.
+    """
+    dtypes = {a.dtype for a, _ in pairs}
+    if len(dtypes) != 1:
+        desc = ", ".join(f"{name}:{a.dtype}" for a, name in pairs)
+        raise DTypeError(f"mixed operand dtypes are not supported ({desc})")
+    return pairs[0][0].dtype
+
+
+def check_matmul_shapes(a: np.ndarray, b: np.ndarray) -> tuple[int, int, int]:
+    """Validate ``a @ b`` shapes; return (m, k, n)."""
+    require_matrix(a, "a")
+    require_matrix(b, "b")
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ShapeError(
+            f"matmul: inner dimensions disagree: a is {a.shape}, b is {b.shape}"
+        )
+    return m, k, n
+
+
+def check_matvec_shapes(a: np.ndarray, x: np.ndarray) -> tuple[int, int]:
+    """Validate ``a @ x`` shapes for a matrix-vector product; return (m, n)."""
+    require_matrix(a, "a")
+    require_vector(x, "x")
+    m, n = a.shape
+    if n != x.shape[0]:
+        raise ShapeError(
+            f"matvec: dimensions disagree: a is {a.shape}, x is {x.shape}"
+        )
+    return m, n
+
+
+def check_same_length(x: np.ndarray, y: np.ndarray) -> int:
+    """Validate two vectors share a length; return it."""
+    require_vector(x, "x")
+    require_vector(y, "y")
+    if x.shape[0] != y.shape[0]:
+        raise ShapeError(f"vector lengths disagree: {x.shape[0]} vs {y.shape[0]}")
+    return x.shape[0]

@@ -1,0 +1,103 @@
+"""Graph-optimizer passes — the simulated frameworks' Grappler/JIT analogue.
+
+Two families:
+
+**Default passes** (what TF/PyT actually do, per the paper):
+
+* ``constant_folding`` — evaluate const-only sub-DAGs at optimize time.
+* ``transpose_elim``  — cancel double transposes and fuse transposes into
+  matmul TRANSA/TRANSB flags (how ``AᵀB`` reaches MKL as one GEMM).
+* ``cse``             — duplicate-node elimination over the DAG (Fig. 3).
+* ``arithmetic``      — local simplifications such as ``X + X → 2·X``
+  (the rewrite the paper observes in Experiment 1).
+* ``simplify``        — no-op elimination (scale×1, full slices, −(−X)).
+* ``code_motion``     — loop-invariant code motion for explicit ``loop``
+  nodes (Python loops just unroll at trace time, where CSE subsumes LICM —
+  exactly the DAG story the paper tells).
+
+**Aware passes** (the paper's recommendations; opt-in, off by default):
+
+* ``chain_reorder``     — optimal matrix-chain parenthesization (Exp. 2).
+* ``property_dispatch`` — property inference + structured-kernel hints
+  (TRMM/SYRK/diag/tridiag; Exp. 3), plus ``QᵀQ → I`` style simplification.
+* ``distributivity``    — cost-guided distributive rewrites (Exp. 4).
+* ``partial_access``    — push slices through sums/products (Exp. 5).
+"""
+
+from .base import GraphPass, PassStats
+from .pipeline import PassPipeline
+from .cse import CommonSubexpressionElimination
+from .constant_folding import ConstantFolding
+from .transpose_elim import TransposeElimination
+from .arithmetic import ArithmeticSimplification
+from .dce import NoOpElimination
+from .code_motion import LoopInvariantCodeMotion
+from .chain_reorder import ChainReordering
+from .property_dispatch import PropertyDispatch
+from .distributivity import DistributivityRewrite
+from .partial_access import PartialOperandAccess
+
+__all__ = [
+    "GraphPass",
+    "PassStats",
+    "PassPipeline",
+    "CommonSubexpressionElimination",
+    "ConstantFolding",
+    "TransposeElimination",
+    "ArithmeticSimplification",
+    "NoOpElimination",
+    "LoopInvariantCodeMotion",
+    "ChainReordering",
+    "PropertyDispatch",
+    "DistributivityRewrite",
+    "PartialOperandAccess",
+    "default_pipeline",
+    "aware_pipeline",
+]
+
+
+def default_pipeline() -> PassPipeline:
+    """The pipeline both simulated frameworks run in graph mode.
+
+    Mirrors the optimizations the paper *observes* in TF/PyT: constant
+    folding, transpose fusion, CSE, ``X+X`` folding, no-op cleanup, and
+    LICM for explicit loop constructs.  Deliberately absent: chain
+    reordering, property dispatch, distributivity, partial-access — the
+    paper's negative findings.
+    """
+    return PassPipeline(
+        [
+            ConstantFolding(),
+            TransposeElimination(),
+            CommonSubexpressionElimination(),
+            ArithmeticSimplification(),
+            NoOpElimination(),
+            LoopInvariantCodeMotion(),
+            CommonSubexpressionElimination(),
+        ]
+    )
+
+
+def aware_pipeline() -> PassPipeline:
+    """Default pipeline plus every "linear-algebra-aware" pass.
+
+    This is the ablation configuration: what the frameworks *could* do if
+    they adopted the paper's recommendations.
+    """
+    return PassPipeline(
+        [
+            ConstantFolding(),
+            TransposeElimination(),
+            CommonSubexpressionElimination(),
+            ArithmeticSimplification(),
+            NoOpElimination(),
+            LoopInvariantCodeMotion(),
+            CommonSubexpressionElimination(),
+            DistributivityRewrite(),
+            ChainReordering(),
+            CommonSubexpressionElimination(),
+            PartialOperandAccess(),
+            PropertyDispatch(),
+            NoOpElimination(),
+        ]
+    )

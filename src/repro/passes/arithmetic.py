@@ -1,0 +1,66 @@
+"""Local arithmetic simplifications (Grappler's "arithmetic optimizer").
+
+The headline rewrite for the reproduction is ``X + X → 2·X``: after CSE
+unifies the two ``AᵀB`` occurrences in Experiment 1's ``E1 = AᵀB + AᵀB``,
+this pass turns the self-addition into an O(n²) scaling, which the paper
+notes BLAS can even fold into the GEMM's alpha for free.
+
+Also normalizes ``neg`` into ``scale(-1)`` and collapses scale chains so
+that CSE sees through sign/scale noise.
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph
+from ..ir.node import Node
+from ..ir import builder
+from .base import GraphPass
+
+
+class ArithmeticSimplification(GraphPass):
+    """x+x → 2x; neg → scale(-1); scale(scale(x)) → scale(x); a·x + b·x → (a+b)·x."""
+
+    name = "arithmetic"
+
+    def apply(self, graph: Graph) -> Graph:
+        graph = self.transform_loop_bodies(graph)
+
+        def scale_of(node: Node) -> tuple[Node, float]:
+            """Peel scale/neg wrappers: returns (base, multiplier)."""
+            alpha = 1.0
+            while True:
+                if node.op == "scale":
+                    alpha *= float(node.attrs["alpha"])
+                    node = node.inputs[0]
+                elif node.op == "neg":
+                    alpha *= -1.0
+                    node = node.inputs[0]
+                else:
+                    return node, alpha
+
+        def fn(node: Node, new_inputs: tuple[Node, ...]) -> Node | None:
+            if node.op == "neg":
+                self._count()
+                return builder.scale(new_inputs[0], -1.0)
+            if node.op == "scale":
+                base, alpha = scale_of(new_inputs[0])
+                alpha *= float(node.attrs["alpha"])
+                if base is not new_inputs[0]:
+                    self._count()
+                    return builder.scale(base, alpha)
+                return None
+            if node.op in ("add", "sub"):
+                a, b = new_inputs
+                base_a, alpha_a = scale_of(a)
+                base_b, alpha_b = scale_of(b)
+                if base_a is base_b:
+                    sign = -1.0 if node.op == "sub" else 1.0
+                    total = alpha_a + sign * alpha_b
+                    self._count()
+                    if total == 1.0:
+                        return base_a
+                    return builder.scale(base_a, total)
+                return None
+            return None
+
+        return graph.rewrite(fn)

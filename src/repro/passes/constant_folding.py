@@ -1,0 +1,53 @@
+"""Constant folding: evaluate const-only sub-DAGs at optimization time.
+
+Grappler's constant folding is one of the optimizations the frameworks do
+perform; it matters for the reproduction because the paper's Experiment 4
+builds the blocked matrix ``A_B`` by explicit concatenation — the folding
+pass must *not* hide that construction when the blocks are graph inputs
+(they are), which is exactly why the frameworks cannot see through the
+blocked structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir.graph import Graph
+from ..ir.node import Node
+from ..ir import builder
+from ..ir.interpreter import Interpreter
+from .base import GraphPass
+
+#: Ops never folded even when inputs are constant (control flow, I/O).
+_NO_FOLD = frozenset({"input", "const", "loop"})
+
+#: Do not fold results bigger than this (bytes): embedding a huge dense
+#: product as a literal trades compute for binary size, like real Grappler
+#: limits.
+_MAX_FOLD_BYTES = 64 * 1024 * 1024
+
+
+class ConstantFolding(GraphPass):
+    """Replace nodes whose inputs are all ``const`` with a ``const`` result."""
+
+    name = "constant_folding"
+
+    def apply(self, graph: Graph) -> Graph:
+        graph = self.transform_loop_bodies(graph)
+        interp = Interpreter(record=False)
+
+        def fn(node: Node, new_inputs: tuple[Node, ...]) -> Node | None:
+            if node.op in _NO_FOLD:
+                return None
+            if not new_inputs or not all(i.op == "const" for i in new_inputs):
+                return None
+            nbytes = node.shape[0] * node.shape[1] * node.dtype.itemsize
+            if nbytes > _MAX_FOLD_BYTES:
+                return None
+            candidate = self.rebuild(node, new_inputs)
+            sub = Graph([candidate])
+            (value,), _ = interp.run(sub, [])
+            self._count()
+            return builder.const(np.ascontiguousarray(value), name=f"fold_{node.name}")
+
+        return graph.rewrite(fn)

@@ -1,0 +1,56 @@
+"""No-op elimination.
+
+Dead code in the classical sense cannot exist in this IR — a
+:class:`~repro.ir.graph.Graph` is defined as the nodes reachable from its
+outputs, so unreachable nodes vanish at every rebuild.  What remains to
+clean up are *identity* operations introduced by other passes or by naive
+user code: scalings by 1, slices that select the whole operand, and
+transposes of 1×1 scalars.
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph
+from ..ir.node import Node
+from .base import GraphPass
+
+
+def _selects_all(sel: object, extent: int) -> bool:
+    if sel is None:
+        return True
+    if isinstance(sel, int):
+        return extent == 1 and sel in (0, -1)
+    start, stop = sel
+    start_ok = start in (None, 0)
+    stop_ok = stop is None or stop == extent
+    return bool(start_ok and stop_ok)
+
+
+class NoOpElimination(GraphPass):
+    """Drop identity operations: scale×1, whole-operand slice, 1×1 transpose."""
+
+    name = "noop_elim"
+
+    def apply(self, graph: Graph) -> Graph:
+        graph = self.transform_loop_bodies(graph)
+
+        def fn(node: Node, new_inputs: tuple[Node, ...]) -> Node | None:
+            if node.op == "scale" and float(node.attrs["alpha"]) == 1.0:
+                self._count()
+                return new_inputs[0]
+            if node.op == "slice":
+                (x,) = new_inputs
+                if _selects_all(node.attrs.get("rows"), x.shape[0]) and _selects_all(
+                    node.attrs.get("cols"), x.shape[1]
+                ):
+                    self._count()
+                    return x
+            if node.op == "transpose" and node.shape == (1, 1):
+                self._count()
+                return new_inputs[0]
+            if node.op == "concat" and len(new_inputs) == 1:
+                self._count()
+                return new_inputs[0]
+            return None
+
+        return graph.rewrite(fn)

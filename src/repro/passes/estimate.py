@@ -1,0 +1,69 @@
+"""FLOP estimation of IR sub-DAGs — the cost model the aware passes share.
+
+Costs follow :mod:`repro.kernels.flops` (the same model the matrix-chain DP
+and the derivation graph use), and shared nodes are counted once, because
+the interpreter executes each DAG node once.
+"""
+
+from __future__ import annotations
+
+from ..ir.node import Node
+from ..kernels.flops import kernel_flops
+
+
+def node_flops(node: Node) -> int:
+    """Modelled FLOPs of executing this single node (not its inputs)."""
+    if node.op == "matmul":
+        a, b = node.inputs
+        sa = tuple(reversed(a.shape)) if node.attrs.get("trans_a") else a.shape
+        sb = tuple(reversed(b.shape)) if node.attrs.get("trans_b") else b.shape
+        hint = node.attrs.get("kernel")
+        m, k, n = sa[0], sa[1], sb[1]
+        if hint in (None, "gemm"):
+            return kernel_flops("gemm", m, k, n)
+        if hint in ("zero", "identity", "identity_right"):
+            return 0
+        if hint == "diag_matmul":
+            return kernel_flops("diag_matmul", k, n)
+        if hint == "tridiagonal_matmul":
+            return kernel_flops("tridiagonal_matmul", k, n)
+        if hint == "trmm":
+            return kernel_flops("trmm", m, n)
+        if hint == "trmm_right":
+            return kernel_flops("trmm", n, m)
+        if hint == "symm":
+            return kernel_flops("symm", m, n)
+        if hint == "syrk":
+            return kernel_flops("syrk", m, k)
+        return kernel_flops("gemm", m, k, n)
+    if node.op in ("add", "sub"):
+        return kernel_flops("add", *node.shape)
+    if node.op in ("neg", "scale"):
+        return kernel_flops("scale", *node.shape)
+    if node.op == "dot":
+        length = max(node.inputs[0].shape)
+        return kernel_flops("dot", length)
+    if node.op == "tridiagonal_matmul":
+        t, b = node.inputs
+        return kernel_flops("tridiagonal_matmul", t.shape[0], b.shape[1])
+    if node.op == "loop":
+        body = node.attrs["body"]
+        per_iter = sum(node_flops(n) for n in body.topological())
+        return per_iter * int(node.attrs["trip_count"])
+    # input/const/transpose/slice/concat: 0 FLOPs (data movement only).
+    return 0
+
+
+def subtree_flops(root: Node, memo: dict[int, int] | None = None) -> int:
+    """Total FLOPs of the sub-DAG rooted at ``root``, shared nodes once."""
+    seen: set[int] = set()
+    total = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        total += node_flops(node)
+        stack.extend(node.inputs)
+    return total

@@ -1,0 +1,107 @@
+"""Partial-operand-access rewrites (the fix for Experiment 5's second test).
+
+The paper's recommended implementations:
+
+* ``(A + B)[2, 2]  → A[2, 2] + B[2, 2]``  (O(n²) sum → O(1)),
+* ``(A @ B)[2, 2]  → dot(A[2, :], B[:, 2])``  (O(n³) product → O(n)).
+
+Neither framework performs this swap of slicing with the producing
+operation; this opt-in pass does, for any rectangular slice that is
+strictly smaller than the produced operand (the guard keeps full-width
+slices untouched).  Transpose flags on matmuls are handled by slicing the
+opposite axis of the flagged operand.
+"""
+
+from __future__ import annotations
+
+from ..ir import builder
+from ..ir.graph import Graph
+from ..ir.node import Node
+from .base import GraphPass
+
+
+def _sel_extent(sel: object, dim: int) -> int:
+    if sel is None:
+        return dim
+    if isinstance(sel, int):
+        return 1
+    start, stop = sel
+    start = 0 if start is None else (start + dim if start < 0 else start)
+    stop = dim if stop is None else (stop + dim if stop < 0 else stop)
+    return stop - start
+
+
+class PartialOperandAccess(GraphPass):
+    """Push slices through add/sub/scale/transpose/matmul producers."""
+
+    name = "partial_access"
+
+    def apply(self, graph: Graph) -> Graph:
+        graph = self.transform_loop_bodies(graph)
+        consumers = graph.consumers()
+        out_ids = {id(o) for o in graph.outputs}
+        # Only push a slice into a producer that exists solely to feed it;
+        # a producer with other consumers must be materialized anyway, so
+        # slicing it cheaply afterwards is already optimal.
+        exclusive = {
+            nid for nid, cons in consumers.items() if len(cons) == 1
+        } - out_ids
+
+        def fn(node: Node, new_inputs: tuple[Node, ...]) -> Node | None:
+            if node.op != "slice":
+                return None
+            (src,) = new_inputs
+            orig_src = node.inputs[0]
+            if id(orig_src) not in exclusive:
+                return None
+            rows = node.attrs.get("rows")
+            cols = node.attrs.get("cols")
+            r = _sel_extent(rows, src.shape[0])
+            c = _sel_extent(cols, src.shape[1])
+            if r * c >= src.shape[0] * src.shape[1]:
+                return None  # not actually partial
+
+            if src.op in ("add", "sub"):
+                self._count()
+                a, b = src.inputs
+                combine = builder.add if src.op == "add" else builder.sub
+                return combine(
+                    builder.slice_(a, rows, cols), builder.slice_(b, rows, cols)
+                )
+            if src.op == "scale":
+                self._count()
+                return builder.scale(
+                    builder.slice_(src.inputs[0], rows, cols),
+                    float(src.attrs["alpha"]),
+                )
+            if src.op == "transpose":
+                self._count()
+                inner = builder.slice_(src.inputs[0], cols, rows)
+                return builder.transpose(inner)
+            if src.op == "matmul" and not src.attrs.get("kernel"):
+                self._count()
+                a, b = src.inputs
+                ta = bool(src.attrs.get("trans_a"))
+                tb = bool(src.attrs.get("trans_b"))
+                # Rows of the product select rows of op(A): with trans_a
+                # they live on A's columns.  Columns select op(B) columns.
+                a_sliced = (
+                    builder.slice_(a, None, rows) if ta
+                    else builder.slice_(a, rows, None)
+                )
+                b_sliced = (
+                    builder.slice_(b, cols, None) if tb
+                    else builder.slice_(b, None, cols)
+                )
+                return builder.matmul(a_sliced, b_sliced, trans_a=ta, trans_b=tb)
+            return None
+
+        prev = -1
+        while self.last_stats.rewrites != prev:
+            prev = self.last_stats.rewrites
+            consumers = graph.consumers()
+            exclusive = {
+                nid for nid, cons in consumers.items() if len(cons) == 1
+            } - {id(o) for o in graph.outputs}
+            graph = graph.rewrite(fn)
+        return graph

@@ -1,0 +1,60 @@
+"""Pass pipeline with optional post-pass validation."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ..errors import GraphError
+from ..ir.graph import Graph
+from ..ir.validate import validate_graph
+from .base import GraphPass, PassStats
+
+
+class PassPipeline:
+    """An ordered list of passes run to fixpoint-free single sweep.
+
+    The real Grappler iterates some passes to a fixed point; here each
+    pipeline entry runs once, and callers wanting iteration list a pass
+    twice (as :func:`repro.passes.default_pipeline` does with CSE).  With
+    ``validate=True`` (the default) the structural validator runs after
+    every pass, so a semantics-breaking pass is caught at the pass
+    boundary, attributed by name.
+    """
+
+    def __init__(self, passes: Sequence[GraphPass], *, validate: bool = True) -> None:
+        self.passes = list(passes)
+        self.validate = validate
+        self.history: list[PassStats] = []
+
+    def run(self, graph: Graph) -> Graph:
+        self.history = []
+        if self.validate:
+            validate_graph(graph)
+        for p in self.passes:
+            try:
+                graph = p.run(graph)
+            except GraphError as exc:
+                raise GraphError(f"pass {p.name!r} failed: {exc}") from exc
+            if self.validate:
+                try:
+                    validate_graph(graph)
+                except GraphError as exc:
+                    raise GraphError(
+                        f"pass {p.name!r} produced an invalid graph: {exc}"
+                    ) from exc
+            self.history.append(p.last_stats)
+        return graph
+
+    def extend(self, passes: Iterable[GraphPass]) -> "PassPipeline":
+        """New pipeline with extra passes appended."""
+        return PassPipeline([*self.passes, *passes], validate=self.validate)
+
+    def describe(self) -> str:
+        """One line per pass with the last run's node deltas."""
+        if not self.history:
+            return " -> ".join(p.name for p in self.passes)
+        return "\n".join(
+            f"{s.name:<28} {s.nodes_before:>4} -> {s.nodes_after:<4} nodes"
+            f" ({s.rewrites} rewrites)"
+            for s in self.history
+        )

@@ -1,0 +1,49 @@
+"""Property reasoning: transfer functions and graph propagation.
+
+``repro.tensor.properties`` defines the *vocabulary* (what properties exist,
+implication closure, numeric verification).  This package defines the
+*reasoning*:
+
+``algebra``
+    Transfer functions — given operand property sets, what properties does
+    the result of transpose/matmul/add/... have?  Pure set algebra, shared
+    by the eager Tensor and the graph inference.
+``inference``
+    Forward dataflow over the expression IR, annotating every node with an
+    inferred property set (the Sec. III-C "propagation of matrix properties
+    through the graph").
+``annotations``
+    User-facing annotation helpers (assert-and-attach, with optional
+    numeric verification).
+
+The split mirrors what the paper asks framework developers to add: Julia
+has the vocabulary *and* the reasoning; TF/PyT (and our default simulated
+pipelines) have neither wired into dispatch.
+"""
+
+from . import algebra
+from .algebra import (
+    add_props,
+    matmul_props,
+    scale_props,
+    transpose_props,
+)
+
+__all__ = [
+    "algebra",
+    "transpose_props",
+    "matmul_props",
+    "add_props",
+    "scale_props",
+]
+
+
+def __getattr__(name: str):
+    # Lazy imports to keep import-time dependencies acyclic.  Uses
+    # importlib directly: a `from . import x` here would re-enter this
+    # __getattr__ through importlib's fromlist handling and recurse.
+    if name in ("inference", "annotations"):
+        import importlib
+
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

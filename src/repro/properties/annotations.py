@@ -1,0 +1,63 @@
+"""User-facing property annotation helpers.
+
+The paper recommends letting users "explicitly annotate matrices with types
+that encode the properties" (as Julia does).  These helpers are that API:
+they attach properties to tensors, by assertion (trusted) or with numeric
+verification.
+"""
+
+from __future__ import annotations
+
+from ..errors import PropertyError
+from ..tensor.properties import Property, verify_property
+from ..tensor.tensor import Tensor
+
+
+def annotate(tensor: Tensor, *props: Property, verify: bool = True) -> Tensor:
+    """Return ``tensor`` with extra property annotations.
+
+    With ``verify=True`` (default) each property is numerically checked —
+    annotating a dense matrix as triangular raises
+    :class:`~repro.errors.PropertyError` instead of silently producing a
+    wrong TRMM dispatch later.
+    """
+    if verify:
+        for prop in props:
+            if not verify_property(tensor.data, prop):
+                raise PropertyError(
+                    f"matrix of shape {tensor.shape} does not satisfy {prop}"
+                )
+    return tensor.with_props(*props)
+
+
+def as_lower_triangular(tensor: Tensor, *, verify: bool = True) -> Tensor:
+    """Annotate LOWER_TRIANGULAR (the ``L`` of Table IV)."""
+    return annotate(tensor, Property.LOWER_TRIANGULAR, verify=verify)
+
+
+def as_upper_triangular(tensor: Tensor, *, verify: bool = True) -> Tensor:
+    return annotate(tensor, Property.UPPER_TRIANGULAR, verify=verify)
+
+
+def as_symmetric(tensor: Tensor, *, verify: bool = True) -> Tensor:
+    return annotate(tensor, Property.SYMMETRIC, verify=verify)
+
+
+def as_spd(tensor: Tensor, *, verify: bool = True) -> Tensor:
+    """Annotate SPD (enables the Cholesky path in the solver extension)."""
+    return annotate(tensor, Property.SPD, verify=verify)
+
+
+def as_diagonal(tensor: Tensor, *, verify: bool = True) -> Tensor:
+    """Annotate DIAGONAL (the ``D`` of Table IV)."""
+    return annotate(tensor, Property.DIAGONAL, verify=verify)
+
+
+def as_tridiagonal(tensor: Tensor, *, verify: bool = True) -> Tensor:
+    """Annotate TRIDIAGONAL (the ``T`` of Table IV)."""
+    return annotate(tensor, Property.TRIDIAGONAL, verify=verify)
+
+
+def as_orthogonal(tensor: Tensor, *, verify: bool = True) -> Tensor:
+    """Annotate ORTHOGONAL (enables ``QᵀQ → I``, Sec. III-C)."""
+    return annotate(tensor, Property.ORTHOGONAL, verify=verify)

@@ -1,0 +1,119 @@
+"""Forward property inference over the expression IR.
+
+The paper's Sec. III-C discussion: *"The compilers in TF and PyT could also
+exploit the optimized kernels if matrix properties are annotated on the
+frameworks' computational graphs.  The propagation of matrix properties
+through the graph would also facilitate algebraic simplifications."*
+
+This module is that propagation: a single forward pass over the DAG that
+computes a (closed) property set per node from input annotations, via the
+transfer functions in :mod:`repro.properties.algebra`.  The
+``property_dispatch`` pass consumes the result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir.graph import Graph
+from ..ir.node import Node
+from ..tensor.properties import Property, PropertySet, closure, detect_properties
+from . import algebra
+
+#: Constants up to this size get full O(n²) property detection; larger ones
+#: only cheap shape/zero checks (detection cost must not dwarf the graph
+#: optimization itself).
+_DETECT_LIMIT = 512
+
+
+def _shape_props(shape: tuple[int, int]) -> set[Property]:
+    props: set[Property] = {Property.GENERAL}
+    if shape[0] == shape[1]:
+        props.add(Property.SQUARE)
+    if 1 in shape:
+        props.add(Property.VECTOR)
+    if shape == (1, 1):
+        props.add(Property.SCALAR)
+    return props
+
+
+def _const_props(node: Node) -> PropertySet:
+    value: np.ndarray = node.attrs["value"]
+    if max(value.shape) <= _DETECT_LIMIT:
+        return detect_properties(value)
+    props = _shape_props(value.shape)
+    if not value.any():
+        props.add(Property.ZERO)
+    return closure(props)
+
+
+def _matmul_operand(node: Node, which: int, env: dict[int, PropertySet]) -> PropertySet:
+    """Effective operand properties with the node's transpose flag applied."""
+    inp = node.inputs[which]
+    props = env[id(inp)]
+    flag = "trans_a" if which == 0 else "trans_b"
+    if node.attrs.get(flag):
+        props = algebra.transpose_props(props)
+    return props
+
+
+def is_gram_pattern(node: Node) -> bool:
+    """True for ``matmul(X, X)`` with exactly one transpose flag set —
+    i.e. ``XᵀX`` or ``XXᵀ`` after transpose fusion."""
+    if node.op != "matmul":
+        return False
+    a, b = node.inputs
+    if a is not b:
+        return False
+    return bool(node.attrs.get("trans_a")) != bool(node.attrs.get("trans_b"))
+
+
+def infer(graph: Graph) -> dict[int, PropertySet]:
+    """Property set per node id, for every reachable node.
+
+    Annotations enter through ``input`` nodes' ``props`` attr (recorded by
+    the tracer from :class:`~repro.tensor.tensor.Tensor` annotations) and
+    through constants (detected).  Everything else follows the transfer
+    functions; unknown ops degrade to shape facts only — sound, never
+    complete.
+    """
+    env: dict[int, PropertySet] = {}
+    for node in graph.topological():
+        if node.op == "input":
+            annotated = node.attrs.get("props", frozenset())
+            env[id(node)] = closure(set(annotated) | _shape_props(node.shape))
+        elif node.op == "const":
+            env[id(node)] = _const_props(node)
+        elif node.op == "matmul":
+            pa = _matmul_operand(node, 0, env)
+            pb = _matmul_operand(node, 1, env)
+            env[id(node)] = algebra.matmul_props(
+                pa,
+                pb,
+                b_is_a_transposed=is_gram_pattern(node),
+                square_result=node.shape[0] == node.shape[1],
+            )
+        elif node.op == "transpose":
+            env[id(node)] = algebra.transpose_props(env[id(node.inputs[0])])
+        elif node.op == "add":
+            env[id(node)] = algebra.add_props(
+                env[id(node.inputs[0])], env[id(node.inputs[1])]
+            )
+        elif node.op == "sub":
+            env[id(node)] = algebra.add_props(
+                env[id(node.inputs[0])], env[id(node.inputs[1])], negate_b=True
+            )
+        elif node.op == "neg":
+            env[id(node)] = algebra.negate_props(env[id(node.inputs[0])])
+        elif node.op == "scale":
+            env[id(node)] = algebra.scale_props(
+                env[id(node.inputs[0])], float(node.attrs["alpha"])
+            )
+        elif node.op == "slice":
+            env[id(node)] = algebra.slice_props(
+                env[id(node.inputs[0])], *node.shape
+            )
+        else:
+            # dot, concat, tridiagonal_matmul, loop, future ops: shape facts.
+            env[id(node)] = closure(_shape_props(node.shape))
+    return env

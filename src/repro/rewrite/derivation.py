@@ -1,0 +1,118 @@
+"""Breadth-first derivation-graph search.
+
+Nodes are canonical expressions, edges are rule applications; the search
+explores until a node budget is exhausted and reports the cheapest variant
+found, with the rule path from the root — the structure the paper describes
+("the different paths from root to leaf nodes are the alternative programs
+... the program with minimum cost can be found by searching ... the
+derivation graph").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+
+import networkx as nx
+
+from .cost import expr_flops
+from .expr import Expr
+from .rules import DEFAULT_RULES, Rule, apply_everywhere
+
+
+@dataclasses.dataclass(frozen=True)
+class DerivationResult:
+    """Outcome of a derivation search."""
+
+    best: Expr
+    best_flops: int
+    root_flops: int
+    explored: int
+    path: tuple[str, ...]  # rule names root -> best
+
+    @property
+    def speedup_flops(self) -> float:
+        """Modelled FLOP ratio root/best (≥ 1 when the search helped)."""
+        return self.root_flops / max(self.best_flops, 1)
+
+
+class DerivationGraph:
+    """Explore equivalent variants of an expression under rewrite rules."""
+
+    def __init__(
+        self,
+        root: Expr,
+        rules: tuple[Rule, ...] = DEFAULT_RULES,
+        *,
+        max_nodes: int = 2000,
+        aware_cost: bool = False,
+    ) -> None:
+        self.root = root
+        self.rules = rules
+        self.max_nodes = max_nodes
+        self.aware_cost = aware_cost
+        self.graph = nx.DiGraph()
+
+    def explore(self) -> "DerivationGraph":
+        """BFS over rule applications up to ``max_nodes`` expressions."""
+        root_key = self.root.key()
+        self.graph.add_node(
+            root_key,
+            expr=self.root,
+            flops=expr_flops(self.root, aware=self.aware_cost),
+        )
+        queue: deque[Expr] = deque([self.root])
+        while queue and self.graph.number_of_nodes() < self.max_nodes:
+            current = queue.popleft()
+            ckey = current.key()
+            for rule in self.rules:
+                for app in apply_everywhere(rule, current):
+                    nkey = app.result.key()
+                    if nkey == ckey:
+                        continue
+                    if nkey not in self.graph:
+                        self.graph.add_node(
+                            nkey,
+                            expr=app.result,
+                            flops=expr_flops(app.result, aware=self.aware_cost),
+                        )
+                        queue.append(app.result)
+                    if not self.graph.has_edge(ckey, nkey):
+                        self.graph.add_edge(
+                            ckey, nkey, rule=app.rule, description=app.description
+                        )
+        return self
+
+    def variants(self) -> list[tuple[Expr, int]]:
+        """All discovered variants, cheapest first."""
+        if self.graph.number_of_nodes() == 0:
+            self.explore()
+        items = [
+            (data["expr"], data["flops"]) for _, data in self.graph.nodes(data=True)
+        ]
+        items.sort(key=lambda pair: pair[1])
+        return items
+
+    def result(self) -> DerivationResult:
+        """Cheapest variant plus the rule path that derives it."""
+        if self.graph.number_of_nodes() == 0:
+            self.explore()
+        root_key = self.root.key()
+        best_key, best_data = min(
+            self.graph.nodes(data=True), key=lambda kv: kv[1]["flops"]
+        )
+        if best_key == root_key:
+            path_rules: tuple[str, ...] = ()
+        else:
+            node_path = nx.shortest_path(self.graph, root_key, best_key)
+            path_rules = tuple(
+                self.graph.edges[u, v]["rule"]
+                for u, v in zip(node_path, node_path[1:])
+            )
+        return DerivationResult(
+            best=best_data["expr"],
+            best_flops=best_data["flops"],
+            root_flops=self.graph.nodes[root_key]["flops"],
+            explored=self.graph.number_of_nodes(),
+            path=path_rules,
+        )

@@ -1,0 +1,373 @@
+"""Symbolic matrix-expression algebra with a cost-neutral canonical form.
+
+Design decisions (following Linnea's modelling):
+
+* **Products and sums are n-ary.**  Association is *not* part of expression
+  identity — the cost model picks the best parenthesization with the chain
+  DP.  Two expressions that differ only in parenthesization are the same
+  derivation-graph node.
+* **Transposes live on leaves.**  ``(XY)ᵀ`` canonicalizes to ``YᵀXᵀ`` (same
+  FLOPs), ``(X+Y)ᵀ`` to ``Xᵀ+Yᵀ``, ``(Xᵀ)ᵀ`` to ``X``; a transpose of a
+  symmetric symbol disappears.  All cost-neutral.
+* **Scales are hoisted and merged** but never distributed over sums
+  (``a(X+Y)`` vs ``aX+aY`` genuinely differ in FLOPs, so they are distinct
+  nodes connected by rewrite rules).
+* **Structural zeros/identities collapse**: ``I·X → X``, ``0·X → 0``,
+  ``X+0 → X``, and sums of identical terms merge coefficients
+  (``X+X → 2X``).
+
+Expressions are immutable; construction via the class constructors always
+returns the canonical form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import RewriteError, ShapeError
+from ..tensor.properties import Property, PropertySet, closure
+
+
+class Expr:
+    """Base class.  Subclasses define ``rows``/``cols``/``key()``."""
+
+    rows: int
+    cols: int
+
+    # -- convenience constructors ------------------------------------------------
+
+    def __matmul__(self, other: "Expr") -> "Expr":
+        return MatMul(self, other)
+
+    def __add__(self, other: "Expr") -> "Expr":
+        return Add(self, other)
+
+    def __sub__(self, other: "Expr") -> "Expr":
+        return Add(self, Scale(-1.0, other))
+
+    def __mul__(self, alpha: float) -> "Expr":
+        return Scale(float(alpha), self)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Expr":
+        return Scale(-1.0, self)
+
+    @property
+    def T(self) -> "Expr":
+        return Transpose(self)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.rows, self.cols)
+
+    # -- identity -----------------------------------------------------------------
+
+    def key(self) -> tuple:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Expr) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def evaluate(self, env: dict[str, np.ndarray]) -> np.ndarray:
+        """Numeric value given symbol bindings (products left-to-right;
+        evaluation order does not change the value, only FLOPs)."""
+        raise NotImplementedError  # pragma: no cover
+
+    def __repr__(self) -> str:
+        return self.pretty()
+
+    def pretty(self) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Symbol(Expr):
+    """A named matrix (or vector) leaf with optional property annotations."""
+
+    def __init__(
+        self,
+        name: str,
+        rows: int,
+        cols: int,
+        props: PropertySet | set[Property] = frozenset(),
+    ) -> None:
+        if rows < 1 or cols < 1:
+            raise ShapeError(f"symbol {name}: invalid shape ({rows}, {cols})")
+        self.name = name
+        self.rows = rows
+        self.cols = cols
+        self.props = closure(set(props) | {Property.GENERAL})
+
+    def key(self) -> tuple:
+        return ("sym", self.name, self.rows, self.cols)
+
+    def evaluate(self, env: dict[str, np.ndarray]) -> np.ndarray:
+        try:
+            value = np.asarray(env[self.name])
+        except KeyError:
+            raise RewriteError(f"no binding for symbol {self.name!r}") from None
+        if value.ndim == 1:
+            value = value.reshape(-1, 1)
+        if value.shape != (self.rows, self.cols):
+            raise ShapeError(
+                f"binding for {self.name!r} has shape {value.shape}, "
+                f"declared ({self.rows}, {self.cols})"
+            )
+        return value
+
+    def pretty(self) -> str:
+        return self.name
+
+    def is_symmetric(self) -> bool:
+        return Property.SYMMETRIC in self.props
+
+    def is_orthogonal(self) -> bool:
+        return Property.ORTHOGONAL in self.props
+
+
+class Identity(Expr):
+    """The n×n identity."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ShapeError(f"identity: invalid size {n}")
+        self.rows = n
+        self.cols = n
+
+    def key(self) -> tuple:
+        return ("eye", self.rows)
+
+    def evaluate(self, env: dict[str, np.ndarray]) -> np.ndarray:
+        return np.eye(self.rows)
+
+    def pretty(self) -> str:
+        return f"I_{self.rows}"
+
+
+class Zero(Expr):
+    """The m×n zero matrix."""
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ShapeError(f"zero: invalid shape ({rows}, {cols})")
+        self.rows = rows
+        self.cols = cols
+
+    def key(self) -> tuple:
+        return ("zero", self.rows, self.cols)
+
+    def evaluate(self, env: dict[str, np.ndarray]) -> np.ndarray:
+        return np.zeros((self.rows, self.cols))
+
+    def pretty(self) -> str:
+        return "0"
+
+
+class Transpose(Expr):
+    """Transpose of a *leaf* symbol — anything else is pushed down.
+
+    ``Transpose(x)`` as a constructor canonicalizes: it may return ``x``
+    itself (symmetric symbol, double transpose), an :class:`Identity`, a
+    :class:`Zero`, or a reversed product / distributed sum.
+    """
+
+    def __new__(cls, child: Expr):
+        if isinstance(child, Transpose):
+            return child.child
+        if isinstance(child, Identity):
+            return child
+        if isinstance(child, Zero):
+            return Zero(child.cols, child.rows)
+        if isinstance(child, Symbol):
+            if child.is_symmetric():
+                return child
+            self = object.__new__(cls)
+            self.child = child
+            self.rows = child.cols
+            self.cols = child.rows
+            return self
+        if isinstance(child, Scale):
+            return Scale(child.alpha, Transpose(child.child))
+        if isinstance(child, MatMul):
+            return MatMul(*[Transpose(f) for f in reversed(child.factors)])
+        if isinstance(child, Add):
+            return Add(*[Transpose(t) for t in child.terms])
+        raise RewriteError(f"cannot transpose {type(child).__name__}")
+
+    def key(self) -> tuple:
+        return ("t", self.child.key())
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.child,)
+
+    def evaluate(self, env: dict[str, np.ndarray]) -> np.ndarray:
+        return self.child.evaluate(env).T
+
+    def pretty(self) -> str:
+        return f"{self.child.pretty()}^T"
+
+
+class Scale(Expr):
+    """``alpha · X`` with ``alpha ≠ 0, 1`` (those collapse on construction)."""
+
+    def __new__(cls, alpha: float, child: Expr):
+        alpha = float(alpha)
+        if isinstance(child, Scale):
+            return Scale(alpha * child.alpha, child.child)
+        if alpha == 1.0:
+            return child
+        if alpha == 0.0 or isinstance(child, Zero):
+            return Zero(child.rows, child.cols)
+        self = object.__new__(cls)
+        self.alpha = alpha
+        self.child = child
+        self.rows = child.rows
+        self.cols = child.cols
+        return self
+
+    def key(self) -> tuple:
+        return ("scale", self.alpha, self.child.key())
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.child,)
+
+    def evaluate(self, env: dict[str, np.ndarray]) -> np.ndarray:
+        return self.alpha * self.child.evaluate(env)
+
+    def pretty(self) -> str:
+        alpha = f"{self.alpha:g}"
+        inner = self.child.pretty()
+        if isinstance(self.child, (MatMul, Add)):
+            inner = f"({inner})"
+        return f"{alpha}·{inner}"
+
+
+class MatMul(Expr):
+    """N-ary product.  Flattens, drops identities, absorbs zeros and scales."""
+
+    def __new__(cls, *factors: Expr):
+        flat: list[Expr] = []
+        alpha = 1.0
+        for f in factors:
+            if isinstance(f, MatMul):
+                flat.extend(f.factors)
+            elif isinstance(f, Scale):
+                alpha *= f.alpha
+                if isinstance(f.child, MatMul):
+                    flat.extend(f.child.factors)
+                else:
+                    flat.append(f.child)
+            else:
+                flat.append(f)
+        if not flat:
+            raise RewriteError("empty product")
+        # shape check
+        for left, right in zip(flat, flat[1:]):
+            if left.cols != right.rows:
+                raise ShapeError(
+                    f"product shape mismatch: {left.pretty()} is "
+                    f"{left.shape}, {right.pretty()} is {right.shape}"
+                )
+        rows, cols = flat[0].rows, flat[-1].cols
+        if any(isinstance(f, Zero) for f in flat):
+            return Zero(rows, cols)
+        flat = [f for f in flat if not isinstance(f, Identity)] or [flat[0]]
+        if len(flat) == 1:
+            return Scale(alpha, flat[0])
+        self = object.__new__(cls)
+        self.factors = tuple(flat)
+        self.rows = rows
+        self.cols = cols
+        return Scale(alpha, self) if alpha != 1.0 else self
+
+    def key(self) -> tuple:
+        return ("mul",) + tuple(f.key() for f in self.factors)
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.factors
+
+    def evaluate(self, env: dict[str, np.ndarray]) -> np.ndarray:
+        out = self.factors[0].evaluate(env)
+        for f in self.factors[1:]:
+            out = out @ f.evaluate(env)
+        return out
+
+    def pretty(self) -> str:
+        parts = []
+        for f in self.factors:
+            s = f.pretty()
+            if isinstance(f, (Add, Scale)):
+                s = f"({s})"
+            parts.append(s)
+        return " ".join(parts)
+
+
+class Add(Expr):
+    """N-ary sum.  Flattens, drops zeros, merges identical terms' coefficients,
+    and sorts terms canonically."""
+
+    def __new__(cls, *terms: Expr):
+        coeffs: dict[tuple, tuple[Expr, float]] = {}
+
+        def accumulate(term: Expr, factor: float) -> None:
+            if isinstance(term, Add):
+                for t in term.terms:
+                    accumulate(t, factor)
+                return
+            if isinstance(term, Scale):
+                accumulate(term.child, factor * term.alpha)
+                return
+            if isinstance(term, Zero):
+                return
+            k = term.key()
+            base, c = coeffs.get(k, (term, 0.0))
+            coeffs[k] = (base, c + factor)
+
+        for t in terms:
+            accumulate(t, 1.0)
+        if not terms:
+            raise RewriteError("empty sum")
+        rows, cols = terms[0].rows, terms[0].cols
+        for t in terms:
+            if (t.rows, t.cols) != (rows, cols):
+                raise ShapeError(
+                    f"sum shape mismatch: {t.pretty()} is {t.shape}, "
+                    f"expected ({rows}, {cols})"
+                )
+        kept = [
+            Scale(c, base)
+            for _, (base, c) in sorted(coeffs.items())
+            if c != 0.0
+        ]
+        if not kept:
+            return Zero(rows, cols)
+        if len(kept) == 1:
+            return kept[0]
+        self = object.__new__(cls)
+        self.terms = tuple(kept)
+        self.rows = rows
+        self.cols = cols
+        return self
+
+    def key(self) -> tuple:
+        return ("add",) + tuple(t.key() for t in self.terms)
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.terms
+
+    def evaluate(self, env: dict[str, np.ndarray]) -> np.ndarray:
+        out = self.terms[0].evaluate(env)
+        for t in self.terms[1:]:
+            out = out + t.evaluate(env)
+        return out
+
+    def pretty(self) -> str:
+        return " + ".join(t.pretty() for t in self.terms)

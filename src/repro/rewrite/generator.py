@@ -1,0 +1,41 @@
+"""Convenience front end over the derivation graph."""
+
+from __future__ import annotations
+
+from .derivation import DerivationGraph, DerivationResult
+from .expr import Expr
+from .rules import DEFAULT_RULES, Rule
+
+
+def variants(
+    expr: Expr,
+    *,
+    rules: tuple[Rule, ...] = DEFAULT_RULES,
+    max_nodes: int = 2000,
+    limit: int | None = None,
+    aware_cost: bool = False,
+) -> list[tuple[Expr, int]]:
+    """Enumerate equivalent variants of ``expr``, cheapest first.
+
+    For the paper's Fig. 1 input ``Hᵀy + (I − HᵀH)x`` this discovers (among
+    others) Variant 2 ``Hᵀy + x − HᵀHx`` and Variant 3 ``Hᵀ(y − Hx) + x``,
+    with the FLOP ordering the paper reports (tested).
+    """
+    graph = DerivationGraph(
+        expr, rules, max_nodes=max_nodes, aware_cost=aware_cost
+    ).explore()
+    out = graph.variants()
+    return out[:limit] if limit is not None else out
+
+
+def best_variant(
+    expr: Expr,
+    *,
+    rules: tuple[Rule, ...] = DEFAULT_RULES,
+    max_nodes: int = 2000,
+    aware_cost: bool = False,
+) -> DerivationResult:
+    """The cheapest discovered variant with its derivation path."""
+    return DerivationGraph(
+        expr, rules, max_nodes=max_nodes, aware_cost=aware_cost
+    ).result()

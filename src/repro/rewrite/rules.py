@@ -1,0 +1,204 @@
+"""Rewrite rules for the derivation graph.
+
+Each rule yields mathematically equivalent neighbours of an expression.
+Rules are applied *at every sub-expression position* by the generic
+traversal in :func:`apply_everywhere`; the derivation graph takes it from
+there.  Canonicalization (in :mod:`repro.rewrite.expr`) already handles the
+cost-neutral identities (transpose pushing, zero/identity collapse, ``X+X →
+2X``), so the rules here are exactly the cost-*changing* algebra of the
+paper's Experiment 4: distributivity in both directions, plus
+property-driven cancellation (``QᵀQ → I``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Iterator
+
+from .expr import Add, Expr, Identity, MatMul, Scale, Symbol, Transpose
+
+
+@dataclasses.dataclass(frozen=True)
+class RuleApplication:
+    """One rewrite: the resulting whole expression and a description."""
+
+    result: Expr
+    rule: str
+    description: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """A named local rewrite: ``local(expr)`` yields replacement sub-exprs."""
+
+    name: str
+    local: Callable[[Expr], Iterator[tuple[Expr, str]]]
+
+
+# -- local rewrites ----------------------------------------------------------------
+
+
+def _expand(expr: Expr) -> Iterator[tuple[Expr, str]]:
+    """Distribute a product over one of its Add factors.
+
+    ``A (B + C) D → A B D + A C D`` — the left-to-right direction of the
+    paper's Eq. 9/10 (may raise or lower FLOPs; the search decides).
+    """
+    if not isinstance(expr, MatMul):
+        return
+    for i, factor in enumerate(expr.factors):
+        if isinstance(factor, Add):
+            prefix = expr.factors[:i]
+            suffix = expr.factors[i + 1 :]
+            terms = [MatMul(*prefix, t, *suffix) if (prefix or suffix) else t
+                     for t in factor.terms]
+            yield Add(*terms), f"distribute over sum at factor {i}"
+
+
+def _split_leading(term: Expr) -> tuple[Expr | None, Expr | None, float]:
+    """Decompose a term into (first factor, rest, coefficient)."""
+    alpha = 1.0
+    if isinstance(term, Scale):
+        alpha = term.alpha
+        term = term.child
+    if isinstance(term, MatMul):
+        rest = (
+            MatMul(*term.factors[1:])
+            if len(term.factors) > 2
+            else term.factors[1]
+        )
+        return term.factors[0], rest, alpha
+    return None, None, alpha
+
+
+def _split_trailing(term: Expr) -> tuple[Expr | None, Expr | None, float]:
+    alpha = 1.0
+    if isinstance(term, Scale):
+        alpha = term.alpha
+        term = term.child
+    if isinstance(term, MatMul):
+        rest = (
+            MatMul(*term.factors[:-1])
+            if len(term.factors) > 2
+            else term.factors[0]
+        )
+        return term.factors[-1], rest, alpha
+    return None, None, alpha
+
+
+def _factor(expr: Expr) -> Iterator[tuple[Expr, str]]:
+    """Collect a common leading/trailing factor out of a pair of terms.
+
+    ``A B + A C → A (B + C)`` — the right-to-left direction of Eq. 9.
+    Applied to every pair of terms of a sum.
+    """
+    if not isinstance(expr, Add):
+        return
+    terms = expr.terms
+    for i in range(len(terms)):
+        for j in range(i + 1, len(terms)):
+            li, ri, ai = _split_leading(terms[i])
+            lj, rj, aj = _split_leading(terms[j])
+            if li is not None and lj is not None and li == lj:
+                combined = MatMul(li, Add(Scale(ai, ri), Scale(aj, rj)))
+                others = [t for k, t in enumerate(terms) if k not in (i, j)]
+                yield (
+                    Add(combined, *others) if others else combined,
+                    f"factor out leading {li.pretty()}",
+                )
+            ti, hi, ai = _split_trailing(terms[i])
+            tj, hj, aj = _split_trailing(terms[j])
+            if ti is not None and tj is not None and ti == tj:
+                combined = MatMul(Add(Scale(ai, hi), Scale(aj, hj)), ti)
+                others = [t for k, t in enumerate(terms) if k not in (i, j)]
+                yield (
+                    Add(combined, *others) if others else combined,
+                    f"factor out trailing {ti.pretty()}",
+                )
+
+
+def _orthogonal_cancel(expr: Expr) -> Iterator[tuple[Expr, str]]:
+    """``… Qᵀ Q … → … I … → …`` for orthogonal ``Q`` (Sec. III-C)."""
+    if not isinstance(expr, MatMul):
+        return
+    factors = expr.factors
+    for i in range(len(factors) - 1):
+        a, b = factors[i], factors[i + 1]
+        qt_q = (
+            isinstance(a, Transpose)
+            and isinstance(a.child, Symbol)
+            and a.child.is_orthogonal()
+            and a.child == b
+        )
+        q_qt = (
+            isinstance(b, Transpose)
+            and isinstance(b.child, Symbol)
+            and b.child.is_orthogonal()
+            and b.child == a
+        )
+        if qt_q or q_qt:
+            remaining = factors[:i] + factors[i + 2 :]
+            q = a.child if qt_q else b.child  # type: ignore[union-attr]
+            if remaining:
+                yield MatMul(*remaining), f"cancel {q.name}ᵀ{q.name} (orthogonal)"
+            else:
+                yield Identity(expr.rows), f"cancel {q.name}ᵀ{q.name} (orthogonal)"
+
+
+def _pull_scale_out_of_sum(expr: Expr) -> Iterator[tuple[Expr, str]]:
+    """``aX + aY → a(X + Y)`` (one add instead of two scalings)."""
+    if not isinstance(expr, Add):
+        return
+    scaled = [t for t in expr.terms if isinstance(t, Scale)]
+    if len(scaled) < 2:
+        return
+    alphas = {t.alpha for t in scaled}
+    for alpha in alphas:
+        group = [t for t in scaled if isinstance(t, Scale) and t.alpha == alpha]
+        if len(group) < 2:
+            continue
+        others = [t for t in expr.terms if t not in group]
+        pulled = Scale(alpha, Add(*[t.child for t in group]))
+        yield (
+            Add(pulled, *others) if others else pulled,
+            f"pull scale {alpha:g} out of sum",
+        )
+
+
+DEFAULT_RULES: tuple[Rule, ...] = (
+    Rule("expand", _expand),
+    Rule("factor", _factor),
+    Rule("orthogonal_cancel", _orthogonal_cancel),
+    Rule("pull_scale", _pull_scale_out_of_sum),
+)
+
+
+# -- generic application ----------------------------------------------------------------
+
+
+def _replace_child(expr: Expr, index: int, new_child: Expr) -> Expr:
+    """Rebuild ``expr`` with child ``index`` replaced (re-canonicalizes)."""
+    if isinstance(expr, MatMul):
+        factors = list(expr.factors)
+        factors[index] = new_child
+        return MatMul(*factors)
+    if isinstance(expr, Add):
+        terms = list(expr.terms)
+        terms[index] = new_child
+        return Add(*terms)
+    if isinstance(expr, Scale):
+        return Scale(expr.alpha, new_child)
+    if isinstance(expr, Transpose):
+        return Transpose(new_child)
+    raise TypeError(f"{type(expr).__name__} has no children")  # pragma: no cover
+
+
+def apply_everywhere(rule: Rule, expr: Expr) -> Iterator[RuleApplication]:
+    """Yield every whole-expression rewrite from applying ``rule`` at any
+    sub-expression position."""
+    for local_result, desc in rule.local(expr):
+        yield RuleApplication(local_result, rule.name, desc)
+    for i, child in enumerate(expr.children()):
+        for app in apply_everywhere(rule, child):
+            rebuilt = _replace_child(expr, i, app.result)
+            yield RuleApplication(rebuilt, app.rule, app.description)

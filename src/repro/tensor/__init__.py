@@ -1,0 +1,72 @@
+"""Dense tensor substrate shared by both simulated frameworks.
+
+A :class:`~repro.tensor.tensor.Tensor` is a thin, immutable-by-convention
+wrapper around a numpy array that additionally carries a set of *matrix
+properties* (triangular, symmetric, diagonal, ...).  The properties are the
+information a "linear-algebra-aware" framework would need to dispatch the
+specialized kernels of Experiment 3; the simulated frameworks deliberately
+ignore them on the default path, exactly like TF/PyT.
+"""
+
+from .dtypes import DEFAULT_DTYPE, normalize_dtype
+from .properties import (
+    ALL_PROPERTIES,
+    IMPLICATIONS,
+    Property,
+    PropertySet,
+    closure,
+    detect_properties,
+    verify_property,
+)
+from .tensor import Tensor
+from .creation import (
+    block_diag,
+    concat,
+    diag,
+    eye,
+    from_numpy,
+    ones,
+    tridiag,
+    zeros,
+)
+from .random import (
+    random_diagonal,
+    random_general,
+    random_lower_triangular,
+    random_orthogonal,
+    random_spd,
+    random_symmetric,
+    random_tridiagonal,
+    random_upper_triangular,
+    random_vector,
+)
+
+__all__ = [
+    "DEFAULT_DTYPE",
+    "normalize_dtype",
+    "Property",
+    "PropertySet",
+    "ALL_PROPERTIES",
+    "IMPLICATIONS",
+    "closure",
+    "detect_properties",
+    "verify_property",
+    "Tensor",
+    "from_numpy",
+    "zeros",
+    "ones",
+    "eye",
+    "diag",
+    "tridiag",
+    "block_diag",
+    "concat",
+    "random_general",
+    "random_diagonal",
+    "random_vector",
+    "random_lower_triangular",
+    "random_upper_triangular",
+    "random_symmetric",
+    "random_spd",
+    "random_orthogonal",
+    "random_tridiagonal",
+]

@@ -1,0 +1,101 @@
+"""Tensor constructors with correct property annotations."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..kernels.special import tridiag_from_bands
+from .dtypes import normalize_dtype
+from .properties import Property
+from .tensor import Tensor
+
+
+def from_numpy(a: np.ndarray, *props: Property, detect: bool = False) -> Tensor:
+    """Wrap an ndarray, optionally annotating or auto-detecting properties."""
+    return Tensor(a, props, detect=detect)
+
+
+def zeros(m: int, n: int | None = None, *, dtype: object | None = None) -> Tensor:
+    """An m×n (or m×m) zero tensor, annotated ZERO."""
+    n = m if n is None else n
+    return Tensor(np.zeros((m, n), dtype=normalize_dtype(dtype)), {Property.ZERO})
+
+
+def ones(m: int, n: int | None = None, *, dtype: object | None = None) -> Tensor:
+    """An m×n (or m×m) all-ones tensor."""
+    n = m if n is None else n
+    return Tensor(np.ones((m, n), dtype=normalize_dtype(dtype)))
+
+
+def eye(n: int, *, dtype: object | None = None) -> Tensor:
+    """The n×n identity, annotated IDENTITY (hence diagonal, orthogonal, SPD)."""
+    return Tensor(np.eye(n, dtype=normalize_dtype(dtype)), {Property.IDENTITY})
+
+
+def diag(values: Sequence[float] | np.ndarray, *, dtype: object | None = None) -> Tensor:
+    """A diagonal tensor from a vector of diagonal entries."""
+    v = np.asarray(values, dtype=normalize_dtype(dtype)).ravel()
+    return Tensor(np.diag(v), {Property.DIAGONAL})
+
+
+def tridiag(
+    dl: Sequence[float] | np.ndarray,
+    d: Sequence[float] | np.ndarray,
+    du: Sequence[float] | np.ndarray,
+    *,
+    dtype: object | None = None,
+) -> Tensor:
+    """A tridiagonal tensor from its three bands, annotated TRIDIAGONAL."""
+    target = normalize_dtype(dtype)
+    t = tridiag_from_bands(
+        np.asarray(dl, dtype=target),
+        np.asarray(d, dtype=target),
+        np.asarray(du, dtype=target),
+    )
+    return Tensor(t, {Property.TRIDIAGONAL})
+
+
+def block_diag(*blocks: Tensor | np.ndarray) -> Tensor:
+    """A block-diagonal tensor from square blocks, annotated BLOCK_DIAGONAL.
+
+    This is the explicit concatenation the paper's Experiment 4 performs so
+    that the construction is visible to the computational graph.
+    """
+    if not blocks:
+        raise ShapeError("block_diag needs at least one block")
+    arrays = [b.data if isinstance(b, Tensor) else np.asarray(b) for b in blocks]
+    for a in arrays:
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ShapeError(f"block_diag blocks must be square, got {a.shape}")
+    n = sum(a.shape[0] for a in arrays)
+    out = np.zeros((n, n), dtype=arrays[0].dtype)
+    row = 0
+    for a in arrays:
+        k = a.shape[0]
+        out[row : row + k, row : row + k] = a
+        row += k
+    props = {Property.BLOCK_DIAGONAL}
+    if all(
+        isinstance(b, Tensor) and Property.LOWER_TRIANGULAR in b.props for b in blocks
+    ):
+        props.add(Property.LOWER_TRIANGULAR)
+    if all(
+        isinstance(b, Tensor) and Property.UPPER_TRIANGULAR in b.props for b in blocks
+    ):
+        props.add(Property.UPPER_TRIANGULAR)
+    if all(isinstance(b, Tensor) and Property.SYMMETRIC in b.props for b in blocks):
+        props.add(Property.SYMMETRIC)
+    return Tensor(out, props)
+
+
+def concat(tensors: Sequence[Tensor], *, axis: int = 0) -> Tensor:
+    """Concatenate tensors along rows (axis=0) or columns (axis=1)."""
+    if not tensors:
+        raise ShapeError("concat needs at least one tensor")
+    if axis not in (0, 1):
+        raise ShapeError(f"concat axis must be 0 or 1, got {axis}")
+    arrays = [t.data if isinstance(t, Tensor) else np.asarray(t) for t in tensors]
+    return Tensor(np.concatenate(arrays, axis=axis))

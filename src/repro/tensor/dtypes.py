@@ -1,0 +1,55 @@
+"""Dtype handling.
+
+Both TensorFlow and PyTorch default to single precision (the paper's
+footnote 3); the simulated frameworks follow suit.  Only float32 and
+float64 are supported — the BLAS substrate has no other real kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import config
+from ..errors import DTypeError
+
+#: Mapping of accepted dtype spellings to canonical numpy dtypes.
+_ALIASES: dict[str, np.dtype] = {
+    "float32": np.dtype(np.float32),
+    "f4": np.dtype(np.float32),
+    "single": np.dtype(np.float32),
+    "float64": np.dtype(np.float64),
+    "f8": np.dtype(np.float64),
+    "double": np.dtype(np.float64),
+}
+
+
+def DEFAULT_DTYPE() -> np.dtype:
+    """The process-wide default dtype (float32 unless reconfigured)."""
+    return np.dtype(config.default_dtype)
+
+
+def normalize_dtype(dtype: object | None) -> np.dtype:
+    """Canonicalize a dtype spec; ``None`` means the configured default.
+
+    Raises :class:`DTypeError` for anything the kernel layer cannot run.
+    """
+    if dtype is None:
+        return DEFAULT_DTYPE()
+    if isinstance(dtype, str):
+        try:
+            return _ALIASES[dtype]
+        except KeyError:
+            raise DTypeError(f"unsupported dtype {dtype!r}") from None
+    d = np.dtype(dtype)  # may raise TypeError for garbage — let it surface
+    if d not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise DTypeError(f"unsupported dtype {d}; only float32/float64 have kernels")
+    return d
+
+
+def result_dtype(*dtypes: np.dtype) -> np.dtype:
+    """Common dtype of operands; mixing f32 and f64 is an error (no silent
+    promotion — it would silently double the measured FLOP cost)."""
+    unique = {np.dtype(d) for d in dtypes}
+    if len(unique) != 1:
+        raise DTypeError(f"mixed operand dtypes: {sorted(str(d) for d in unique)}")
+    return next(iter(unique))

@@ -1,0 +1,118 @@
+"""Reproducible random operand generators for experiments and tests.
+
+Every generator takes an explicit ``seed`` (defaulting to the configured
+one) so that a benchmark row can be regenerated bit-for-bit.  Entries are
+drawn uniformly from [-1, 1) scaled by 1/sqrt(n), keeping products of long
+chains at O(1) magnitude — float32 experiments at n = 3000 overflow
+otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import config
+from .dtypes import normalize_dtype
+from .properties import Property
+from .tensor import Tensor
+
+
+def _rng(seed: int | None) -> np.random.Generator:
+    return np.random.default_rng(config.seed if seed is None else seed)
+
+
+def _uniform(rng: np.random.Generator, m: int, n: int, dtype: np.dtype) -> np.ndarray:
+    scale = 1.0 / np.sqrt(max(m, n))
+    return ((rng.random((m, n)) * 2.0 - 1.0) * scale).astype(dtype)
+
+
+def random_general(
+    m: int, n: int | None = None, *, dtype: object | None = None, seed: int | None = None
+) -> Tensor:
+    """A dense m×n (or m×m) tensor with no structure."""
+    n = m if n is None else n
+    return Tensor(_uniform(_rng(seed), m, n, normalize_dtype(dtype)))
+
+
+def random_vector(
+    n: int, *, row: bool = False, dtype: object | None = None, seed: int | None = None
+) -> Tensor:
+    """A column (n×1) or row (1×n) vector."""
+    shape = (1, n) if row else (n, 1)
+    return Tensor(_uniform(_rng(seed), *shape, normalize_dtype(dtype)))
+
+
+def random_lower_triangular(
+    n: int, *, dtype: object | None = None, seed: int | None = None
+) -> Tensor:
+    """A lower-triangular n×n tensor, annotated LOWER_TRIANGULAR."""
+    a = np.tril(_uniform(_rng(seed), n, n, normalize_dtype(dtype)))
+    return Tensor(a, {Property.LOWER_TRIANGULAR})
+
+
+def random_upper_triangular(
+    n: int, *, dtype: object | None = None, seed: int | None = None
+) -> Tensor:
+    """An upper-triangular n×n tensor, annotated UPPER_TRIANGULAR."""
+    a = np.triu(_uniform(_rng(seed), n, n, normalize_dtype(dtype)))
+    return Tensor(a, {Property.UPPER_TRIANGULAR})
+
+
+def random_symmetric(
+    n: int, *, dtype: object | None = None, seed: int | None = None
+) -> Tensor:
+    """A symmetric n×n tensor, annotated SYMMETRIC."""
+    a = _uniform(_rng(seed), n, n, normalize_dtype(dtype))
+    return Tensor((a + a.T) * a.dtype.type(0.5), {Property.SYMMETRIC})
+
+
+def random_spd(
+    n: int, *, dtype: object | None = None, seed: int | None = None
+) -> Tensor:
+    """A symmetric positive definite n×n tensor, annotated SPD.
+
+    Built as ``AAᵀ + n·I`` scaled back to O(1), guaranteeing definiteness
+    well away from float32 round-off.
+    """
+    d = normalize_dtype(dtype)
+    a = _uniform(_rng(seed), n, n, d).astype(np.float64)
+    spd = a @ a.T + np.eye(n)
+    spd /= np.linalg.norm(spd, ord=2)
+    spd += np.eye(n) * 0.1
+    return Tensor(spd.astype(d), {Property.SPD})
+
+
+def random_orthogonal(
+    n: int, *, dtype: object | None = None, seed: int | None = None
+) -> Tensor:
+    """An orthogonal n×n tensor (QR of a Gaussian), annotated ORTHOGONAL."""
+    rng = _rng(seed)
+    q, r = np.linalg.qr(rng.standard_normal((n, n)))
+    # Fix the sign convention so Q is Haar-distributed (and reproducible).
+    q = q * np.sign(np.diagonal(r))
+    return Tensor(q.astype(normalize_dtype(dtype)), {Property.ORTHOGONAL})
+
+
+def random_tridiagonal(
+    n: int, *, dtype: object | None = None, seed: int | None = None
+) -> Tensor:
+    """A tridiagonal n×n tensor, annotated TRIDIAGONAL."""
+    rng = _rng(seed)
+    d = normalize_dtype(dtype)
+    from ..kernels.special import tridiag_from_bands
+
+    t = tridiag_from_bands(
+        (rng.random(n - 1) * 2 - 1).astype(d),
+        (rng.random(n) * 2 - 1).astype(d),
+        (rng.random(n - 1) * 2 - 1).astype(d),
+    )
+    return Tensor(t, {Property.TRIDIAGONAL})
+
+
+def random_diagonal(
+    n: int, *, dtype: object | None = None, seed: int | None = None
+) -> Tensor:
+    """A diagonal n×n tensor, annotated DIAGONAL."""
+    rng = _rng(seed)
+    d = normalize_dtype(dtype)
+    return Tensor(np.diag((rng.random(n) * 2 - 1).astype(d)), {Property.DIAGONAL})

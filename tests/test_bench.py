@@ -1,0 +1,198 @@
+"""Tests for the measurement harness: timing, bootstrap, reporting, registry."""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BootstrapResult,
+    Cell,
+    ExperimentTable,
+    TimingSample,
+    Verdict,
+    bootstrap_compare,
+    format_seconds,
+    measure,
+    measure_callable_pair,
+)
+from repro.bench.registry import get_experiment, register_experiment
+from repro.errors import BenchmarkError
+
+
+class TestTimingSample:
+    def test_best_is_min(self):
+        s = TimingSample("x", (0.5, 0.2, 0.9))
+        assert s.best == 0.2
+
+    def test_median_mean(self):
+        s = TimingSample("x", (1.0, 2.0, 3.0))
+        assert s.median == 2.0
+        assert s.mean == pytest.approx(2.0)
+
+    def test_quantile(self):
+        s = TimingSample("x", tuple(float(i) for i in range(1, 11)))
+        assert s.quantile(0.0) == 1.0
+        assert s.quantile(1.0) == 10.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(BenchmarkError):
+            TimingSample("x", ())
+
+
+class TestMeasure:
+    def test_repetition_count(self, tiny_bench_config):
+        calls = []
+        measure(lambda: calls.append(1), repetitions=5, warmup=2)
+        assert len(calls) == 7  # 2 warmup + 5 timed
+
+    def test_times_positive(self, tiny_bench_config):
+        s = measure(lambda: sum(range(1000)), repetitions=3, warmup=0)
+        assert all(t > 0 for t in s.times)
+        assert len(s.times) == 3
+
+    def test_detects_slow_function(self, tiny_bench_config):
+        fast = measure(lambda: None, repetitions=3, warmup=0)
+        slow = measure(lambda: time.sleep(0.01), repetitions=3, warmup=0)
+        assert slow.best > fast.best * 10
+
+    def test_zero_repetitions_rejected(self):
+        with pytest.raises(BenchmarkError):
+            measure(lambda: None, repetitions=0)
+
+    def test_interleaved_pair(self, tiny_bench_config):
+        a, b = measure_callable_pair(
+            lambda: None,
+            lambda: time.sleep(0.005),
+            labels=("fast", "slow"),
+            repetitions=3,
+            warmup=0,
+        )
+        assert a.label == "fast"
+        assert b.best > a.best
+
+
+class TestBootstrap:
+    def _sample(self, center, spread, label, n=20, seed=0):
+        rng = np.random.default_rng(seed)
+        return TimingSample(label, tuple(center + spread * rng.random(n)))
+
+    def test_clear_difference_detected(self):
+        a = self._sample(0.10, 0.01, "a")
+        b = self._sample(0.20, 0.01, "b", seed=1)
+        res = bootstrap_compare(a, b)
+        assert res.verdict is Verdict.A_FASTER
+        assert res.significant
+        assert res.p_a_faster > 0.99
+
+    def test_reverse_direction(self):
+        a = self._sample(0.30, 0.01, "a")
+        b = self._sample(0.10, 0.01, "b", seed=1)
+        res = bootstrap_compare(a, b)
+        assert res.verdict is Verdict.B_FASTER
+
+    def test_identical_indistinguishable(self):
+        a = self._sample(0.10, 0.05, "a", seed=2)
+        b = self._sample(0.10, 0.05, "b", seed=3)
+        res = bootstrap_compare(a, b)
+        assert res.verdict is Verdict.INDISTINGUISHABLE
+        assert not res.significant
+
+    def test_ratio_ci_brackets_truth(self):
+        a = self._sample(0.10, 0.005, "a")
+        b = self._sample(0.30, 0.005, "b", seed=1)
+        res = bootstrap_compare(a, b)
+        lo, hi = res.ratio_ci
+        assert lo <= 3.0 <= hi * 1.2
+
+    def test_describe(self):
+        a = self._sample(0.1, 0.01, "alg_a")
+        b = self._sample(0.2, 0.01, "alg_b", seed=1)
+        text = bootstrap_compare(a, b).describe()
+        assert "alg_a" in text and "faster" in text
+
+    def test_deterministic_given_seed(self):
+        a = self._sample(0.1, 0.02, "a")
+        b = self._sample(0.12, 0.02, "b", seed=1)
+        r1 = bootstrap_compare(a, b, seed=7)
+        r2 = bootstrap_compare(a, b, seed=7)
+        assert r1.p_a_faster == r2.p_a_faster
+
+    def test_bad_quantile_rejected(self):
+        a = self._sample(0.1, 0.01, "a")
+        with pytest.raises(BenchmarkError):
+            bootstrap_compare(a, a, quantile=1.5)
+
+
+class TestReporting:
+    def test_format_seconds(self):
+        assert format_seconds(0.40) == "0.40"
+        assert format_seconds(0.006) == "0.006"
+        assert format_seconds(0.0006) == "6.0e-04"
+        assert format_seconds(None) == "–"
+
+    def _table(self):
+        t = ExperimentTable(title="Demo", columns=["TF", "PyT"])
+        t.add_row("expr1", TF=0.5, PyT=0.25)
+        t.add_row("expr2", TF="n.a.", PyT=Cell(seconds=0.1))
+        return t
+
+    def test_cell_lookup(self):
+        t = self._table()
+        assert t.seconds("expr1", "TF") == 0.5
+        assert t.cell("expr2", "TF").text == "n.a."
+
+    def test_missing_lookup_raises(self):
+        t = self._table()
+        with pytest.raises(KeyError):
+            t.seconds("nope", "TF")
+        with pytest.raises(KeyError):
+            t.seconds("expr2", "TF")  # text cell has no timing
+
+    def test_unknown_column_rejected(self):
+        t = ExperimentTable(title="T", columns=["A"])
+        with pytest.raises(KeyError):
+            t.add_row("r", B=1.0)
+
+    def test_render_contains_everything(self):
+        t = self._table()
+        t.notes.append("a note")
+        text = t.render()
+        assert "Demo" in text and "expr1" in text and "0.50" in text
+        assert "a note" in text
+
+    def test_markdown(self):
+        md = self._table().to_markdown()
+        assert md.startswith("### Demo")
+        assert "| expr1 |" in md
+
+    def test_json_roundtrip(self):
+        payload = json.loads(self._table().to_json())
+        assert payload["title"] == "Demo"
+        assert payload["rows"][0]["cells"]["TF"] == 0.5
+        assert payload["rows"][1]["cells"]["TF"] == "n.a."
+
+    def test_column_keyification(self):
+        t = ExperimentTable(title="T", columns=["TF graph", "measured (s)"])
+        t.add_row("r", TF_graph=0.1, measured__s_=0.2)
+        assert t.seconds("r", "TF graph") == 0.1
+
+
+class TestRegistry:
+    def test_known_experiments_registered(self):
+        import repro.experiments  # noqa: F401
+        from repro.bench.registry import EXPERIMENTS
+
+        for name in ("fig1", "table1", "exp1", "exp2", "exp3", "exp4",
+                     "exp5", "fig6", "fig7", "ablation", "solve"):
+            assert name in EXPERIMENTS
+
+    def test_unknown_experiment(self):
+        with pytest.raises(BenchmarkError):
+            get_experiment("definitely_not_registered")
+
+    def test_double_registration_rejected(self):
+        register_experiment("test_dup_xyz", "none", "test")(lambda: None)
+        with pytest.raises(BenchmarkError):
+            register_experiment("test_dup_xyz", "none", "test")(lambda: None)

@@ -1,0 +1,45 @@
+"""Tests for the cache flusher and the Fig. 6 experiment."""
+
+import numpy as np
+import pytest
+
+from repro.bench.cache import DEFAULT_FLUSH_BYTES, CacheFlusher
+
+
+class TestCacheFlusher:
+    def test_buffer_size(self):
+        flush = CacheFlusher(nbytes=1024 * 1024)
+        assert flush.nbytes == 1024 * 1024
+
+    def test_default_size_exceeds_typical_llc(self):
+        assert DEFAULT_FLUSH_BYTES >= 32 * 1024 * 1024
+
+    def test_callable_returns_value(self):
+        flush = CacheFlusher(nbytes=1 << 16)
+        v1 = flush()
+        v2 = flush()
+        # each call mutates the buffer, so the reduction changes
+        assert v1 != v2
+
+    def test_touches_whole_buffer(self):
+        flush = CacheFlusher(nbytes=1 << 12)
+        flush()
+        assert np.all(flush._buffer == 1.0)
+        flush()
+        assert np.all(flush._buffer == 3.0)  # += 2.0 on second call
+
+
+class TestFig6Experiment:
+    def test_runs_and_reports_verdict(self):
+        import repro.experiments  # noqa: F401
+        from repro.bench.registry import EXPERIMENTS
+        from repro.config import override
+
+        with override(repetitions=3, warmup=1):
+            table = EXPERIMENTS["fig6"].fn(n=96, repetitions=3)
+        assert len(table.rows) == 2
+        # both rows report identical FLOP counts (the figure's premise)
+        f1 = table.cell("U=AB; V=CD; Y=UV", "FLOPs").text
+        f2 = table.cell("V=CD; U=AB; Y=UV", "FLOPs").text
+        assert f1 == f2
+        assert any("bootstrap verdict" in note for note in table.notes)

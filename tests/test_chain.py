@@ -1,0 +1,169 @@
+"""Tests for the matrix-chain DP, enumeration, and evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.chain import (
+    catalan,
+    chain_cost,
+    count_parenthesizations,
+    enumerate_parenthesizations,
+    evaluate_chain,
+    optimal_parenthesization,
+    parse_tree_flops,
+)
+from repro.chain.dp import chain_dims, left_to_right_tree, right_to_left_tree
+from repro.errors import ChainError
+
+
+class TestCatalan:
+    def test_first_values(self):
+        assert [catalan(i) for i in range(8)] == [1, 1, 2, 5, 14, 42, 132, 429]
+
+    def test_count_matches_paper(self):
+        # Paper Sec. III-B: length-m chain has C_{m-1} parenthesizations.
+        assert count_parenthesizations(4) == 5  # Fig. 7
+        assert count_parenthesizations(2) == 1
+        assert count_parenthesizations(3) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ChainError):
+            catalan(-1)
+
+
+class TestChainDims:
+    def test_valid(self):
+        assert chain_dims([(3, 4), (4, 5), (5, 6)]) == (3, 4, 5, 6)
+
+    def test_incompatible(self):
+        with pytest.raises(ChainError):
+            chain_dims([(3, 4), (5, 6)])
+
+    def test_empty(self):
+        with pytest.raises(ChainError):
+            chain_dims([])
+
+
+class TestDP:
+    def test_textbook_example(self):
+        """CLRS example: dims 30,35,15,5,10,20,25 -> 15125 scalar mults."""
+        dims = [30, 35, 15, 5, 10, 20, 25]
+        shapes = [(dims[i], dims[i + 1]) for i in range(6)]
+        sol = optimal_parenthesization(shapes)
+        assert sol.flops == 2 * 15125  # our model counts mul+add
+
+    def test_single_matrix(self):
+        sol = optimal_parenthesization([(3, 4)])
+        assert sol.flops == 0
+        assert sol.tree == 0
+
+    def test_two_matrices(self):
+        sol = optimal_parenthesization([(3, 4), (4, 5)])
+        assert sol.flops == 2 * 3 * 4 * 5
+
+    def test_right_to_left_case(self):
+        """HᵀHx: DP must pick right-to-left (paper Eq. 5)."""
+        n = 100
+        sol = optimal_parenthesization([(n, n), (n, n), (n, 1)])
+        assert sol.tree == (0, (1, 2))
+        assert sol.flops == 4 * n * n
+
+    def test_left_to_right_case(self):
+        """yᵀHᵀH: DP must pick left-to-right (paper Eq. 6)."""
+        n = 100
+        sol = optimal_parenthesization([(1, n), (n, n), (n, n)])
+        assert sol.tree == ((0, 1), 2)
+
+    def test_mixed_case(self):
+        """HᵀyxᵀH: DP must pick (Hᵀy)(xᵀH) (paper Eq. 7)."""
+        n = 100
+        sol = optimal_parenthesization([(n, n), (n, 1), (1, n), (n, n)])
+        assert sol.tree == ((0, 1), (2, 3))
+
+    def test_describe(self):
+        sol = optimal_parenthesization([(10, 100), (100, 5), (5, 50)])
+        assert sol.describe(["A", "B", "C"]) == "((A B) C)"
+
+    def test_dp_matches_brute_force(self, rng):
+        """Optimality oracle: DP result equals exhaustive minimum."""
+        for _ in range(25):
+            m = int(rng.integers(2, 7))
+            dims = [int(d) for d in rng.integers(1, 60, size=m + 1)]
+            shapes = [(dims[i], dims[i + 1]) for i in range(m)]
+            sol = optimal_parenthesization(shapes)
+            brute = enumerate_parenthesizations(shapes)
+            assert sol.flops == brute[0].flops
+
+    def test_helper_trees(self):
+        assert left_to_right_tree(4) == (((0, 1), 2), 3)
+        assert right_to_left_tree(4) == (0, (1, (2, 3)))
+        with pytest.raises(ChainError):
+            left_to_right_tree(0)
+
+
+class TestEnumeration:
+    def test_fig7_count_and_order(self):
+        """Fig. 7: 5 variants for length 4, sorted cheapest first."""
+        shapes = [(40, 40), (40, 2), (2, 40), (40, 40)]
+        out = enumerate_parenthesizations(shapes, ["A", "B", "C", "D"])
+        assert len(out) == 5
+        assert out[0].expression == "((A B) (C D))"
+        flops = [p.flops for p in out]
+        assert flops == sorted(flops)
+
+    def test_expressions_unique(self):
+        shapes = [(8, 8)] * 5
+        out = enumerate_parenthesizations(shapes)
+        exprs = [p.expression for p in out]
+        assert len(set(exprs)) == len(exprs) == 14
+
+    def test_long_chain_refused(self):
+        with pytest.raises(ChainError):
+            enumerate_parenthesizations([(2, 2)] * 20)
+
+    def test_name_count_checked(self):
+        with pytest.raises(ChainError):
+            enumerate_parenthesizations([(2, 2), (2, 2)], ["A"])
+
+
+class TestEvaluation:
+    def test_all_parenthesizations_agree(self, rng):
+        shapes = [(6, 9), (9, 3), (3, 7), (7, 4)]
+        mats = [(rng.random(s) - 0.5).astype(np.float64) for s in shapes]
+        ref = mats[0] @ mats[1] @ mats[2] @ mats[3]
+        for p in enumerate_parenthesizations(shapes):
+            assert np.allclose(evaluate_chain(mats, p.tree), ref, atol=1e-10)
+
+    def test_default_tree_is_optimal(self, rng):
+        shapes = [(5, 50), (50, 2), (2, 40)]
+        mats = [(rng.random(s) - 0.5).astype(np.float32) for s in shapes]
+        ref = mats[0] @ (mats[1] @ mats[2])
+        assert np.allclose(evaluate_chain(mats), ref, atol=1e-4)
+
+    def test_parse_tree_flops_matches_enumeration(self):
+        shapes = [(8, 3), (3, 9), (9, 2)]
+        dims = chain_dims(shapes)
+        for p in enumerate_parenthesizations(shapes):
+            assert parse_tree_flops(p.tree, dims) == p.flops
+
+    def test_chain_cost_default_optimal(self):
+        shapes = [(100, 100), (100, 100), (100, 1)]
+        assert chain_cost(shapes) == optimal_parenthesization(shapes).flops
+
+    def test_chain_cost_explicit_tree(self):
+        shapes = [(10, 10), (10, 10), (10, 1)]
+        lr = chain_cost(shapes, ((0, 1), 2))
+        rl = chain_cost(shapes, (0, (1, 2)))
+        assert lr > rl
+
+    def test_bad_tree_rejected(self):
+        with pytest.raises(ChainError):
+            parse_tree_flops((0, 0), (3, 4, 5))
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ChainError):
+            evaluate_chain([])
+
+    def test_vector_operand_rejected(self, rng):
+        with pytest.raises(ChainError):
+            evaluate_chain([rng.random(5)])

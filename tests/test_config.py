@@ -1,0 +1,90 @@
+"""Tests for repro.config."""
+
+import os
+
+import pytest
+
+from repro.config import Config, config, iter_thread_vars, limit_threads, override
+from repro.errors import ConfigError
+
+
+class TestLimitThreads:
+    def test_sets_all_blas_vars(self):
+        limit_threads(1)
+        values = dict(iter_thread_vars())
+        assert values["OMP_NUM_THREADS"] == "1"
+        assert values["MKL_NUM_THREADS"] == "1"
+        assert values["OPENBLAS_NUM_THREADS"] == "1"
+
+    def test_multiple_calls_overwrite(self):
+        limit_threads(2)
+        assert os.environ["OMP_NUM_THREADS"] == "2"
+        limit_threads(1)
+        assert os.environ["OMP_NUM_THREADS"] == "1"
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            limit_threads(0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            limit_threads(-3)
+
+
+class TestConfigValidation:
+    def test_default_is_valid(self):
+        Config().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("default_dtype", "int8"),
+            ("problem_size", 0),
+            ("repetitions", 0),
+            ("warmup", -1),
+            ("bootstrap_samples", 0),
+            ("alpha", 0.0),
+            ("alpha", 1.0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        cfg = Config(**{field: value})
+        with pytest.raises(ConfigError):
+            cfg.validate()
+
+    def test_paper_defaults(self):
+        cfg = Config()
+        assert cfg.default_dtype == "float32"  # paper footnote 3
+        assert cfg.repetitions == 20  # paper Sec. III
+
+
+class TestOverride:
+    def test_restores_on_exit(self):
+        before = config.problem_size
+        with override(problem_size=128):
+            assert config.problem_size == 128
+        assert config.problem_size == before
+
+    def test_restores_on_exception(self):
+        before = config.repetitions
+        with pytest.raises(RuntimeError):
+            with override(repetitions=5):
+                raise RuntimeError("boom")
+        assert config.repetitions == before
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError):
+            override(not_a_field=1)
+
+    def test_invalid_value_rejected_at_enter(self):
+        with pytest.raises(ConfigError):
+            with override(problem_size=-1):
+                pass  # pragma: no cover
+
+    def test_nested_overrides(self):
+        base = config.problem_size
+        with override(problem_size=100):
+            with override(problem_size=200):
+                assert config.problem_size == 200
+            assert config.problem_size == 100
+        assert config.problem_size == base

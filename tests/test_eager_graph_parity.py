@@ -1,0 +1,115 @@
+"""Eager/graph-mode parity: the same user code must produce the same values
+in both execution modes, in both frameworks — the contract that lets real
+TF/PyT users move between research and deployment (paper Sec. III)."""
+
+import numpy as np
+import pytest
+
+from repro.frameworks import pytsim, tfsim
+from repro.tensor import random_general, random_vector
+
+N = 20
+
+
+@pytest.fixture(scope="module")
+def args3():
+    return (
+        random_general(N, seed=1),
+        random_general(N, seed=2),
+        random_vector(N, seed=3),
+    )
+
+
+# (id, expression over (a, b, x)) — written with operators so the identical
+# callable runs eagerly on Tensors and symbolically under tracing.
+EXPRESSIONS = [
+    ("matmul", lambda a, b, x: a @ b),
+    ("matmul_chain", lambda a, b, x: a @ b @ x),
+    ("transpose_product", lambda a, b, x: a.T @ b),
+    ("gram", lambda a, b, x: (a.T @ b).T @ (a.T @ b)),
+    ("gram_noparen", lambda a, b, x: (a.T @ b).T @ a.T @ b),
+    ("sum_of_products", lambda a, b, x: a @ b + b @ a),
+    ("self_sum", lambda a, b, x: a.T @ b + a.T @ b),
+    ("difference", lambda a, b, x: a @ b - b @ a),
+    ("scaled", lambda a, b, x: 2.5 * (a @ b) - a @ b * 0.5),
+    ("negated", lambda a, b, x: -(a @ x)),
+    ("double_transpose", lambda a, b, x: a.T.T @ x),
+    ("slice_element", lambda a, b, x: (a @ b)[2, 2]),
+    ("slice_block", lambda a, b, x: (a + b)[1:4, 2:6]),
+    ("vector_sandwich", lambda a, b, x: x.T @ a @ x),
+    ("outer_product", lambda a, b, x: x @ x.T + a),
+    ("long_mixed", lambda a, b, x: (a @ b + b @ a).T @ x - a @ (b @ x)),
+]
+
+
+def _eager_value(fn, args):
+    return fn(*args)
+
+
+@pytest.mark.parametrize("name,fn", EXPRESSIONS, ids=[e[0] for e in EXPRESSIONS])
+class TestParity:
+    def test_tfsim_graph_matches_eager(self, args3, name, fn):
+        eager = _eager_value(fn, args3)
+        compiled = tfsim.function(fn)
+        graph = compiled(*args3)
+        assert graph.allclose(eager, rtol=1e-3, atol=1e-4), name
+
+    def test_pytsim_graph_matches_eager(self, args3, name, fn):
+        eager = _eager_value(fn, args3)
+        compiled = pytsim.jit.script(fn)
+        graph = compiled(*args3)
+        assert graph.allclose(eager, rtol=1e-3, atol=1e-4), name
+
+    def test_tfsim_aware_matches_eager(self, args3, name, fn):
+        eager = _eager_value(fn, args3)
+        compiled = tfsim.function(fn, aware=True)
+        graph = compiled(*args3)
+        assert graph.allclose(eager, rtol=5e-3, atol=1e-3), name
+
+    def test_frameworks_agree(self, args3, name, fn):
+        tf_out = tfsim.function(fn)(*args3)
+        pyt_out = pytsim.jit.script(fn)(*args3)
+        assert tf_out.allclose(pyt_out, rtol=1e-4, atol=1e-5), name
+
+
+class TestNumericReference:
+    """Graph-mode results against a plain-numpy oracle."""
+
+    @pytest.mark.parametrize("name,fn", EXPRESSIONS[:8],
+                             ids=[e[0] for e in EXPRESSIONS[:8]])
+    def test_against_numpy(self, args3, name, fn):
+        a, b, x = (t.numpy().astype(np.float64) for t in args3)
+
+        class _Np:
+            def __init__(self, v):
+                self.v = v
+
+            @property
+            def T(self):
+                return _Np(self.v.T)
+
+            def __matmul__(self, o):
+                return _Np(self.v @ o.v)
+
+            def __add__(self, o):
+                return _Np(self.v + o.v)
+
+            def __sub__(self, o):
+                return _Np(self.v - o.v)
+
+            def __mul__(self, alpha):
+                return _Np(self.v * alpha)
+
+            __rmul__ = __mul__
+
+            def __neg__(self):
+                return _Np(-self.v)
+
+            def __getitem__(self, k):
+                out = self.v[k]
+                return _Np(np.atleast_2d(out))
+
+        ref = fn(_Np(a), _Np(b), _Np(x)).v
+        got = tfsim.function(fn)(*args3)
+        assert np.allclose(got.numpy(), ref.reshape(got.shape),
+                           rtol=1e-3, atol=1e-4), name

@@ -1,0 +1,165 @@
+"""Tests for the pass-level FLOP estimator and the SciPy reference column."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import scipy_reference as ref
+from repro.experiments.workloads import Workloads
+from repro.ir import Graph, builder, trace
+from repro.passes.estimate import node_flops, subtree_flops
+from repro.tensor import random_general
+
+
+class TestNodeFlops:
+    def _inputs(self, m, k, n):
+        return (
+            builder.input_node((m, k), "float32"),
+            builder.input_node((k, n), "float32"),
+        )
+
+    def test_plain_gemm(self):
+        a, b = self._inputs(4, 5, 6)
+        assert node_flops(builder.matmul(a, b)) == 2 * 4 * 5 * 6
+
+    def test_trans_flags_change_dims(self):
+        a = builder.input_node((5, 4), "float32")
+        b = builder.input_node((5, 6), "float32")
+        m = builder.matmul(a, b, trans_a=True)
+        assert node_flops(m) == 2 * 4 * 5 * 6
+
+    @pytest.mark.parametrize(
+        "hint,expected",
+        [
+            ("trmm", 8 * 8 * 8),
+            ("symm", 2 * 8 * 8 * 8),
+            ("diag_matmul", 8 * 8),
+            ("tridiagonal_matmul", 6 * 8 * 8),
+            ("zero", 0),
+            ("identity", 0),
+        ],
+    )
+    def test_kernel_hints(self, hint, expected):
+        a = builder.input_node((8, 8), "float32")
+        b = builder.input_node((8, 8), "float32")
+        m = builder.matmul(a, b, kernel=hint)
+        assert node_flops(m) == expected
+
+    def test_syrk_hint(self):
+        a = builder.input_node((8, 8), "float32")
+        m = builder.matmul(a, a, trans_b=True, kernel="syrk")
+        assert node_flops(m) == 8 * 8 * 8
+
+    def test_elementwise(self):
+        a = builder.input_node((4, 6), "float32")
+        b = builder.input_node((4, 6), "float32")
+        assert node_flops(builder.add(a, b)) == 24
+        assert node_flops(builder.scale(a, 2.0)) == 24
+        assert node_flops(builder.transpose(a)) == 0
+        assert node_flops(builder.slice_(a, 1, 2)) == 0
+
+    def test_loop_multiplies_by_trips(self):
+        idx = builder.input_node((1, 1), "float32")
+        carried = builder.input_node((4, 4), "float32")
+        cap = builder.input_node((4, 4), "float32")
+        body = Graph(
+            [builder.add(carried, builder.matmul(cap, cap))],
+            inputs=[idx, carried, cap],
+        )
+        init = builder.input_node((4, 4), "float32")
+        outer_cap = builder.input_node((4, 4), "float32")
+        loop = builder.loop(body, init, [outer_cap], trip_count=5)
+        per_iter = 2 * 4**3 + 16
+        assert node_flops(loop) == 5 * per_iter
+
+    def test_subtree_counts_shared_once(self):
+        a = builder.input_node((8, 8), "float32")
+        b = builder.input_node((8, 8), "float32")
+        m = builder.matmul(a, b)
+        total = subtree_flops(builder.add(m, m))
+        assert total == 2 * 8**3 + 64  # one gemm + one add
+
+
+class TestScipyReferences:
+    @pytest.fixture(scope="class")
+    def w(self):
+        return Workloads(32)
+
+    def test_gemm_reference(self, w):
+        a, b = w.general(0), w.general(1)
+        out = ref.gemm_reference(a.numpy(), b.numpy(), trans_a=True)
+        assert np.allclose(out, a.numpy().T @ b.numpy(), atol=1e-4)
+
+    def test_gram_reference(self, w):
+        a, b = w.general(0), w.general(1)
+        s = a.numpy().T @ b.numpy()
+        assert np.allclose(ref.gram_reference(a.numpy(), b.numpy()),
+                           s.T @ s, atol=1e-3)
+
+    def test_trmm_reference(self, w):
+        l, b = w.lower_triangular(), w.general(1)
+        assert np.allclose(ref.trmm_reference(l.numpy(), b.numpy()),
+                           l.numpy() @ b.numpy(), atol=1e-4)
+
+    def test_syrk_reference(self, w):
+        a = w.general(0)
+        assert np.allclose(ref.syrk_reference(a.numpy()),
+                           a.numpy() @ a.numpy().T, atol=1e-4)
+
+    def test_tridiag_reference(self, w):
+        t, b = w.tridiagonal(), w.general(1)
+        assert np.allclose(ref.tridiag_scal_reference(t.numpy(), b.numpy()),
+                           t.numpy() @ b.numpy(), atol=1e-4)
+
+    def test_diag_reference(self, w):
+        d, b = w.diagonal(), w.general(1)
+        assert np.allclose(ref.diag_scale_reference(d.numpy(), b.numpy()),
+                           d.numpy() @ b.numpy(), atol=1e-4)
+
+    def test_dot_reference(self, w):
+        a, b = w.general(0), w.general(1)
+        got = ref.dot_reference(a.numpy()[2, :], b.numpy()[:, 2])
+        assert got == pytest.approx(float(a.numpy()[2, :] @ b.numpy()[:, 2]),
+                                    rel=1e-4)
+
+
+class TestWorkloads:
+    def test_reproducible_across_instances(self):
+        w1, w2 = Workloads(16), Workloads(16)
+        assert np.array_equal(w1.general(0).numpy(), w2.general(0).numpy())
+        assert np.array_equal(w1.vector(1).numpy(), w2.vector(1).numpy())
+
+    def test_tags_give_distinct_data(self):
+        w = Workloads(16)
+        assert not np.array_equal(w.general(0).numpy(), w.general(1).numpy())
+
+    def test_blocks_shapes(self):
+        w = Workloads(16)
+        a1, a2, b1, b2 = w.blocks()
+        assert a1.shape == (8, 8) and b1.shape == (8, 16)
+
+    def test_structured_annotations(self):
+        from repro.tensor.properties import Property
+
+        w = Workloads(16)
+        assert Property.LOWER_TRIANGULAR in w.lower_triangular().props
+        assert Property.TRIDIAGONAL in w.tridiagonal().props
+        assert Property.DIAGONAL in w.diagonal().props
+        assert Property.ORTHOGONAL in w.orthogonal().props
+        assert Property.SPD in w.spd().props
+
+    def test_fortran_helper(self):
+        w = Workloads(8)
+        f = w.fortran(w.general(0))
+        assert f.flags["F_CONTIGUOUS"]
+        assert np.array_equal(f, w.general(0).numpy())
+
+    def test_flops_model_matches_interpreter(self):
+        """The estimator and the interpreter must agree on executed FLOPs
+        for hint-free graphs (same cost model end to end)."""
+        from repro.ir import run_graph
+
+        w = Workloads(12)
+        a, b, x = w.general(0), w.general(1), w.vector(0)
+        g = trace(lambda p, q, v: (p @ q) @ v + v, [a, b, x])
+        _, report = run_graph(g, [a.data, b.data, x.data])
+        assert subtree_flops(g.outputs[0]) == report.total_flops

@@ -1,0 +1,271 @@
+"""Tests for the simulated frameworks: tfsim and pytsim."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ChainError, ShapeError, TracingError
+from repro.frameworks import pytsim, tfsim
+from repro.frameworks.common import PYT_PROFILE, TF_PROFILE, CompiledFunction
+from repro.tensor import Tensor
+from repro.tensor.properties import Property
+
+
+class TestTfsimEager:
+    def test_constant(self):
+        t = tfsim.constant([[1.0, 2.0]])
+        assert isinstance(t, Tensor)
+        assert t.shape == (1, 2)
+
+    def test_creation_ops(self):
+        assert Property.IDENTITY in tfsim.eye(4).props
+        assert Property.ZERO in tfsim.zeros(3).props
+        assert tfsim.ones(2, 5).shape == (2, 5)
+
+    def test_eager_matmul(self, operands):
+        a, b = operands["A"], operands["B"]
+        assert tfsim.matmul(a, b).allclose(a.numpy() @ b.numpy())
+
+    def test_eager_ops(self, operands):
+        a, b = operands["A"], operands["B"]
+        assert tfsim.add(a, b).allclose(a.numpy() + b.numpy())
+        assert tfsim.subtract(a, b).allclose(a.numpy() - b.numpy())
+        assert tfsim.multiply(a, 3.0).allclose(3.0 * a.numpy())
+        assert tfsim.negative(a).allclose(-a.numpy())
+        assert tfsim.transpose(a).allclose(a.numpy().T)
+
+    def test_concat_eager(self, operands):
+        a, b = operands["A"], operands["B"]
+        out = tfsim.concat([a, b], axis=0)
+        assert out.shape == (a.shape[0] * 2, a.shape[1])
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(TracingError):
+            tfsim.concat([])
+
+    def test_tridiagonal_matmul_eager(self, operands):
+        t, b = operands["T"], operands["B"]
+        out = tfsim.linalg.tridiagonal_matmul(t, b)
+        assert out.allclose(t.numpy() @ b.numpy())
+
+    def test_tridiagonal_matmul_requires_square(self, operands):
+        with pytest.raises(ShapeError):
+            tfsim.linalg.tridiagonal_matmul(
+                Tensor(np.zeros((3, 4), dtype=np.float32)), operands["B"]
+            )
+
+    def test_linalg_diag_helpers(self, operands):
+        d = tfsim.linalg.diag(Tensor(np.arange(1, 4, dtype=np.float32)))
+        assert Property.DIAGONAL in d.props
+        part = tfsim.linalg.diag_part(d)
+        assert np.allclose(part.numpy().ravel(), [1, 2, 3])
+
+
+class TestTfsimGraphMode:
+    def test_decorator_bare(self, operands):
+        @tfsim.function
+        def f(a, b):
+            return a @ b
+
+        out = f(operands["A"], operands["B"])
+        assert out.allclose(operands["A"].numpy() @ operands["B"].numpy())
+
+    def test_decorator_with_args(self, operands):
+        @tfsim.function(aware=True)
+        def f(h, x):
+            return tfsim.transpose(h) @ h @ x
+
+        out = f(operands["H"], operands["x"])
+        ref = operands["H"].numpy().T @ (operands["H"].numpy() @ operands["x"].numpy())
+        assert out.allclose(ref, rtol=1e-3)
+        assert f.last_report.kernel_counts().get("gemm", 0) == 0  # reordered
+
+    def test_trace_cached_per_signature(self, operands):
+        @tfsim.function
+        def f(a, b):
+            return a @ b
+
+        f(operands["A"], operands["B"])
+        f(operands["A"], operands["B"])
+        assert f.trace_count == 1
+
+    def test_retrace_on_new_shape(self, operands):
+        @tfsim.function
+        def f(a):
+            return a @ a
+
+        f(operands["A"])
+        from repro.tensor import random_general
+
+        f(random_general(8, seed=77))
+        assert f.trace_count == 2
+
+    def test_retrace_on_new_props(self, operands):
+        """Annotations are part of the signature: the aware pipeline may
+        specialize on them."""
+        @tfsim.function
+        def f(a):
+            return a @ a
+
+        f(operands["A"])
+        f(operands["A"].with_props(Property.SYMMETRIC))
+        assert f.trace_count == 2
+
+    def test_non_tensor_arg_rejected(self):
+        @tfsim.function
+        def f(a):
+            return a @ a
+
+        with pytest.raises(TracingError):
+            f(np.zeros((3, 3)))
+
+    def test_multiple_outputs(self, operands):
+        @tfsim.function
+        def f(a, b):
+            return a @ b, a + b
+
+        o1, o2 = f(operands["A"], operands["B"])
+        assert o1.allclose(operands["A"].numpy() @ operands["B"].numpy())
+        assert o2.allclose(operands["A"].numpy() + operands["B"].numpy())
+
+    def test_graph_introspection(self, operands):
+        @tfsim.function
+        def f(a, b):
+            return (a.T @ b).T @ (a.T @ b)
+
+        initial = f.initial_graph(operands["A"], operands["B"])
+        optimized = f.optimized_graph(operands["A"], operands["B"])
+        assert initial.op_counts()["matmul"] == 3
+        assert optimized.op_counts()["matmul"] == 2
+
+    def test_trace_seconds_recorded(self, operands):
+        @tfsim.function
+        def f(a):
+            return a @ a
+
+        f.get_concrete(operands["A"])
+        assert f.last_trace_seconds > 0
+
+    def test_grappler_facade(self, operands):
+        from repro.ir import trace
+
+        g = trace(lambda a, b: a @ b + a @ b, [operands["A"], operands["B"]])
+        out = tfsim.grappler.optimize(g)
+        assert out.op_counts()["matmul"] == 1
+        report = tfsim.grappler.optimization_report(g)
+        assert "cse" in report
+
+    def test_fori_loop_eager_matches_graph(self, operands):
+        a, b = operands["A"], operands["B"]
+
+        def body(i, acc, aa, bb):
+            return acc + aa @ bb
+
+        eager = tfsim.fori_loop(3, body, tfsim.zeros(*a.shape), [a, b])
+
+        @tfsim.function
+        def graph_fn(p, q):
+            return tfsim.fori_loop(3, body, tfsim.zeros(*p.shape), [p, q])
+
+        graph = graph_fn(a, b)
+        assert eager.allclose(graph, rtol=1e-3)
+
+
+class TestPytsim:
+    def test_tensor_creation(self):
+        t = pytsim.tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert Property.IDENTITY in pytsim.eye(3).props
+
+    def test_eager_ops(self, operands):
+        a, b = operands["A"], operands["B"]
+        assert pytsim.matmul(a, b).allclose(a.numpy() @ b.numpy())
+        assert pytsim.t(a).allclose(a.numpy().T)
+        assert pytsim.add(a, b).allclose(a.numpy() + b.numpy())
+        assert pytsim.sub(a, b).allclose(a.numpy() - b.numpy())
+        assert pytsim.mul(a, 2.0).allclose(2 * a.numpy())
+        assert pytsim.neg(a).allclose(-a.numpy())
+
+    def test_cat(self, operands):
+        out = pytsim.cat([operands["A"], operands["B"]], dim=1)
+        assert out.shape == (operands["A"].shape[0], operands["A"].shape[1] * 2)
+
+    def test_jit_script(self, operands):
+        @pytsim.jit.script
+        def f(a, b):
+            return (a.T @ b).T @ a.T @ b
+
+        out = f(operands["A"], operands["B"])
+        ref = (operands["A"].numpy().T @ operands["B"].numpy()).T @ \
+            operands["A"].numpy().T @ operands["B"].numpy()
+        assert out.allclose(ref, rtol=1e-3)
+        assert f.last_report.kernel_counts()["gemm"] == 3  # no CSE possible
+
+    def test_profiles_differ(self):
+        assert TF_PROFILE.name == "tfsim"
+        assert PYT_PROFILE.name == "pytsim"
+        assert (PYT_PROFILE.paper_decorator_overhead_s
+                > TF_PROFILE.paper_decorator_overhead_s)
+
+    def test_no_tridiagonal_matmul(self):
+        """pytsim must NOT have the TF-only op (Table IV 'n.a.')."""
+        assert not hasattr(pytsim.linalg, "tridiagonal_matmul")
+
+
+class TestMultiDot:
+    def test_eager_matches_reference(self, operands):
+        h, x = operands["H"], operands["x"]
+        out = pytsim.linalg.multi_dot([h.T, h, x])
+        ref = h.numpy().T @ h.numpy() @ x.numpy()
+        assert out.allclose(ref, rtol=1e-3)
+
+    def test_eager_uses_optimal_order(self, operands):
+        """multi_dot of HᵀHx must not allocate an n×n intermediate; we
+        can't observe allocations directly, but the result of the optimal
+        order equals the reference and the DP tree is right-to-left."""
+        from repro.chain import optimal_parenthesization
+
+        h, x = operands["H"], operands["x"]
+        sol = optimal_parenthesization([h.T.shape, h.shape, x.shape])
+        assert sol.tree == (0, (1, 2))
+
+    def test_traced_multi_dot(self, operands):
+        h, x = operands["H"], operands["x"]
+
+        @pytsim.jit.script
+        def f(hh, xx):
+            return pytsim.linalg.multi_dot([hh.T, hh, xx])
+
+        out = f(h, x)
+        ref = h.numpy().T @ (h.numpy() @ x.numpy())
+        assert out.allclose(ref, rtol=1e-3)
+        assert f.last_report.kernel_counts().get("gemm", 0) == 0
+
+    def test_four_matrix_chain(self, operands):
+        h, x, y = operands["H"], operands["x"], operands["y"]
+        out = pytsim.linalg.multi_dot([h.T, y, x.T, h])
+        ref = (h.numpy().T @ y.numpy()) @ (x.numpy().T @ h.numpy())
+        assert out.allclose(ref, rtol=1e-3)
+
+    def test_too_few_matrices(self, operands):
+        with pytest.raises(ChainError):
+            pytsim.linalg.multi_dot([operands["A"]])
+
+    def test_mixed_tensor_ndarray(self, operands):
+        out = pytsim.linalg.multi_dot(
+            [operands["A"], operands["B"].numpy()]
+        )
+        assert out.allclose(operands["A"].numpy() @ operands["B"].numpy())
+
+
+class TestCompiledFunction:
+    def test_repr(self, operands):
+        fn = CompiledFunction(lambda a: a @ a, TF_PROFILE)
+        assert "tfsim" in repr(fn)
+
+    def test_pipeline_log_available(self, operands):
+        @tfsim.function
+        def f(a):
+            return a @ a + a @ a
+
+        concrete = f.get_concrete(operands["A"])
+        assert "cse" in concrete.pipeline_log

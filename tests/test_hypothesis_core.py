@@ -1,0 +1,184 @@
+"""Property-based tests on the core data structures and algorithms:
+kernels vs numpy, chain DP optimality, rewrite-rule equivalence, and
+property-inference soundness."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain import enumerate_parenthesizations, optimal_parenthesization
+from repro.kernels import blas3, special
+from repro.rewrite import Add, MatMul, Scale, Symbol, Transpose, expr_flops
+from repro.rewrite.rules import DEFAULT_RULES, apply_everywhere
+from repro.tensor.properties import (
+    Property,
+    closure,
+    detect_properties,
+    verify_property,
+)
+
+dims = st.integers(min_value=1, max_value=12)
+
+
+# -- kernels -------------------------------------------------------------------
+
+
+@given(m=dims, k=dims, n=dims, seed=st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_gemm_matches_numpy(m, k, n, seed):
+    rng = np.random.default_rng(seed)
+    a = (rng.random((m, k)) - 0.5).astype(np.float32)
+    b = (rng.random((k, n)) - 0.5).astype(np.float32)
+    np.testing.assert_allclose(blas3.gemm(a, b), a @ b, rtol=1e-4, atol=1e-5)
+
+
+@given(n=st.integers(2, 12), m=dims, seed=st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_trmm_matches_numpy(n, m, seed):
+    rng = np.random.default_rng(seed)
+    l = np.tril((rng.random((n, n)) - 0.5).astype(np.float32))
+    b = (rng.random((n, m)) - 0.5).astype(np.float32)
+    np.testing.assert_allclose(blas3.trmm(l, b), l @ b, rtol=1e-4, atol=1e-5)
+
+
+@given(n=st.integers(2, 12), k=dims, seed=st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_syrk_matches_numpy(n, k, seed):
+    rng = np.random.default_rng(seed)
+    a = (rng.random((n, k)) - 0.5).astype(np.float32)
+    np.testing.assert_allclose(blas3.syrk(a), a @ a.T, rtol=1e-4, atol=1e-5)
+
+
+@given(n=st.integers(2, 16), m=dims, seed=st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_tridiagonal_matmul_matches_numpy(n, m, seed):
+    rng = np.random.default_rng(seed)
+    t = special.tridiag_from_bands(
+        (rng.random(n - 1) - 0.5).astype(np.float32),
+        (rng.random(n) - 0.5).astype(np.float32),
+        (rng.random(n - 1) - 0.5).astype(np.float32),
+    )
+    b = (rng.random((n, m)) - 0.5).astype(np.float32)
+    np.testing.assert_allclose(
+        special.tridiagonal_matmul(t, b), t @ b, rtol=1e-4, atol=1e-5
+    )
+
+
+# -- chain DP ----------------------------------------------------------------------
+
+
+@given(
+    dims_list=st.lists(st.integers(1, 40), min_size=3, max_size=7),
+)
+@settings(max_examples=60, deadline=None)
+def test_dp_is_optimal(dims_list):
+    shapes = [(dims_list[i], dims_list[i + 1]) for i in range(len(dims_list) - 1)]
+    sol = optimal_parenthesization(shapes)
+    brute_best = enumerate_parenthesizations(shapes)[0]
+    assert sol.flops == brute_best.flops
+
+
+@given(
+    dims_list=st.lists(st.integers(1, 10), min_size=3, max_size=6),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=30, deadline=None)
+def test_all_parenthesizations_numerically_equal(dims_list, seed):
+    from repro.chain import evaluate_chain
+
+    rng = np.random.default_rng(seed)
+    shapes = [(dims_list[i], dims_list[i + 1]) for i in range(len(dims_list) - 1)]
+    mats = [(rng.random(s) - 0.5).astype(np.float64) for s in shapes]
+    ref = evaluate_chain(mats, None)
+    for p in enumerate_parenthesizations(shapes):
+        np.testing.assert_allclose(evaluate_chain(mats, p.tree), ref, atol=1e-9)
+
+
+# -- rewrite rules -------------------------------------------------------------------
+
+
+@st.composite
+def rewrite_exprs(draw):
+    """Random expression over symbols A, B (n×n) and x (n×1)."""
+    n = 8
+    A = Symbol("A", n, n)
+    B = Symbol("B", n, n)
+    x = Symbol("x", n, 1)
+    leaves = [A, B, Transpose(A), Transpose(B), MatMul(A, B)]
+    depth = draw(st.integers(1, 3))
+
+    def build(d):
+        if d == 0:
+            return draw(st.sampled_from(leaves))
+        kind = draw(st.sampled_from(["mul", "add", "scale", "t"]))
+        if kind == "mul":
+            return MatMul(build(d - 1), build(d - 1))
+        if kind == "add":
+            return Add(build(d - 1), build(d - 1))
+        if kind == "scale":
+            return Scale(draw(st.sampled_from([2.0, -1.0, 0.5])), build(d - 1))
+        return Transpose(build(d - 1))
+
+    body = build(depth)
+    return MatMul(body, x)  # end with a vector so costs vary interestingly
+
+
+@given(expr=rewrite_exprs(), seed=st.integers(0, 50))
+@settings(max_examples=40, deadline=None)
+def test_rules_preserve_value(expr, seed):
+    rng = np.random.default_rng(seed)
+    env = {
+        "A": rng.random((8, 8)) - 0.5,
+        "B": rng.random((8, 8)) - 0.5,
+        "x": rng.random((8, 1)) - 0.5,
+    }
+    ref = expr.evaluate(env)
+    for rule in DEFAULT_RULES:
+        for app in apply_everywhere(rule, expr):
+            np.testing.assert_allclose(
+                app.result.evaluate(env), ref, rtol=1e-8, atol=1e-9
+            )
+
+
+@given(expr=rewrite_exprs())
+@settings(max_examples=40, deadline=None)
+def test_canonical_key_stable(expr):
+    """key() must be deterministic and equal across reconstruction."""
+    assert expr.key() == expr.key()
+    assert expr == expr
+    assert expr_flops(expr) >= 0
+
+
+# -- property machinery ------------------------------------------------------------------
+
+
+@given(seed=st.integers(0, 500), n=st.integers(2, 12))
+@settings(max_examples=40, deadline=None)
+def test_detection_sound(seed, n):
+    rng = np.random.default_rng(seed)
+    kind = seed % 5
+    if kind == 0:
+        m = np.tril(rng.random((n, n))).astype(np.float32)
+    elif kind == 1:
+        m = np.diag(rng.random(n)).astype(np.float32)
+    elif kind == 2:
+        a = rng.random((n, n))
+        m = ((a + a.T) / 2).astype(np.float32)
+    elif kind == 3:
+        m = np.zeros((n, n), dtype=np.float32)
+    else:
+        m = rng.random((n, n)).astype(np.float32) + 1
+    for p in detect_properties(m):
+        if p is Property.BLOCK_DIAGONAL:
+            continue
+        assert verify_property(m, p)
+
+
+@given(props=st.sets(st.sampled_from(list(Property)), max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_closure_properties(props):
+    c = closure(props)
+    assert props <= c
+    assert closure(c) == c  # idempotent

@@ -1,0 +1,236 @@
+"""Tests for IR nodes, ops, graph container, and builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, ShapeError
+from repro.ir import Graph, builder, validate_graph
+from repro.ir.node import Node
+
+
+def _inp(m, n, name=None):
+    return builder.input_node((m, n), "float32", name=name)
+
+
+class TestNodeConstruction:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(GraphError):
+            Node("frobnicate", ())
+
+    def test_matmul_shape_inference(self):
+        a, b = _inp(3, 4), _inp(4, 7)
+        m = builder.matmul(a, b)
+        assert m.shape == (3, 7)
+
+    def test_matmul_trans_flags_shape(self):
+        a, b = _inp(4, 3), _inp(4, 7)
+        m = builder.matmul(a, b, trans_a=True)
+        assert m.shape == (3, 7)
+
+    def test_matmul_inner_mismatch(self):
+        with pytest.raises(ShapeError):
+            builder.matmul(_inp(3, 4), _inp(5, 6))
+
+    def test_transpose_shape(self):
+        t = builder.transpose(_inp(3, 7))
+        assert t.shape == (7, 3)
+
+    def test_add_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            builder.add(_inp(3, 3), _inp(3, 4))
+
+    def test_scale_requires_alpha(self):
+        with pytest.raises(GraphError):
+            Node("scale", (_inp(2, 2),), {})
+
+    def test_dot_requires_vectors(self):
+        with pytest.raises(ShapeError):
+            builder.dot(_inp(3, 3), _inp(3, 3))
+
+    def test_dot_shape(self):
+        d = builder.dot(_inp(1, 5), _inp(5, 1))
+        assert d.shape == (1, 1)
+
+    def test_slice_shapes(self):
+        a = _inp(10, 8)
+        assert builder.slice_(a, 2, 3).shape == (1, 1)
+        assert builder.slice_(a, (1, 4), None).shape == (3, 8)
+        assert builder.slice_(a, None, (2, 7)).shape == (10, 5)
+        assert builder.slice_(a, slice(0, 2), slice(None)).shape == (2, 8)
+
+    def test_slice_out_of_range(self):
+        with pytest.raises(ShapeError):
+            builder.slice_(_inp(4, 4), 10, 0)
+
+    def test_strided_slice_rejected(self):
+        with pytest.raises(GraphError):
+            builder.slice_(_inp(8, 8), slice(0, 8, 2), None)
+
+    def test_concat_shapes(self):
+        a, b = _inp(3, 4), _inp(5, 4)
+        assert builder.concat([a, b], axis=0).shape == (8, 4)
+        c, d = _inp(3, 4), _inp(3, 2)
+        assert builder.concat([c, d], axis=1).shape == (3, 6)
+
+    def test_concat_mismatch(self):
+        with pytest.raises(ShapeError):
+            builder.concat([_inp(3, 4), _inp(3, 5)], axis=0)
+
+    def test_const_normalizes_1d(self):
+        c = builder.const(np.ones(4, dtype=np.float32))
+        assert c.shape == (4, 1)
+
+    def test_node_immutable(self):
+        a = _inp(2, 2)
+        with pytest.raises(AttributeError):
+            a.op = "const"
+
+    def test_signature_distinguishes_attrs(self):
+        a, b = _inp(4, 4), _inp(4, 4)
+        m1 = builder.matmul(a, b)
+        m2 = builder.matmul(a, b, trans_a=True)
+        assert m1.signature() != m2.signature()
+
+    def test_signature_equal_for_same_structure(self):
+        a, b = _inp(4, 4), _inp(4, 4)
+        m1 = builder.matmul(a, b)
+        m2 = builder.matmul(a, b)
+        assert m1.signature() == m2.signature()
+
+    def test_const_attrs_key_hashes_content(self):
+        c1 = builder.const(np.ones((2, 2), dtype=np.float32))
+        c2 = builder.const(np.ones((2, 2), dtype=np.float32))
+        c3 = builder.const(np.zeros((2, 2), dtype=np.float32))
+        assert c1.attrs_key() == c2.attrs_key()
+        assert c1.attrs_key() != c3.attrs_key()
+
+
+class TestGraph:
+    def test_topological_order(self):
+        a, b = _inp(4, 4), _inp(4, 4)
+        m = builder.matmul(a, b)
+        t = builder.transpose(m)
+        g = Graph([t])
+        order = list(g.topological())
+        assert order.index(m) < order.index(t)
+        assert order.index(a) < order.index(m)
+
+    def test_len_counts_reachable_only(self):
+        a, b = _inp(4, 4), _inp(4, 4)
+        builder.matmul(a, b)  # unreachable from output below
+        g = Graph([builder.transpose(a)])
+        assert len(g) == 2
+
+    def test_op_counts(self):
+        a, b = _inp(4, 4), _inp(4, 4)
+        g = Graph([builder.matmul(a, builder.matmul(a, b))])
+        assert g.op_counts() == {"input": 2, "matmul": 2}
+
+    def test_inputs_discovery_order(self):
+        a, b = _inp(4, 4, "a"), _inp(4, 4, "b")
+        g = Graph([builder.matmul(a, b)])
+        assert [i.name for i in g.inputs] == ["a", "b"]
+
+    def test_explicit_inputs_validated(self):
+        a, b = _inp(4, 4), _inp(4, 4)
+        with pytest.raises(GraphError):
+            Graph([builder.matmul(a, b)], inputs=[a])  # b missing
+
+    def test_explicit_inputs_allow_unused(self):
+        a, b = _inp(4, 4), _inp(4, 4)
+        g = Graph([builder.transpose(a)], inputs=[a, b])
+        assert len(g.inputs) == 2
+
+    def test_empty_outputs_rejected(self):
+        with pytest.raises(GraphError):
+            Graph([])
+
+    def test_consumers(self):
+        a, b = _inp(4, 4), _inp(4, 4)
+        m = builder.matmul(a, b)
+        g = Graph([builder.add(m, m)])
+        cons = g.consumers()
+        # the add uses m twice -> two consumer entries (one per use)
+        assert len(cons[id(m)]) == 2
+        assert all(c.op == "add" for c in cons[id(m)])
+
+    def test_rewrite_identity_shares_nodes(self):
+        a, b = _inp(4, 4), _inp(4, 4)
+        m = builder.matmul(a, b)
+        g = Graph([m])
+        g2 = g.rewrite(lambda node, inputs: None)
+        assert g2.outputs[0] is m
+
+    def test_rewrite_replacement(self):
+        a, b = _inp(4, 4), _inp(4, 4)
+        g = Graph([builder.add(a, b)])
+
+        def swap(node, inputs):
+            if node.op == "add":
+                return builder.sub(*inputs)
+            return None
+
+        g2 = g.rewrite(swap)
+        assert g2.outputs[0].op == "sub"
+
+    def test_rewrite_preserves_input_order(self):
+        a, b, c = _inp(4, 4, "a"), _inp(4, 4, "b"), _inp(4, 4, "c")
+        g = Graph([builder.add(builder.matmul(a, b), c)], inputs=[a, b, c])
+        g2 = g.rewrite(lambda node, inputs: None)
+        assert [i.name for i in g2.inputs] == ["a", "b", "c"]
+
+    def test_rewrite_keeps_unreachable_declared_inputs(self):
+        a, b = _inp(4, 4, "a"), _inp(4, 4, "b")
+        g = Graph([builder.add(a, b)], inputs=[a, b])
+
+        def drop_b(node, inputs):
+            if node.op == "add":
+                return inputs[0]
+            return None
+
+        g2 = g.rewrite(drop_b)
+        assert [i.name for i in g2.inputs] == ["a", "b"]
+
+
+class TestValidate:
+    def test_valid_graph_passes(self):
+        a, b = _inp(4, 4), _inp(4, 4)
+        g = Graph([builder.matmul(builder.transpose(a), b)])
+        validate_graph(g)
+
+    def test_corrupted_shape_detected(self):
+        a, b = _inp(4, 4), _inp(4, 4)
+        m = builder.matmul(a, b)
+        object.__setattr__(m, "shape", (9, 9))
+        with pytest.raises(GraphError):
+            validate_graph(Graph([m]))
+
+    def test_loop_body_validated(self):
+        idx = _inp(1, 1, "i")
+        carried = _inp(4, 4, "c")
+        body = Graph([builder.add(carried, carried)], inputs=[idx, carried])
+        init = _inp(4, 4, "init")
+        node = builder.loop(body, init, [], trip_count=3)
+        validate_graph(Graph([node]))
+
+    def test_loop_bad_body_signature(self):
+        carried = _inp(4, 4, "c")
+        body = Graph([builder.add(carried, carried)], inputs=[carried])
+        init = _inp(4, 4)
+        with pytest.raises(GraphError):
+            builder.loop(body, init, [], trip_count=3)
+
+    def test_loop_shape_change_rejected(self):
+        idx = _inp(1, 1)
+        carried = _inp(4, 4)
+        body = Graph([builder.slice_(carried, (0, 2), None)],
+                     inputs=[idx, carried])
+        with pytest.raises(ShapeError):
+            builder.loop(body, _inp(4, 4), [], trip_count=2)
+
+    def test_negative_trip_count_rejected(self):
+        idx = _inp(1, 1)
+        carried = _inp(4, 4)
+        body = Graph([builder.add(carried, carried)], inputs=[idx, carried])
+        with pytest.raises(GraphError):
+            builder.loop(body, _inp(4, 4), [], trip_count=-1)

@@ -1,0 +1,156 @@
+"""Tests for the FLOP cost model and the property-driven kernel registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels import flops
+from repro.kernels.registry import (
+    KernelRegistry,
+    default_registry,
+    select_matmul_kernel,
+)
+from repro.tensor.properties import Property, closure
+
+GEN = closure({Property.GENERAL})
+
+
+class TestFlopFormulas:
+    def test_gemm_paper_example(self):
+        # Paper Sec. III-B: GEMM of n=3000 squares costs 2n^3
+        assert flops.flops_gemm(3000, 3000, 3000) == 2 * 3000**3
+
+    def test_trmm_half_of_gemm(self):
+        n, m = 128, 64
+        assert flops.flops_trmm(n, m) * 2 == flops.flops_gemm(n, n, m)
+
+    def test_syrk_half_of_gemm(self):
+        n, k = 100, 80
+        assert flops.flops_syrk(n, k) * 2 == flops.flops_gemm(n, k, n)
+
+    def test_tridiag_paper_value(self):
+        # Paper: "the overall computation requires only 6n^2 FLOPs"
+        assert flops.flops_tridiag_matmul(3000, 3000) == 6 * 3000**2
+
+    def test_diag_paper_value(self):
+        # Paper: "the product DB requires only n^2 FLOPs"
+        assert flops.flops_diag_matmul(3000, 3000) == 3000**2
+
+    def test_gemv(self):
+        assert flops.flops_gemv(10, 20) == 400
+
+    def test_transpose_free(self):
+        assert flops.flops_transpose(100, 200) == 0
+
+    def test_kernel_flops_lookup(self):
+        assert flops.kernel_flops("gemm", 2, 3, 4) == 48
+        assert flops.kernel_flops("dot", 100) == 200
+
+    def test_kernel_flops_unknown(self):
+        with pytest.raises(KernelError):
+            flops.kernel_flops("quantum_gemm", 2, 2, 2)
+
+    def test_every_registered_formula_callable(self):
+        dims = {
+            "gemm": (4, 5, 6), "gemv": (4, 5), "ger": (4, 5), "dot": (9,),
+            "axpy": (9,), "scal": (9,), "trmm": (4, 5), "trmv": (4,),
+            "syrk": (4, 5), "symm": (4, 5), "trsm": (4, 5), "trsv": (4,),
+            "tridiagonal_matmul": (4, 5), "diag_matmul": (4, 5),
+            "add": (4, 5), "sub": (4, 5), "scale": (4, 5), "potrf": (6,),
+            "getrf": (6,), "transpose": (4, 5),
+        }
+        assert set(dims) == set(flops.FLOP_FORMULAS)
+        for name, d in dims.items():
+            assert flops.kernel_flops(name, *d) >= 0
+
+
+class TestRegistrySelection:
+    def test_general_gets_gemm(self):
+        assert select_matmul_kernel(GEN, GEN, 8, 8, 8).name == "gemm"
+
+    def test_lower_triangular_gets_trmm(self):
+        p = closure({Property.LOWER_TRIANGULAR})
+        assert select_matmul_kernel(p, GEN, 8, 8, 8).name == "trmm"
+
+    def test_upper_triangular_gets_trmm(self):
+        p = closure({Property.UPPER_TRIANGULAR})
+        assert select_matmul_kernel(p, GEN, 8, 8, 8).name == "trmm"
+
+    def test_right_triangular_gets_trmm_right(self):
+        p = closure({Property.LOWER_TRIANGULAR})
+        assert select_matmul_kernel(GEN, p, 8, 8, 8).name == "trmm_right"
+
+    def test_diagonal_beats_triangular(self):
+        p = closure({Property.DIAGONAL})  # implies triangular
+        assert select_matmul_kernel(p, GEN, 8, 8, 8).name == "diag_matmul"
+
+    def test_tridiagonal_gets_banded(self):
+        p = closure({Property.TRIDIAGONAL})
+        assert select_matmul_kernel(p, GEN, 64, 64, 64).name == "tridiagonal_matmul"
+
+    def test_identity_short_circuits(self):
+        p = closure({Property.IDENTITY})
+        assert select_matmul_kernel(p, GEN, 8, 8, 8).name == "identity"
+
+    def test_identity_right(self):
+        p = closure({Property.IDENTITY})
+        assert select_matmul_kernel(GEN, p, 8, 8, 8).name == "identity_right"
+
+    def test_zero_dominates_everything(self):
+        p = closure({Property.ZERO})
+        assert select_matmul_kernel(p, closure({Property.IDENTITY}), 8, 8, 8).name == "zero"
+
+    def test_symmetric_gets_symm(self):
+        p = closure({Property.SYMMETRIC})
+        assert select_matmul_kernel(p, GEN, 8, 8, 8).name == "symm"
+
+    def test_executors_are_correct(self, rng):
+        """Every registered kernel's executor must agree with plain @ on
+        data satisfying its property."""
+        n = 10
+        b = (rng.random((n, n)) - 0.5).astype(np.float32)
+        cases = {
+            "gemm": (rng.random((n, n)).astype(np.float32) - 0.5, GEN),
+            "trmm": (np.tril(rng.random((n, n)).astype(np.float32)),
+                     closure({Property.LOWER_TRIANGULAR})),
+            "diag_matmul": (np.diag(rng.random(n).astype(np.float32)),
+                            closure({Property.DIAGONAL})),
+            "identity": (np.eye(n, dtype=np.float32), closure({Property.IDENTITY})),
+            "zero": (np.zeros((n, n), dtype=np.float32), closure({Property.ZERO})),
+            "symm": ((lambda s: (s + s.T) / 2)(rng.random((n, n)).astype(np.float32)),
+                     closure({Property.SYMMETRIC})),
+        }
+        for name, (a, props) in cases.items():
+            kernel = default_registry.get(name)
+            out = kernel.execute(a, b, props, GEN)
+            assert np.allclose(out, a @ b, atol=1e-4), name
+
+    def test_get_unknown_kernel(self):
+        with pytest.raises(KernelError):
+            default_registry.get("nope")
+
+    def test_custom_registration(self):
+        reg = KernelRegistry()
+        before = len(reg)
+        from repro.kernels.registry import KernelInfo
+
+        reg.register(
+            KernelInfo(
+                name="custom",
+                description="test",
+                flops=lambda m, k, n: 1,
+                applicable=lambda pa, pb: False,
+                execute=lambda a, b, pa, pb: a @ b,
+            )
+        )
+        assert len(reg) == before + 1
+        assert reg.get("custom").description == "test"
+
+    def test_cheapest_wins(self):
+        # diagonal (nm) < tridiagonal (6nm) < trmm (n^2 m): closure of
+        # DIAGONAL makes all applicable; selection must pick diag.
+        p = closure({Property.DIAGONAL})
+        candidates = default_registry.candidates(p, GEN)
+        names = {k.name for k in candidates}
+        assert {"diag_matmul", "tridiagonal_matmul", "trmm", "gemm"} <= names
+        assert default_registry.select(p, GEN, 50, 50, 50).name == "diag_matmul"

@@ -1,0 +1,309 @@
+"""Tests for the opt-in "linear-algebra-aware" passes."""
+
+import numpy as np
+import pytest
+
+from repro.ir import run_graph, trace
+from repro.passes import (
+    ChainReordering,
+    DistributivityRewrite,
+    PartialOperandAccess,
+    PassPipeline,
+    PropertyDispatch,
+    aware_pipeline,
+    default_pipeline,
+)
+from repro.passes.estimate import subtree_flops
+
+
+def _optimize_and_check(fn, args, pipeline):
+    g = trace(fn, args)
+    feeds = [a.data for a in args]
+    before, rep_before = run_graph(g, feeds)
+    opt = pipeline.run(g)
+    after, rep_after = run_graph(opt, feeds)
+    for x, y in zip(before, after):
+        assert np.allclose(x, y, rtol=2e-3, atol=1e-3), np.abs(x - y).max()
+    return rep_before, rep_after, opt
+
+
+class TestChainReordering:
+    def test_right_to_left_chain(self, operands):
+        """HᵀHx -> Hᵀ(Hx): O(n³) becomes O(n²) (paper Table III row 1)."""
+        rb, ra, opt = _optimize_and_check(
+            lambda h, x: h.T @ h @ x,
+            [operands["H"], operands["x"]],
+            PassPipeline([ChainReordering()]),
+        )
+        assert ra.total_flops < rb.total_flops
+        assert ra.kernel_counts().get("gemm", 0) == 0  # only gemv remains
+
+    def test_left_to_right_untouched(self, operands):
+        """yᵀHᵀH is already optimal left-to-right (Table III row 2)."""
+        rb, ra, _ = _optimize_and_check(
+            lambda h, y: y.T @ h.T @ h,
+            [operands["H"], operands["y"]],
+            PassPipeline([default_pipeline().passes[1], ChainReordering()]),
+        )
+        assert ra.total_flops <= rb.total_flops
+
+    def test_mixed_chain(self, operands):
+        """HᵀyxᵀH -> (Hᵀy)(xᵀH) (Table III row 3)."""
+        rb, ra, _ = _optimize_and_check(
+            lambda h, x, y: h.T @ y @ x.T @ h,
+            [operands["H"], operands["x"], operands["y"]],
+            PassPipeline([ChainReordering()]),
+        )
+        n = operands["H"].shape[0]
+        assert ra.total_flops < rb.total_flops
+        # optimal: 2 gemvs + 1 outer product = O(n²)
+        assert ra.total_flops <= 8 * n * n
+
+    def test_shared_product_is_barrier(self, operands):
+        """A product consumed twice must not be re-associated away."""
+        def fn(a, b, x):
+            t = a @ b  # shared
+            return (t @ x, t + t)
+
+        g = trace(fn, [operands["A"], operands["B"], operands["x"]])
+        opt = ChainReordering().run(g)
+        feeds = [operands[k].data for k in ("A", "B", "x")]
+        before, _ = run_graph(g, feeds)
+        after, rep = run_graph(opt, feeds)
+        for x, y in zip(before, after):
+            assert np.allclose(x, y, atol=1e-4)
+        # a@b must still be computed once as a gemm
+        assert rep.kernel_counts()["gemm"] == 1
+
+    def test_transpose_distribution_over_chain(self, operands):
+        """(AB)ᵀ x reassociates via (AB)ᵀ = BᵀAᵀ when profitable."""
+        rb, ra, _ = _optimize_and_check(
+            lambda a, b, x: (a @ b).T @ x,
+            [operands["A"], operands["B"], operands["x"]],
+            PassPipeline([ChainReordering()]),
+        )
+        assert ra.total_flops < rb.total_flops
+        assert ra.kernel_counts().get("gemm", 0) == 0
+
+    def test_noop_on_two_factor_product(self, operands):
+        g = trace(lambda a, b: a @ b, [operands["A"], operands["B"]])
+        opt = ChainReordering().run(g)
+        assert opt.op_counts()["matmul"] == 1
+
+    def test_gram_chain_recognized(self, operands):
+        """(AᵀB)ᵀAᵀB = BᵀA·AᵀB = SᵀS: the palindromic chain collapses to
+        one shared product — beating even the paper's parenthesized form."""
+        rb, ra, opt = _optimize_and_check(
+            lambda a, b: (a.T @ b).T @ a.T @ b,
+            [operands["A"], operands["B"]],
+            PassPipeline([default_pipeline().passes[1], ChainReordering()]),
+        )
+        assert rb.kernel_counts()["gemm"] == 3
+        assert ra.kernel_counts()["gemm"] == 2  # S and SᵀS
+
+    def test_gram_chain_of_six(self, operands):
+        """BᵀAᵀ(AB)·(AB) ... a longer palindrome: (AB)ᵀ(AB) over S = AB
+        recognized from the flattened 4-chain BᵀAᵀAB."""
+        rb, ra, _ = _optimize_and_check(
+            lambda a, b: (a @ b).T @ (a @ b).T.T,
+            [operands["A"], operands["B"]],
+            PassPipeline([default_pipeline().passes[1], ChainReordering()]),
+        )
+        assert ra.total_flops <= rb.total_flops
+
+    def test_non_palindrome_not_gramified(self, operands):
+        """BᵀA·AᵀC is not palindromic — no gram rewrite applies."""
+        g = trace(lambda a, b, c: b.T @ a @ a.T @ c,
+                  [operands["A"], operands["B"], operands["C"]])
+        from repro.passes import TransposeElimination
+
+        opt = PassPipeline([TransposeElimination(), ChainReordering()]).run(g)
+        feeds = [operands[k].data for k in ("A", "B", "C")]
+        before, _ = run_graph(g, feeds)
+        after, rep = run_graph(opt, feeds)
+        assert np.allclose(before[0], after[0], rtol=1e-3, atol=1e-3)
+        assert rep.kernel_counts()["gemm"] == 3
+
+
+class TestPropertyDispatch:
+    def _dispatch(self, fn, args):
+        g = trace(fn, args)
+        opt = PassPipeline(
+            [default_pipeline().passes[1], PropertyDispatch()]
+        ).run(g)  # transpose_elim first so gram patterns appear
+        feeds = [a.data for a in args]
+        before, _ = run_graph(g, feeds)
+        after, rep = run_graph(opt, feeds)
+        for x, y in zip(before, after):
+            assert np.allclose(x, y, rtol=1e-3, atol=1e-3)
+        return rep, opt
+
+    def test_triangular_gets_trmm(self, operands):
+        rep, _ = self._dispatch(lambda l, b: l @ b,
+                                [operands["L"], operands["B"]])
+        assert rep.kernel_counts() == {"trmm": 1}
+
+    def test_upper_triangular_via_transpose(self, operands):
+        rep, _ = self._dispatch(lambda l, b: l.T @ b,
+                                [operands["L"], operands["B"]])
+        assert "trmm" in rep.kernel_counts()
+
+    def test_gram_gets_syrk(self, operands):
+        rep, _ = self._dispatch(lambda a: a @ a.T, [operands["A"]])
+        assert rep.kernel_counts() == {"syrk": 1}
+
+    def test_gram_transposed_gets_syrk(self, operands):
+        rep, _ = self._dispatch(lambda a: a.T @ a, [operands["A"]])
+        assert rep.kernel_counts() == {"syrk": 1}
+
+    def test_diagonal_gets_scaling(self, operands):
+        rep, _ = self._dispatch(lambda d, b: d @ b,
+                                [operands["D"], operands["B"]])
+        assert rep.kernel_counts() == {"diag_matmul": 1}
+
+    def test_tridiagonal_gets_banded(self, operands):
+        rep, _ = self._dispatch(lambda t, b: t @ b,
+                                [operands["T"], operands["B"]])
+        assert rep.kernel_counts() == {"tridiagonal_matmul": 1}
+
+    def test_symmetric_gets_symm(self, operands):
+        rep, _ = self._dispatch(lambda s, b: s @ b,
+                                [operands["S"], operands["B"]])
+        assert rep.kernel_counts() == {"symm": 1}
+
+    def test_orthogonal_gram_becomes_identity(self, operands):
+        rep, opt = self._dispatch(lambda q: q.T @ q, [operands["Q"]])
+        assert opt.op_counts().get("matmul", 0) == 0
+        assert rep.total_flops == 0
+
+    def test_general_untouched(self, operands):
+        rep, _ = self._dispatch(lambda a, b: a @ b,
+                                [operands["A"], operands["B"]])
+        assert rep.kernel_counts() == {"gemm": 1}
+
+    def test_flops_halved_for_trmm(self, operands):
+        n = operands["L"].shape[0]
+        rep, _ = self._dispatch(lambda l, b: l @ b,
+                                [operands["L"], operands["B"]])
+        assert rep.total_flops == n * n * n  # vs 2n³ for gemm
+
+
+class TestDistributivity:
+    def test_factoring_eq9(self, operands):
+        """AB + AC -> A(B+C): one GEMM saved (paper Eq. 9)."""
+        rb, ra, _ = _optimize_and_check(
+            lambda a, b, c: a @ b + a @ c,
+            [operands["A"], operands["B"], operands["C"]],
+            PassPipeline([DistributivityRewrite()]),
+        )
+        assert ra.kernel_counts()["gemm"] == 1
+        assert rb.kernel_counts()["gemm"] == 2
+
+    def test_factoring_common_right(self, operands):
+        rb, ra, _ = _optimize_and_check(
+            lambda a, b, c: b @ a + c @ a,
+            [operands["A"], operands["B"], operands["C"]],
+            PassPipeline([DistributivityRewrite()]),
+        )
+        assert ra.kernel_counts()["gemm"] == 1
+
+    def test_expansion_eq10(self, operands):
+        """(A − HᵀH)x -> Ax − Hᵀ(Hx): O(n³) becomes O(n²) (paper Eq. 10)."""
+        rb, ra, _ = _optimize_and_check(
+            lambda a, h, x: (a - h.T @ h) @ x,
+            [operands["A"], operands["H"], operands["x"]],
+            PassPipeline(
+                [default_pipeline().passes[1], DistributivityRewrite(),
+                 ChainReordering()]
+            ),
+        )
+        assert ra.kernel_counts().get("gemm", 0) == 0
+        assert ra.total_flops < rb.total_flops / 2
+
+    def test_no_expansion_when_unprofitable(self, operands):
+        """(B + C)x with plain inputs: expansion would double the GEMVs."""
+        g = trace(lambda b, c, x: (b + c) @ x,
+                  [operands["B"], operands["C"], operands["x"]])
+        opt = DistributivityRewrite().run(g)
+        _, rep = run_graph(opt, [operands[k].data for k in ("B", "C", "x")])
+        assert rep.kernel_counts().get("gemv", 0) == 1
+
+
+class TestPartialAccess:
+    def test_sum_element(self, operands):
+        """(A+B)[2,2] -> A[2,2]+B[2,2] (paper Fig. 9)."""
+        rb, ra, opt = _optimize_and_check(
+            lambda a, b: (a + b)[2, 2],
+            [operands["A"], operands["B"]],
+            PassPipeline([PartialOperandAccess()]),
+        )
+        # the add now operates on 1x1 slices
+        (add,) = opt.nodes_by_op("add")
+        assert add.shape == (1, 1)
+
+    def test_product_element(self, operands):
+        """(AB)[2,2] -> row·col (paper Fig. 9)."""
+        rb, ra, opt = _optimize_and_check(
+            lambda a, b: (a @ b)[2, 2],
+            [operands["A"], operands["B"]],
+            PassPipeline([PartialOperandAccess()]),
+        )
+        assert ra.kernel_counts().get("gemm", 0) == 0
+        assert ra.total_flops < rb.total_flops
+
+    def test_product_block(self, operands):
+        """A rectangular sub-block of a product shrinks the GEMM."""
+        rb, ra, _ = _optimize_and_check(
+            lambda a, b: (a @ b)[0:4, 0:6],
+            [operands["A"], operands["B"]],
+            PassPipeline([PartialOperandAccess()]),
+        )
+        assert ra.total_flops < rb.total_flops
+
+    def test_shared_producer_untouched(self, operands):
+        """If the full product is needed elsewhere, don't split the slice."""
+        def fn(a, b):
+            t = a @ b
+            return (t[2, 2], t)
+
+        g = trace(fn, [operands["A"], operands["B"]])
+        opt = PartialOperandAccess().run(g)
+        _, rep = run_graph(opt, [operands["A"].data, operands["B"].data])
+        assert rep.kernel_counts().get("gemm", 0) == 1
+
+    def test_transpose_slice_swaps(self, operands):
+        rb, ra, _ = _optimize_and_check(
+            lambda a, b: (a @ b).T[1, 2],
+            [operands["A"], operands["B"]],
+            PassPipeline([PartialOperandAccess()]),
+        )
+        assert ra.total_flops < rb.total_flops
+
+
+class TestAwarePipelineEndToEnd:
+    @pytest.mark.parametrize(
+        "name,fn_builder,arg_keys",
+        [
+            ("chain", lambda: (lambda h, x: h.T @ h @ x), ("H", "x")),
+            ("trmm", lambda: (lambda l, b: l @ b), ("L", "B")),
+            ("gram", lambda: (lambda a: a @ a.T), ("A",)),
+            ("eq9", lambda: (lambda a, b, c: a @ b + a @ c), ("A", "B", "C")),
+            ("eq10", lambda: (lambda a, h, x: (a - h.T @ h) @ x), ("A", "H", "x")),
+            ("partial", lambda: (lambda a, b: (a @ b)[2, 2]), ("A", "B")),
+            ("ortho", lambda: (lambda q, a: q.T @ q @ a), ("Q", "A")),
+        ],
+    )
+    def test_aware_never_worse_in_flops(self, operands, name, fn_builder, arg_keys):
+        args = [operands[k] for k in arg_keys]
+        g = trace(fn_builder(), args)
+        feeds = [a.data for a in args]
+        base = default_pipeline().run(g)
+        _, rep_base = run_graph(base, feeds)
+        g2 = trace(fn_builder(), args)
+        aware = aware_pipeline().run(g2)
+        out_base, _ = run_graph(base, feeds)
+        out_aware, rep_aware = run_graph(aware, feeds)
+        for x, y in zip(out_base, out_aware):
+            assert np.allclose(x, y, rtol=2e-2, atol=2e-3), (
+                name, np.abs(x - y).max())
+        assert rep_aware.total_flops <= rep_base.total_flops, name

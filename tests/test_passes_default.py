@@ -1,0 +1,277 @@
+"""Tests for the default (TF/PyT-faithful) optimizer passes."""
+
+import numpy as np
+import pytest
+
+from repro.ir import Graph, builder, run_graph, trace
+from repro.ir.tracing import trace_loop
+from repro.passes import (
+    ArithmeticSimplification,
+    CommonSubexpressionElimination,
+    ConstantFolding,
+    LoopInvariantCodeMotion,
+    NoOpElimination,
+    PassPipeline,
+    TransposeElimination,
+    default_pipeline,
+)
+
+
+def _check_semantics(fn, args, pipeline=None):
+    """Trace fn, optimize, and assert optimized == unoptimized numerically."""
+    g = trace(fn, args)
+    feeds = [a.data for a in args]
+    before, _ = run_graph(g, feeds)
+    opt = (pipeline or default_pipeline()).run(g)
+    after, report = run_graph(opt, feeds)
+    for x, y in zip(before, after):
+        assert np.allclose(x, y, rtol=1e-3, atol=1e-4)
+    return opt, report
+
+
+class TestCSE:
+    def test_paper_e2_dedups(self, operands):
+        """(AᵀB)ᵀ(AᵀB): 3 GEMMs -> 2 (paper Fig. 3 / Table I row 2)."""
+        opt, report = _check_semantics(
+            lambda a, b: (a.T @ b).T @ (a.T @ b), [operands["A"], operands["B"]]
+        )
+        assert report.kernel_counts()["gemm"] == 2
+
+    def test_paper_e3_finds_nothing(self, operands):
+        """(AᵀB)ᵀAᵀB: left-to-right chain, no duplicates (Fig. 4) -> 3 GEMMs."""
+        opt, report = _check_semantics(
+            lambda a, b: (a.T @ b).T @ a.T @ b, [operands["A"], operands["B"]]
+        )
+        assert report.kernel_counts()["gemm"] == 3
+
+    def test_inputs_never_merged(self, n):
+        a = builder.input_node((n, n), "float32", name="a")
+        b = builder.input_node((n, n), "float32", name="b")
+        g = Graph([builder.add(a, b)], inputs=[a, b])
+        out = CommonSubexpressionElimination().run(g)
+        assert len(out.inputs) == 2
+
+    def test_attrs_distinguish(self, operands):
+        """matmul(a,b) and matmul(a,b,trans_a) must NOT merge."""
+        a = builder.input_node((8, 8), "float32")
+        b = builder.input_node((8, 8), "float32")
+        m1 = builder.matmul(a, b)
+        m2 = builder.matmul(a, b, trans_a=True)
+        g = Graph([builder.add(m1, m2)])
+        out = CommonSubexpressionElimination().run(g)
+        assert out.op_counts()["matmul"] == 2
+
+    def test_identical_consts_merge(self):
+        c1 = builder.const(np.ones((4, 4), dtype=np.float32))
+        c2 = builder.const(np.ones((4, 4), dtype=np.float32))
+        g = Graph([builder.add(c1, c2)])
+        out = CommonSubexpressionElimination().run(g)
+        assert out.op_counts()["const"] == 1
+
+    def test_deep_structural_merge(self, operands):
+        """Duplicates several levels deep collapse bottom-up."""
+        opt, report = _check_semantics(
+            lambda a, b: ((a @ b) @ (a @ b)) + ((a @ b) @ (a @ b)),
+            [operands["A"], operands["B"]],
+        )
+        assert opt.op_counts()["matmul"] == 2  # a@b and (a@b)@(a@b)
+
+
+class TestTransposeElimination:
+    def test_double_transpose_cancels(self, operands):
+        opt, _ = _check_semantics(
+            lambda a: a.T.T, [operands["A"]],
+            pipeline=PassPipeline([TransposeElimination()]),
+        )
+        assert opt.op_counts().get("transpose", 0) == 0
+
+    def test_transpose_fuses_into_matmul(self, operands):
+        opt, report = _check_semantics(
+            lambda a, b: a.T @ b, [operands["A"], operands["B"]],
+            pipeline=PassPipeline([TransposeElimination()]),
+        )
+        assert opt.op_counts().get("transpose", 0) == 0
+        (mm,) = opt.nodes_by_op("matmul")
+        assert mm.attrs["trans_a"] is True
+
+    def test_transpose_of_transpose_in_matmul(self, operands):
+        opt, _ = _check_semantics(
+            lambda a, b: a.T.T @ b.T, [operands["A"], operands["B"]],
+            pipeline=PassPipeline([TransposeElimination()]),
+        )
+        (mm,) = opt.nodes_by_op("matmul")
+        assert mm.attrs["trans_a"] is False
+        assert mm.attrs["trans_b"] is True
+
+    def test_transpose_kept_for_add_consumer(self, operands):
+        opt, _ = _check_semantics(
+            lambda a: a.T + a, [operands["A"]],
+            pipeline=PassPipeline([TransposeElimination()]),
+        )
+        assert opt.op_counts().get("transpose", 0) == 1
+
+
+class TestArithmetic:
+    def test_x_plus_x_becomes_scale(self, operands):
+        """Paper Experiment 1: AᵀB + AᵀB -> 2·(AᵀB)."""
+        opt, report = _check_semantics(
+            lambda a, b: a.T @ b + a.T @ b, [operands["A"], operands["B"]]
+        )
+        counts = report.kernel_counts()
+        assert counts["gemm"] == 1
+        assert counts["scale"] == 1
+
+    def test_neg_normalized(self, operands):
+        opt, _ = _check_semantics(
+            lambda a: -a, [operands["A"]],
+            pipeline=PassPipeline([ArithmeticSimplification()]),
+        )
+        assert opt.op_counts().get("neg", 0) == 0
+        assert opt.op_counts().get("scale", 0) == 1
+
+    def test_scale_chain_collapses(self, operands):
+        opt, _ = _check_semantics(
+            lambda a: (a * 2.0) * 3.0, [operands["A"]],
+            pipeline=PassPipeline([ArithmeticSimplification()]),
+        )
+        (s,) = opt.nodes_by_op("scale")
+        assert s.attrs["alpha"] == pytest.approx(6.0)
+
+    def test_ax_plus_bx_combines(self, operands):
+        opt, _ = _check_semantics(
+            lambda a: a * 2.0 + a * 3.0, [operands["A"]],
+            pipeline=PassPipeline([ArithmeticSimplification()]),
+        )
+        assert opt.op_counts().get("add", 0) == 0
+        (s,) = opt.nodes_by_op("scale")
+        assert s.attrs["alpha"] == pytest.approx(5.0)
+
+    def test_x_minus_x_is_zero_scale(self, operands):
+        opt, _ = _check_semantics(
+            lambda a: a - a, [operands["A"]],
+            pipeline=PassPipeline([ArithmeticSimplification()]),
+        )
+        (s,) = opt.nodes_by_op("scale")
+        assert s.attrs["alpha"] == 0.0
+
+    def test_sub_after_cse(self, operands):
+        """CSE must run first for a.T@b - a.T@b to be seen as x - x."""
+        opt, report = _check_semantics(
+            lambda a, b: a.T @ b - a.T @ b, [operands["A"], operands["B"]]
+        )
+        assert report.kernel_counts().get("gemm", 0) <= 1
+
+
+class TestConstantFolding:
+    def test_const_subtree_folds(self, operands):
+        c = np.full((operands["A"].shape), 2.0, dtype=np.float32)
+        from repro.tensor import Tensor
+
+        ct = Tensor(c)
+        opt, _ = _check_semantics(
+            lambda a: (ct + ct) + a, [operands["A"]],
+            pipeline=PassPipeline([ConstantFolding()]),
+        )
+        # the ct+ct add folded away; only the input add remains
+        assert opt.op_counts()["add"] == 1
+
+    def test_input_dependent_not_folded(self, operands):
+        opt, _ = _check_semantics(
+            lambda a, b: a + b, [operands["A"], operands["B"]],
+            pipeline=PassPipeline([ConstantFolding()]),
+        )
+        assert opt.op_counts()["add"] == 1
+
+
+class TestNoOpElimination:
+    def test_scale_one_dropped(self, operands):
+        g = trace(lambda a: a * 1.0, [operands["A"]])
+        out = NoOpElimination().run(g)
+        assert out.op_counts().get("scale", 0) == 0
+
+    def test_full_slice_dropped(self, operands):
+        g = trace(lambda a: a[:, :], [operands["A"]])
+        out = NoOpElimination().run(g)
+        assert out.op_counts().get("slice", 0) == 0
+
+    def test_partial_slice_kept(self, operands):
+        g = trace(lambda a: a[1:3, :], [operands["A"]])
+        out = NoOpElimination().run(g)
+        assert out.op_counts().get("slice", 0) == 1
+
+
+class TestLICM:
+    def _loop_graph(self, a, b, trips=3):
+        def fn(p, q):
+            def body(i, acc, pp, qq):
+                return acc + pp @ qq
+
+            init = (p @ q) * 0.0
+            return trace_loop(body, init, [p, q], trip_count=trips)
+
+        return trace(fn, [a, b])
+
+    def test_invariant_product_hoisted(self, operands):
+        a, b = operands["A"], operands["B"]
+        g = self._loop_graph(a, b)
+        before, _ = run_graph(g, [a.data, b.data])
+        opt = default_pipeline().run(g)
+        after, report = run_graph(opt, [a.data, b.data])
+        assert np.allclose(before[0], after[0], atol=1e-3)
+        # one gemm total (hoisted + shared with init after CSE)
+        assert report.kernel_counts()["gemm"] == 1
+
+    def test_variant_body_not_hoisted(self, operands):
+        """acc @ b depends on the carried value -> must stay in the loop."""
+        a, b = operands["A"], operands["B"]
+
+        def fn(p, q):
+            def body(i, acc, qq):
+                return acc @ qq
+
+            return trace_loop(body, p, [q], trip_count=3)
+
+        g = trace(fn, [a, b])
+        before, _ = run_graph(g, [a.data, b.data])
+        opt = PassPipeline([LoopInvariantCodeMotion()]).run(g)
+        after, report = run_graph(opt, [a.data, b.data])
+        assert np.allclose(before[0], after[0], rtol=1e-3, atol=1e-4)
+        assert report.kernel_counts()["gemm"] == 3
+
+    def test_index_dependent_not_hoisted(self):
+        idx = builder.input_node((1, 1), "float32", name="i")
+        carried = builder.input_node((1, 1), "float32", name="c")
+        # body: c + (i * 2): depends on idx -> not hoistable
+        body = Graph(
+            [builder.add(carried, builder.scale(idx, 2.0))],
+            inputs=[idx, carried],
+        )
+        init = builder.const(np.zeros((1, 1), dtype=np.float32))
+        node = builder.loop(body, init, [], trip_count=3)
+        g = Graph([node])
+        out = LoopInvariantCodeMotion().run(g)
+        outs, _ = run_graph(out, [])
+        assert outs[0][0, 0] == pytest.approx(2.0 * (0 + 1 + 2))
+
+
+class TestPipeline:
+    def test_validates_between_passes(self, operands):
+        g = trace(lambda a, b: a @ b, [operands["A"], operands["B"]])
+        p = default_pipeline()
+        p.run(g)
+        assert len(p.history) == len(p.passes)
+
+    def test_describe_after_run(self, operands):
+        g = trace(lambda a, b: a @ b + a @ b, [operands["A"], operands["B"]])
+        p = default_pipeline()
+        p.run(g)
+        text = p.describe()
+        assert "cse" in text
+
+    def test_default_pipeline_is_idempotent(self, operands):
+        g = trace(lambda a, b: (a.T @ b).T @ (a.T @ b),
+                  [operands["A"], operands["B"]])
+        p = default_pipeline()
+        once = p.run(g)
+        twice = default_pipeline().run(once)
+        assert once.op_counts() == twice.op_counts()

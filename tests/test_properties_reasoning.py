@@ -1,0 +1,216 @@
+"""Tests for property algebra (transfer functions), inference, annotations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PropertyError
+from repro.ir import trace
+from repro.properties import algebra
+from repro.properties import annotations as ann
+from repro.properties import inference
+from repro.tensor.properties import Property, closure
+
+
+def C(*props):
+    # transfer functions always include GENERAL; match that here so that
+    # round-trip equality tests compare like with like
+    return closure({Property.GENERAL, *props})
+
+
+class TestTransposeProps:
+    def test_triangular_swap(self):
+        out = algebra.transpose_props(C(Property.LOWER_TRIANGULAR))
+        assert Property.UPPER_TRIANGULAR in out
+        assert Property.LOWER_TRIANGULAR not in out
+
+    def test_symmetric_kept(self):
+        assert Property.SYMMETRIC in algebra.transpose_props(C(Property.SYMMETRIC))
+
+    def test_diagonal_kept(self):
+        out = algebra.transpose_props(C(Property.DIAGONAL))
+        assert Property.DIAGONAL in out
+        # diagonal implies both triangulars; after swap both still present
+        assert Property.LOWER_TRIANGULAR in out
+
+    def test_involution(self):
+        for props in (C(Property.LOWER_TRIANGULAR), C(Property.SPD),
+                      C(Property.ORTHOGONAL), C(Property.ZERO)):
+            assert algebra.transpose_props(algebra.transpose_props(props)) == props
+
+
+class TestMatmulProps:
+    def test_zero_absorbs(self):
+        out = algebra.matmul_props(C(Property.ZERO), C(), square_result=True)
+        assert Property.ZERO in out
+
+    def test_identity_left_passes_right(self):
+        out = algebra.matmul_props(C(Property.IDENTITY), C(Property.SPD))
+        assert Property.SPD in out
+
+    def test_identity_right_passes_left(self):
+        out = algebra.matmul_props(C(Property.LOWER_TRIANGULAR),
+                                   C(Property.IDENTITY))
+        assert Property.LOWER_TRIANGULAR in out
+
+    def test_lower_times_lower(self):
+        out = algebra.matmul_props(C(Property.LOWER_TRIANGULAR),
+                                   C(Property.LOWER_TRIANGULAR),
+                                   square_result=True)
+        assert Property.LOWER_TRIANGULAR in out
+
+    def test_lower_times_upper_general(self):
+        out = algebra.matmul_props(C(Property.LOWER_TRIANGULAR),
+                                   C(Property.UPPER_TRIANGULAR),
+                                   square_result=True)
+        assert Property.LOWER_TRIANGULAR not in out
+        assert Property.UPPER_TRIANGULAR not in out
+
+    def test_gram_symmetric(self):
+        out = algebra.matmul_props(C(), C(), b_is_a_transposed=True,
+                                   square_result=True)
+        assert Property.SYMMETRIC in out
+
+    def test_orthogonal_gram_identity(self):
+        out = algebra.matmul_props(C(Property.ORTHOGONAL), C(Property.ORTHOGONAL),
+                                   b_is_a_transposed=True, square_result=True)
+        assert Property.IDENTITY in out
+
+    def test_orthogonal_product(self):
+        out = algebra.matmul_props(C(Property.ORTHOGONAL), C(Property.ORTHOGONAL),
+                                   square_result=True)
+        assert Property.ORTHOGONAL in out
+
+
+class TestAddScaleProps:
+    def test_add_zero_identity(self):
+        out = algebra.add_props(C(Property.ZERO), C(Property.SPD))
+        assert Property.SPD in out
+
+    def test_sub_zero_drops_spd(self):
+        out = algebra.add_props(C(Property.ZERO), C(Property.SPD), negate_b=True)
+        assert Property.SPD not in out
+        assert Property.SYMMETRIC in out
+
+    def test_scale_negative_drops_spd(self):
+        out = algebra.scale_props(C(Property.SPD), -1.0)
+        assert Property.SPD not in out
+        assert Property.SYMMETRIC in out
+
+    def test_scale_zero_gives_zero(self):
+        assert Property.ZERO in algebra.scale_props(C(Property.SPD), 0.0)
+
+    def test_scale_one_identity_map(self):
+        p = C(Property.ORTHOGONAL)
+        assert algebra.scale_props(p, 1.0) == p
+
+    def test_scale_drops_orthogonal(self):
+        out = algebra.scale_props(C(Property.ORTHOGONAL), 2.0)
+        assert Property.ORTHOGONAL not in out
+
+    def test_slice_props_scalar(self):
+        out = algebra.slice_props(C(Property.SPD), 1, 1)
+        assert Property.SCALAR in out
+        assert Property.SPD not in out
+
+
+class TestInference:
+    def test_input_annotations_enter(self, operands):
+        g = trace(lambda l: l @ l, [operands["L"]])
+        env = inference.infer(g)
+        inp = g.inputs[0]
+        assert Property.LOWER_TRIANGULAR in env[id(inp)]
+
+    def test_matmul_propagates(self, operands):
+        g = trace(lambda l: l @ l, [operands["L"]])
+        env = inference.infer(g)
+        out = g.outputs[0]
+        assert Property.LOWER_TRIANGULAR in env[id(out)]
+
+    def test_transpose_flag_respected(self, operands):
+        from repro.passes import PassPipeline, TransposeElimination
+
+        g = PassPipeline([TransposeElimination()]).run(
+            trace(lambda l, b: l.T @ b, [operands["L"], operands["B"]])
+        )
+        env = inference.infer(g)
+        (mm,) = g.nodes_by_op("matmul")
+        # effective left operand is upper triangular; result is general
+        assert Property.LOWER_TRIANGULAR not in env[id(mm)]
+
+    def test_const_detection(self, n):
+        from repro.tensor import eye
+
+        g = trace(lambda a: eye(n) @ a + a, [__import__("repro.tensor",
+                  fromlist=["random_general"]).random_general(n, seed=3)])
+        env = inference.infer(g)
+        consts = g.nodes_by_op("const")
+        assert consts and Property.IDENTITY in env[id(consts[0])]
+
+    def test_gram_pattern_detection(self, operands):
+        from repro.passes import PassPipeline, TransposeElimination
+
+        g = PassPipeline([TransposeElimination()]).run(
+            trace(lambda a: a.T @ a, [operands["A"]])
+        )
+        (mm,) = g.nodes_by_op("matmul")
+        assert inference.is_gram_pattern(mm)
+        env = inference.infer(g)
+        assert Property.SYMMETRIC in env[id(mm)]
+
+    def test_not_gram_for_distinct_inputs(self, operands):
+        from repro.passes import PassPipeline, TransposeElimination
+
+        g = PassPipeline([TransposeElimination()]).run(
+            trace(lambda a, b: a.T @ b, [operands["A"], operands["B"]])
+        )
+        (mm,) = g.nodes_by_op("matmul")
+        assert not inference.is_gram_pattern(mm)
+
+    def test_soundness_on_random_graph(self, operands):
+        """Every inferred property must hold for the executed value."""
+        from repro.ir import run_graph
+        from repro.tensor.properties import verify_property
+
+        def fn(l, d, s):
+            return (l @ d) + (d @ l), (d @ d) @ s, l.T
+
+        g = trace(fn, [operands["L"], operands["D"], operands["S"]])
+        env = inference.infer(g)
+        outs, _ = run_graph(
+            g, [operands["L"].data, operands["D"].data, operands["S"].data]
+        )
+        for node, value in zip(g.outputs, outs):
+            for prop in env[id(node)]:
+                if prop is Property.BLOCK_DIAGONAL:
+                    continue
+                assert verify_property(value, prop, atol=1e-3), (node, prop)
+
+
+class TestAnnotations:
+    def test_annotate_verified(self, operands):
+        t = ann.as_lower_triangular(operands["L"])
+        assert Property.LOWER_TRIANGULAR in t.props
+
+    def test_annotate_rejects_wrong(self, operands):
+        with pytest.raises(PropertyError):
+            ann.as_diagonal(operands["A"])
+
+    def test_annotate_unverified_trusts(self, operands):
+        t = ann.as_diagonal(operands["A"], verify=False)
+        assert Property.DIAGONAL in t.props
+
+    def test_all_annotators(self, operands):
+        checks = [
+            (ann.as_lower_triangular, "L", Property.LOWER_TRIANGULAR),
+            (ann.as_symmetric, "S", Property.SYMMETRIC),
+            (ann.as_spd, "P", Property.SPD),
+            (ann.as_orthogonal, "Q", Property.ORTHOGONAL),
+            (ann.as_tridiagonal, "T", Property.TRIDIAGONAL),
+            (ann.as_diagonal, "D", Property.DIAGONAL),
+        ]
+        for fn, key, prop in checks:
+            assert prop in fn(operands[key]).props
+
+    def test_upper_annotator(self, operands):
+        t = ann.as_upper_triangular(operands["L"].T)
+        assert Property.UPPER_TRIANGULAR in t.props

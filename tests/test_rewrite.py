@@ -1,0 +1,256 @@
+"""Tests for the derivation-graph engine (expr algebra, rules, search)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RewriteError, ShapeError
+from repro.rewrite import (
+    Add,
+    DerivationGraph,
+    Identity,
+    MatMul,
+    Scale,
+    Symbol,
+    Transpose,
+    Zero,
+    best_variant,
+    expr_flops,
+    variants,
+)
+from repro.rewrite.rules import DEFAULT_RULES, apply_everywhere
+from repro.tensor.properties import Property
+
+N = 50
+
+
+@pytest.fixture
+def syms():
+    return {
+        "A": Symbol("A", N, N),
+        "B": Symbol("B", N, N),
+        "C": Symbol("C", N, N),
+        "H": Symbol("H", N, N),
+        "S": Symbol("S", N, N, {Property.SYMMETRIC}),
+        "Q": Symbol("Q", N, N, {Property.ORTHOGONAL}),
+        "x": Symbol("x", N, 1),
+        "y": Symbol("y", N, 1),
+    }
+
+
+@pytest.fixture
+def env(rng):
+    q, _ = np.linalg.qr(rng.standard_normal((N, N)))
+    s = rng.random((N, N))
+    return {
+        "A": rng.random((N, N)) - 0.5,
+        "B": rng.random((N, N)) - 0.5,
+        "C": rng.random((N, N)) - 0.5,
+        "H": rng.random((N, N)) - 0.5,
+        "S": (s + s.T) / 2,
+        "Q": q,
+        "x": rng.random((N, 1)) - 0.5,
+        "y": rng.random((N, 1)) - 0.5,
+    }
+
+
+class TestCanonicalization:
+    def test_double_transpose(self, syms):
+        assert Transpose(Transpose(syms["A"])) == syms["A"]
+
+    def test_transpose_of_symmetric(self, syms):
+        assert Transpose(syms["S"]) == syms["S"]
+
+    def test_transpose_pushes_through_product(self, syms):
+        e = Transpose(MatMul(syms["A"], syms["B"]))
+        assert e == MatMul(Transpose(syms["B"]), Transpose(syms["A"]))
+
+    def test_transpose_distributes_over_sum(self, syms):
+        e = Transpose(Add(syms["A"], syms["B"]))
+        assert e == Add(Transpose(syms["A"]), Transpose(syms["B"]))
+
+    def test_matmul_flattens(self, syms):
+        e = MatMul(MatMul(syms["A"], syms["B"]), syms["C"])
+        f = MatMul(syms["A"], MatMul(syms["B"], syms["C"]))
+        assert e == f  # association is not identity
+
+    def test_identity_dropped(self, syms):
+        assert MatMul(Identity(N), syms["A"]) == syms["A"]
+
+    def test_zero_absorbs_product(self, syms):
+        assert MatMul(Zero(N, N), syms["A"]) == Zero(N, N)
+
+    def test_add_flattens_and_sorts(self, syms):
+        e = Add(syms["A"], Add(syms["B"], syms["C"]))
+        f = Add(Add(syms["C"], syms["A"]), syms["B"])
+        assert e == f
+
+    def test_x_plus_x_merges(self, syms):
+        assert Add(syms["A"], syms["A"]) == Scale(2.0, syms["A"])
+
+    def test_x_minus_x_is_zero(self, syms):
+        assert (syms["A"] - syms["A"]) == Zero(N, N)
+
+    def test_add_drops_zero(self, syms):
+        assert Add(syms["A"], Zero(N, N)) == syms["A"]
+
+    def test_scale_merging(self, syms):
+        assert Scale(2.0, Scale(3.0, syms["A"])) == Scale(6.0, syms["A"])
+
+    def test_scale_one_is_identity_op(self, syms):
+        assert Scale(1.0, syms["A"]) is syms["A"]
+
+    def test_scale_zero_is_zero(self, syms):
+        assert Scale(0.0, syms["A"]) == Zero(N, N)
+
+    def test_scale_hoisted_from_product(self, syms):
+        e = MatMul(Scale(2.0, syms["A"]), syms["B"])
+        assert isinstance(e, Scale)
+        assert e.alpha == 2.0
+
+    def test_operator_sugar(self, syms):
+        a, b = syms["A"], syms["B"]
+        assert (a @ b) == MatMul(a, b)
+        assert (a + b) == Add(a, b)
+        assert (a - b) == Add(a, Scale(-1.0, b))
+        assert (2.0 * a) == Scale(2.0, a)
+        assert (-a) == Scale(-1.0, a)
+        assert a.T == Transpose(a)
+
+    def test_shape_mismatch_rejected(self, syms):
+        with pytest.raises(ShapeError):
+            MatMul(syms["x"], syms["A"])
+        with pytest.raises(ShapeError):
+            Add(syms["x"], syms["A"])
+
+    def test_evaluate_missing_binding(self, syms):
+        with pytest.raises(RewriteError):
+            syms["A"].evaluate({})
+
+
+class TestCost:
+    def test_product_uses_dp(self, syms):
+        # HᵀHx costed right-to-left: 2·(2n²)
+        e = MatMul(Transpose(syms["H"]), syms["H"], syms["x"])
+        assert expr_flops(e) == 4 * N * N
+
+    def test_sum_cost(self, syms):
+        e = Add(syms["A"], syms["B"], syms["C"])
+        assert expr_flops(e) == 2 * N * N
+
+    def test_scale_cost(self, syms):
+        assert expr_flops(Scale(2.0, syms["A"])) == N * N
+
+    def test_leaves_free(self, syms):
+        assert expr_flops(syms["A"]) == 0
+        assert expr_flops(Identity(N)) == 0
+        assert expr_flops(Transpose(syms["A"])) == 0
+
+    def test_aware_discount_diagonal(self):
+        d = Symbol("D", N, N, {Property.DIAGONAL})
+        b = Symbol("B", N, N)
+        assert expr_flops(MatMul(d, b), aware=True) == N * N
+        assert expr_flops(MatMul(d, b), aware=False) == 2 * N**3
+
+
+class TestRules:
+    def _all_rewrites(self, expr):
+        out = []
+        for rule in DEFAULT_RULES:
+            out.extend(apply_everywhere(rule, expr))
+        return out
+
+    def test_rewrites_preserve_value(self, syms, env):
+        exprs = [
+            MatMul(syms["A"], Add(syms["B"], syms["C"])),
+            Add(MatMul(syms["A"], syms["B"]), MatMul(syms["A"], syms["C"])),
+            MatMul(Transpose(syms["Q"]), syms["Q"], syms["A"]),
+            Add(Scale(2.0, syms["A"]), Scale(2.0, syms["B"])),
+            Add(MatMul(syms["H"], syms["x"]),
+                Scale(-1.0, MatMul(syms["A"], syms["x"]))),
+        ]
+        for e in exprs:
+            ref = e.evaluate(env)
+            for app in self._all_rewrites(e):
+                got = app.result.evaluate(env)
+                assert np.allclose(got, ref, atol=1e-8), (e, app.rule)
+
+    def test_expand_found(self, syms):
+        e = MatMul(syms["A"], Add(syms["B"], syms["C"]))
+        rules = {a.rule for a in self._all_rewrites(e)}
+        assert "expand" in rules
+
+    def test_factor_found(self, syms):
+        e = Add(MatMul(syms["A"], syms["B"]), MatMul(syms["A"], syms["C"]))
+        results = [a.result for a in self._all_rewrites(e) if a.rule == "factor"]
+        assert MatMul(syms["A"], Add(syms["B"], syms["C"])) in results
+
+    def test_trailing_factor_found(self, syms):
+        e = Add(MatMul(syms["B"], syms["A"]), MatMul(syms["C"], syms["A"]))
+        results = [a.result for a in self._all_rewrites(e) if a.rule == "factor"]
+        assert MatMul(Add(syms["B"], syms["C"]), syms["A"]) in results
+
+    def test_orthogonal_cancel(self, syms):
+        e = MatMul(Transpose(syms["Q"]), syms["Q"], syms["A"])
+        results = [a.result for a in self._all_rewrites(e)
+                   if a.rule == "orthogonal_cancel"]
+        assert syms["A"] in results
+
+    def test_orthogonal_not_cancelled_for_general(self, syms):
+        e = MatMul(Transpose(syms["A"]), syms["A"], syms["B"])
+        assert not [a for a in self._all_rewrites(e)
+                    if a.rule == "orthogonal_cancel"]
+
+    def test_nested_positions_reached(self, syms):
+        """A rewrite deep inside a sum is found."""
+        inner = MatMul(syms["A"], Add(syms["B"], syms["C"]))
+        e = Add(inner, syms["A"])
+        rules = {a.rule for a in self._all_rewrites(e)}
+        assert "expand" in rules
+
+
+class TestDerivation:
+    def test_fig1_discovery(self, syms, env):
+        """From variant 1 the search reaches the paper's variant 3 cost."""
+        H, x, y = syms["H"], syms["x"], syms["y"]
+        root = Add(
+            MatMul(Transpose(H), y),
+            MatMul(Add(Identity(N), Scale(-1.0, MatMul(Transpose(H), H))), x),
+        )
+        res = best_variant(root, max_nodes=300)
+        # variant 3 = Hᵀ(y − Hx) + x: two gemvs + adds
+        assert res.best_flops <= 3 * 2 * N * N + 3 * N
+        assert res.root_flops > 2 * N**3
+        assert np.allclose(root.evaluate(env), res.best.evaluate(env), atol=1e-8)
+        assert res.speedup_flops > 10
+
+    def test_variants_sorted(self, syms):
+        e = MatMul(syms["A"], Add(syms["B"], syms["C"]))
+        vs = variants(e, max_nodes=100)
+        flops = [f for _, f in vs]
+        assert flops == sorted(flops)
+
+    def test_orthogonal_chain_to_zero_cost(self, syms):
+        e = MatMul(Transpose(syms["Q"]), syms["Q"], syms["A"])
+        res = best_variant(e)
+        assert res.best == syms["A"]
+        assert res.best_flops == 0
+
+    def test_path_reconstruction(self, syms):
+        e = Add(MatMul(syms["A"], syms["B"]), MatMul(syms["A"], syms["C"]))
+        res = best_variant(e)
+        assert res.path and all(isinstance(r, str) for r in res.path)
+
+    def test_max_nodes_respected(self, syms):
+        H, x, y = syms["H"], syms["x"], syms["y"]
+        root = Add(
+            MatMul(Transpose(H), y),
+            MatMul(Add(Identity(N), Scale(-1.0, MatMul(Transpose(H), H))), x),
+        )
+        g = DerivationGraph(root, max_nodes=2).explore()
+        assert g.graph.number_of_nodes() <= 3  # root + limited expansion
+
+    def test_already_optimal_stays(self, syms):
+        e = MatMul(syms["A"], syms["x"])
+        res = best_variant(e)
+        assert res.best == e
+        assert res.path == ()

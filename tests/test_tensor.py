@@ -1,0 +1,221 @@
+"""Tests for the Tensor wrapper: construction, operators, property carrying."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DTypeError, PropertyError, ShapeError
+from repro.tensor import Tensor, eye, zeros
+from repro.tensor.properties import Property
+
+
+class TestConstruction:
+    def test_scalar_becomes_1x1(self):
+        t = Tensor(3.5)
+        assert t.shape == (1, 1)
+        assert t.item() == pytest.approx(3.5)
+
+    def test_1d_becomes_column(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3, 1)
+
+    def test_2d_kept(self):
+        t = Tensor(np.zeros((4, 5)))
+        assert t.shape == (4, 5)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ShapeError):
+            Tensor(np.zeros((2, 2, 2)))
+
+    def test_default_dtype_float32(self):
+        assert Tensor([[1, 2]]).dtype == np.float32
+
+    def test_float64_preserved(self):
+        assert Tensor(np.zeros((2, 2), dtype=np.float64)).dtype == np.float64
+
+    def test_explicit_dtype(self):
+        assert Tensor([[1.0]], dtype="float64").dtype == np.float64
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(DTypeError):
+            Tensor([[1.0]], dtype="int32")
+
+    def test_wrapping_tensor_merges_props(self, operands):
+        l = operands["L"]
+        t = Tensor(l, {Property.UNIT_DIAGONAL})
+        assert Property.LOWER_TRIANGULAR in t.props
+        assert Property.UNIT_DIAGONAL in t.props
+
+    def test_verify_rejects_false_annotation(self, operands):
+        with pytest.raises(PropertyError):
+            Tensor(operands["A"].data, {Property.DIAGONAL}, verify=True)
+
+    def test_verify_accepts_true_annotation(self, operands):
+        Tensor(operands["L"].data, {Property.LOWER_TRIANGULAR}, verify=True)
+
+    def test_detect_finds_structure(self, operands):
+        t = Tensor(operands["D"].data, detect=True)
+        assert Property.DIAGONAL in t.props
+
+    def test_shape_props_automatic(self, n):
+        t = Tensor(np.zeros((n, n)))
+        assert Property.SQUARE in t.props
+        v = Tensor(np.zeros((n, 1)))
+        assert Property.VECTOR in v.props
+
+
+class TestOperators:
+    def test_matmul_matrix(self, operands):
+        a, b = operands["A"], operands["B"]
+        assert (a @ b).allclose(a.numpy() @ b.numpy())
+
+    def test_matmul_matrix_vector(self, operands):
+        a, x = operands["A"], operands["x"]
+        out = a @ x
+        assert out.shape == (a.shape[0], 1)
+        assert out.allclose(a.numpy() @ x.numpy())
+
+    def test_matmul_vector_matrix(self, operands):
+        a, x = operands["A"], operands["x"]
+        out = x.T @ a
+        assert out.shape == (1, a.shape[1])
+        assert out.allclose(x.numpy().T @ a.numpy())
+
+    def test_matmul_inner_product(self, operands):
+        x, y = operands["x"], operands["y"]
+        out = x.T @ y
+        assert out.shape == (1, 1)
+        assert out.item() == pytest.approx(
+            float((x.numpy().T @ y.numpy())[0, 0]), rel=1e-4
+        )
+
+    def test_matmul_outer_product(self, operands):
+        x, y = operands["x"], operands["y"]
+        out = x @ y.T
+        assert out.shape == (x.shape[0], y.shape[0])
+        assert out.allclose(np.outer(x.numpy(), y.numpy()))
+
+    def test_matmul_shape_error(self, operands):
+        with pytest.raises(ShapeError):
+            operands["A"] @ operands["x"].T
+
+    def test_add_sub_neg(self, operands):
+        a, b = operands["A"], operands["B"]
+        assert (a + b).allclose(a.numpy() + b.numpy())
+        assert (a - b).allclose(a.numpy() - b.numpy())
+        assert (-a).allclose(-a.numpy())
+
+    def test_add_shape_error(self, operands):
+        with pytest.raises(ShapeError):
+            operands["A"] + operands["x"]
+
+    def test_scalar_multiply(self, operands):
+        a = operands["A"]
+        assert (a * 2.5).allclose(2.5 * a.numpy())
+        assert (2.5 * a).allclose(2.5 * a.numpy())
+
+    def test_matrix_multiply_with_star_rejected(self, operands):
+        with pytest.raises(TypeError):
+            operands["A"] * operands["B"]
+
+    def test_hadamard(self, operands):
+        a, b = operands["A"], operands["B"]
+        assert a.hadamard(b).allclose(a.numpy() * b.numpy())
+
+    def test_transpose_is_view(self, operands):
+        a = operands["A"]
+        assert np.shares_memory(a.T.numpy(), a.numpy())
+
+    def test_transpose_value(self, operands):
+        a = operands["A"]
+        assert a.T.allclose(a.numpy().T)
+
+    def test_getitem_element(self, operands):
+        a = operands["A"]
+        got = a[2, 3]
+        assert got.shape == (1, 1)
+        assert got.item() == pytest.approx(float(a.numpy()[2, 3]), rel=1e-6)
+
+    def test_getitem_row(self, operands):
+        a = operands["A"]
+        row = a[2, :]
+        assert row.shape[0] * row.shape[1] == a.shape[1]
+
+    def test_item_requires_scalar(self, operands):
+        with pytest.raises(ShapeError):
+            operands["A"].item()
+
+    def test_mixed_dtype_matmul_rejected(self, operands):
+        a64 = operands["A"].astype("float64")
+        with pytest.raises(DTypeError):
+            a64 @ operands["B"]
+
+
+class TestPropertyPropagation:
+    def test_transpose_swaps_triangular(self, operands):
+        assert Property.UPPER_TRIANGULAR in operands["L"].T.props
+
+    def test_symmetric_transpose_keeps(self, operands):
+        assert Property.SYMMETRIC in operands["S"].T.props
+
+    def test_diag_times_diag(self, operands):
+        d = operands["D"]
+        assert Property.DIAGONAL in (d @ d).props
+
+    def test_lower_times_lower(self, operands):
+        l = operands["L"]
+        assert Property.LOWER_TRIANGULAR in (l @ l).props
+
+    def test_identity_absorbs(self, operands, n):
+        i = eye(n)
+        out = i @ operands["L"]
+        assert Property.LOWER_TRIANGULAR in out.props
+
+    def test_zero_absorbs(self, operands, n):
+        z = zeros(n)
+        assert Property.ZERO in (z @ operands["A"]).props
+        assert Property.ZERO in (operands["A"] @ z).props
+
+    def test_add_preserves_common_structure(self, operands):
+        l = operands["L"]
+        assert Property.LOWER_TRIANGULAR in (l + l).props
+
+    def test_add_of_different_structures_general(self, operands):
+        out = operands["L"] + operands["S"]
+        assert Property.LOWER_TRIANGULAR not in out.props
+        assert Property.SYMMETRIC not in out.props
+
+    def test_scale_keeps_structure(self, operands):
+        assert Property.LOWER_TRIANGULAR in (operands["L"] * 3.0).props
+
+    def test_scale_zero_gives_zero(self, operands):
+        assert Property.ZERO in (operands["A"] * 0.0).props
+
+    def test_spd_plus_spd(self, operands):
+        p = operands["P"]
+        assert Property.SPD in (p + p).props
+
+    def test_spd_minus_spd_not_spd(self, operands):
+        p = operands["P"]
+        assert Property.SPD not in (p - p).props
+
+    def test_propagated_props_numerically_sound(self, operands):
+        """Every propagated property must actually hold for the data."""
+        from repro.tensor.properties import verify_property
+
+        results = [
+            operands["L"] @ operands["L"],
+            operands["D"] @ operands["T"],
+            operands["L"].T,
+            operands["S"] + operands["S"],
+            operands["P"] * 2.0,
+        ]
+        for t in results:
+            for prop in t.props:
+                if prop is Property.BLOCK_DIAGONAL:
+                    continue  # carries structure info not checkable alone
+                assert verify_property(t.data, prop, atol=1e-3), (t, prop)
+
+    def test_with_props(self, operands):
+        t = operands["A"].with_props(Property.SQUARE)
+        assert Property.SQUARE in t.props
+        assert t.numpy() is operands["A"].numpy()

@@ -1,0 +1,204 @@
+"""Tests for the property vocabulary: closure, verification, detection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PropertyError
+from repro.tensor import creation, random_orthogonal
+from repro.tensor.properties import (
+    Property,
+    closure,
+    detect_properties,
+    verify_property,
+)
+
+
+class TestClosure:
+    def test_identity_implies_many(self):
+        c = closure({Property.IDENTITY})
+        for p in (Property.DIAGONAL, Property.ORTHOGONAL, Property.SPD,
+                  Property.SYMMETRIC, Property.LOWER_TRIANGULAR,
+                  Property.UPPER_TRIANGULAR, Property.TRIDIAGONAL,
+                  Property.SQUARE):
+            assert p in c
+
+    def test_diagonal_implies_triangular_both(self):
+        c = closure({Property.DIAGONAL})
+        assert Property.LOWER_TRIANGULAR in c
+        assert Property.UPPER_TRIANGULAR in c
+        assert Property.TRIDIAGONAL in c
+
+    def test_spd_implies_symmetric(self):
+        assert Property.SYMMETRIC in closure({Property.SPD})
+
+    def test_closure_idempotent(self):
+        once = closure({Property.IDENTITY})
+        assert closure(once) == once
+
+    def test_closure_monotone(self):
+        small = closure({Property.SPD})
+        big = closure({Property.SPD, Property.DIAGONAL})
+        assert small <= big
+
+    def test_empty_closure(self):
+        assert closure(set()) == frozenset()
+
+
+class TestVerify:
+    def test_lower_triangular(self, rng):
+        l = np.tril(rng.random((8, 8))).astype(np.float32)
+        assert verify_property(l, Property.LOWER_TRIANGULAR)
+        assert not verify_property(l + 1.0, Property.LOWER_TRIANGULAR)
+
+    def test_symmetric(self, rng):
+        a = rng.random((8, 8))
+        assert verify_property(a + a.T, Property.SYMMETRIC)
+        assert not verify_property(a + np.eye(8) @ np.diag(np.arange(8.0)) @ a,
+                                   Property.SYMMETRIC)
+
+    def test_spd(self, rng):
+        a = rng.random((6, 6))
+        spd = a @ a.T + 6 * np.eye(6)
+        assert verify_property(spd, Property.SPD)
+        assert not verify_property(-spd, Property.SPD)
+
+    def test_diagonal(self, rng):
+        assert verify_property(np.diag(rng.random(5)), Property.DIAGONAL)
+        assert not verify_property(rng.random((5, 5)) + 1, Property.DIAGONAL)
+
+    def test_tridiagonal(self, rng):
+        t = np.diag(rng.random(6)) + np.diag(rng.random(5), 1) + np.diag(
+            rng.random(5), -1)
+        assert verify_property(t, Property.TRIDIAGONAL)
+        t[0, 5] = 1.0
+        assert not verify_property(t, Property.TRIDIAGONAL)
+
+    def test_orthogonal(self):
+        q = random_orthogonal(16, seed=3).numpy()
+        assert verify_property(q, Property.ORTHOGONAL)
+        assert not verify_property(2 * q, Property.ORTHOGONAL)
+
+    def test_identity_and_zero(self):
+        assert verify_property(np.eye(4), Property.IDENTITY)
+        assert verify_property(np.zeros((3, 7)), Property.ZERO)
+        assert not verify_property(np.ones((3, 3)), Property.ZERO)
+
+    def test_vector_scalar(self):
+        assert verify_property(np.zeros((5, 1)), Property.VECTOR)
+        assert verify_property(np.zeros((1, 1)), Property.SCALAR)
+        assert not verify_property(np.zeros((5, 2)), Property.VECTOR)
+
+    def test_square_rejects_rectangular(self):
+        assert not verify_property(np.zeros((3, 4)), Property.SQUARE)
+
+    def test_unit_diagonal(self):
+        m = np.tril(np.full((4, 4), 2.0))
+        np.fill_diagonal(m, 1.0)
+        assert verify_property(m, Property.UNIT_DIAGONAL)
+
+
+class TestDetect:
+    def test_detect_identity_closure(self):
+        props = detect_properties(np.eye(6, dtype=np.float32))
+        assert Property.IDENTITY in props
+        assert Property.ORTHOGONAL in props  # via closure
+
+    def test_detect_general_dense(self, rng):
+        props = detect_properties(rng.random((6, 6)).astype(np.float32) + 1)
+        assert Property.DIAGONAL not in props
+        assert Property.SYMMETRIC not in props
+        assert Property.SQUARE in props
+
+    def test_detect_rectangular(self, rng):
+        props = detect_properties(rng.random((4, 7)))
+        assert Property.SQUARE not in props
+
+    def test_detect_orthogonal_small(self):
+        q = random_orthogonal(32, seed=5).numpy()
+        assert Property.ORTHOGONAL in detect_properties(q)
+
+    def test_detect_rejects_non_matrix(self):
+        with pytest.raises(PropertyError):
+            detect_properties(np.zeros(5))
+
+    def test_detect_consistency_with_verify(self, rng):
+        """Everything detected must verify (soundness of detection)."""
+        mats = [
+            np.tril(rng.random((10, 10))).astype(np.float32),
+            np.diag(rng.random(10)).astype(np.float32),
+            np.zeros((10, 10), dtype=np.float32),
+            np.eye(10, dtype=np.float32),
+        ]
+        for m in mats:
+            for p in detect_properties(m):
+                if p is Property.BLOCK_DIAGONAL:
+                    continue
+                assert verify_property(m, p), (m[:2, :2], p)
+
+
+class TestCreationProps:
+    def test_eye(self):
+        assert Property.IDENTITY in creation.eye(4).props
+
+    def test_zeros(self):
+        assert Property.ZERO in creation.zeros(4, 6).props
+
+    def test_diag(self):
+        t = creation.diag([1.0, 2.0, 3.0])
+        assert Property.DIAGONAL in t.props
+        assert np.allclose(t.numpy(), np.diag([1, 2, 3]))
+
+    def test_tridiag(self):
+        t = creation.tridiag([1.0, 1.0], [2.0, 2.0, 2.0], [3.0, 3.0])
+        assert Property.TRIDIAGONAL in t.props
+        assert t.numpy()[0, 1] == pytest.approx(3.0)
+        assert t.numpy()[1, 0] == pytest.approx(1.0)
+
+    def test_block_diag(self, rng):
+        a = rng.random((3, 3)).astype(np.float32)
+        b = rng.random((2, 2)).astype(np.float32)
+        t = creation.block_diag(a, b)
+        assert t.shape == (5, 5)
+        assert Property.BLOCK_DIAGONAL in t.props
+        assert np.allclose(t.numpy()[:3, :3], a)
+        assert np.allclose(t.numpy()[3:, 3:], b)
+        assert np.allclose(t.numpy()[:3, 3:], 0)
+
+    def test_concat(self, rng):
+        a = creation.from_numpy(rng.random((2, 3)).astype(np.float32))
+        b = creation.from_numpy(rng.random((2, 3)).astype(np.float32))
+        rows = creation.concat([a, b], axis=0)
+        cols = creation.concat([a, b], axis=1)
+        assert rows.shape == (4, 3)
+        assert cols.shape == (2, 6)
+
+
+class TestRandomGenerators:
+    def test_reproducible(self):
+        from repro.tensor import random_general
+
+        a = random_general(8, seed=42)
+        b = random_general(8, seed=42)
+        assert np.array_equal(a.numpy(), b.numpy())
+
+    def test_different_seeds_differ(self):
+        from repro.tensor import random_general
+
+        a = random_general(8, seed=1)
+        b = random_general(8, seed=2)
+        assert not np.array_equal(a.numpy(), b.numpy())
+
+    def test_annotations_hold(self, operands):
+        from repro.tensor.properties import verify_property
+
+        checks = [
+            ("L", Property.LOWER_TRIANGULAR),
+            ("S", Property.SYMMETRIC),
+            ("P", Property.SPD),
+            ("Q", Property.ORTHOGONAL),
+            ("T", Property.TRIDIAGONAL),
+            ("D", Property.DIAGONAL),
+        ]
+        for key, prop in checks:
+            assert verify_property(operands[key].numpy(), prop,
+                                   atol=1e-3), key
