@@ -10,6 +10,7 @@ every experiment:
 * :mod:`repro.tensor`      — dense tensors + matrix-property annotations
 * :mod:`repro.ir`          — computational-graph IR, tracing, interpreter
 * :mod:`repro.passes`      — Grappler-analogue optimizer + "aware" passes
+* :mod:`repro.runtime`     — compiled plans, plan cache, batched execution
 * :mod:`repro.chain`       — matrix-chain DP and enumeration
 * :mod:`repro.properties`  — property algebra, inference, annotations
 * :mod:`repro.rewrite`     — Linnea-analogue derivation-graph engine

@@ -5,8 +5,16 @@ from __future__ import annotations
 from collections.abc import Callable
 
 from ..bench.timing import TimingSample, measure
+from ..errors import BenchmarkError
 from ..frameworks.common import CompiledFunction
 from ..tensor.tensor import Tensor
+
+#: Execution modes for graph-mode timing:
+#: ``graph``       the decorator's call path (compiled plan + Tensor wrap),
+#: ``runtime``     the bare cached plan over raw arrays, accounting off —
+#:                 the leanest serving path,
+#: ``interpreter`` the reference Interpreter (pre-runtime behaviour).
+EXECUTION_MODES = ("graph", "runtime", "interpreter")
 
 
 def time_compiled(
@@ -15,11 +23,25 @@ def time_compiled(
     *,
     label: str,
     repetitions: int | None = None,
+    mode: str = "graph",
 ) -> TimingSample:
-    """Time a graph-mode function: trace/optimize first (untimed — the
-    paper excludes decorator overheads), then measure steady-state calls."""
-    fn.get_concrete(*args)
-    return measure(lambda: fn(*args), label=label, repetitions=repetitions)
+    """Time a graph-mode function: trace/optimize/plan-compile first
+    (untimed — the paper excludes decorator overheads), then measure
+    steady-state calls in the chosen execution ``mode``."""
+    if mode not in EXECUTION_MODES:
+        raise BenchmarkError(
+            f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
+        )
+    concrete = fn.get_concrete(*args)
+    if mode == "runtime":
+        plan = concrete.plan
+        feeds = [a.data for a in args]
+        thunk = lambda: plan.execute(feeds, record=False)  # noqa: E731
+    elif mode == "interpreter":
+        thunk = lambda: fn.interpret(*args)  # noqa: E731
+    else:
+        thunk = lambda: fn(*args)  # noqa: E731
+    return measure(thunk, label=label, repetitions=repetitions)
 
 
 def time_eager(

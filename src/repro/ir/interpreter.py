@@ -65,12 +65,20 @@ class ExecutionReport:
 
     # -- memory model ---------------------------------------------------------
 
+    @property
+    def live_bytes(self) -> int:
+        """Bytes currently modelled as live (allocated, not yet freed)."""
+        return self._live_bytes
+
     def alloc(self, nbytes: int) -> None:
         self._live_bytes += nbytes
         self.peak_bytes = max(self.peak_bytes, self._live_bytes)
 
     def free(self, nbytes: int) -> None:
-        self._live_bytes -= nbytes
+        # Clamp at zero: a free larger than the live set is an accounting
+        # bug in the caller, and letting the counter go negative would
+        # silently understate every later peak.
+        self._live_bytes = max(0, self._live_bytes - nbytes)
 
 
 def _normalize_feed(value: object) -> np.ndarray:

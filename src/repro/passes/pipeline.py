@@ -19,6 +19,11 @@ class PassPipeline:
     ``validate=True`` (the default) the structural validator runs after
     every pass, so a semantics-breaking pass is caught at the pass
     boundary, attributed by name.
+
+    ``history`` holds the :class:`PassStats` of the *latest* ``run()``
+    only — it is reset at the start of every run, and a run that raises
+    partway leaves the stats of the passes that completed (see
+    :meth:`describe`).
     """
 
     def __init__(self, passes: Sequence[GraphPass], *, validate: bool = True) -> None:
@@ -46,15 +51,33 @@ class PassPipeline:
         return graph
 
     def extend(self, passes: Iterable[GraphPass]) -> "PassPipeline":
-        """New pipeline with extra passes appended."""
+        """New pipeline with extra passes appended.
+
+        The new pipeline starts with an empty ``history`` — run stats never
+        carry over.  The pass *instances* are shared with this pipeline
+        (they are stateless apart from ``last_stats``, which each
+        ``run()`` snapshots into the running pipeline's ``history``), so
+        extending is cheap and running either pipeline leaves the other's
+        recorded history untouched.
+        """
         return PassPipeline([*self.passes, *passes], validate=self.validate)
 
     def describe(self) -> str:
-        """One line per pass with the last run's node deltas."""
-        if not self.history:
-            return " -> ".join(p.name for p in self.passes)
-        return "\n".join(
+        """One line per pass with the last run's node deltas.
+
+        ``history`` may be shorter than ``passes`` — before any run, or
+        after a run that failed partway; passes without stats render as
+        ``(not run)`` instead of being silently dropped.
+        """
+        lines = [
             f"{s.name:<28} {s.nodes_before:>4} -> {s.nodes_after:<4} nodes"
             f" ({s.rewrites} rewrites)"
             for s in self.history
+        ]
+        if not lines:
+            return " -> ".join(p.name for p in self.passes)
+        lines.extend(
+            f"{p.name:<28}    (not run)"
+            for p in self.passes[len(self.history):]
         )
+        return "\n".join(lines)

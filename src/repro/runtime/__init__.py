@@ -1,0 +1,44 @@
+"""Compiled execution runtime: plans, plan cache, batched execution.
+
+The reference :class:`~repro.ir.interpreter.Interpreter` re-walks the
+graph on *every* call — recomputing topological order and liveness and
+re-selecting kernels per node.  That is exactly the per-dispatch overhead
+the paper attributes to TF/PyTorch eager execution; graph mode only wins
+when knowledge about the expression is compiled into the execution once.
+This package is that compile-once / execute-many layer:
+
+``signature``  Canonical structural key of a Graph (ops, shapes, dtypes,
+               attrs, property annotations) — node-identity-free, so
+               independently built but structurally identical graphs
+               share one key.
+``compiler``   ``compile_plan(graph)``: Graph → :class:`Plan` — a flat
+               instruction list with the schedule, kernel selection,
+               FLOP/report records and buffer liveness all resolved at
+               compile time.
+``plan``       The :class:`Plan` object and its executor.  Execution is
+               output- and report-parity with the Interpreter (verified
+               by ``tests/test_runtime_plans.py``).
+``cache``      :class:`PlanCache` — signature-keyed LRU of compiled
+               plans with hit/miss/eviction stats, plus the process-wide
+               default cache the simulated frameworks share.
+``batch``      One plan over many feed sets, sequentially or via a
+               thread pool (BLAS kernels release the GIL).
+"""
+
+from .batch import BatchResult, execute_batch
+from .cache import CacheStats, PlanCache, default_plan_cache
+from .compiler import compile_plan
+from .plan import Instruction, Plan
+from .signature import graph_signature
+
+__all__ = [
+    "BatchResult",
+    "CacheStats",
+    "Instruction",
+    "Plan",
+    "PlanCache",
+    "compile_plan",
+    "default_plan_cache",
+    "execute_batch",
+    "graph_signature",
+]

@@ -1,0 +1,107 @@
+"""Signature-keyed LRU cache of compiled plans.
+
+The cache is keyed by :func:`~repro.runtime.signature.graph_signature`, so
+*structurally identical* graphs share one plan regardless of where their
+node objects came from — two independent traces of the same Python
+function, or the same expression arriving from ``tfsim`` and ``pytsim``,
+compile exactly once.  Graphs that differ in any attr (a ``trans_a`` flag,
+a property annotation on an input, a constant's payload) key differently.
+
+A process-wide default cache (:func:`default_plan_cache`) backs the
+simulated frameworks' ``function``/``jit`` decorators.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from collections import OrderedDict
+
+from ..ir.graph import Graph
+from .compiler import compile_plan
+from .plan import Plan
+from .signature import graph_signature
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`PlanCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class PlanCache:
+    """LRU cache mapping graph signatures to compiled :class:`Plan` s."""
+
+    def __init__(self, maxsize: int = 128) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._plans: OrderedDict[tuple, Plan] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, graph: Graph, *, fold_constants: bool = False) -> Plan:
+        """The compiled plan for ``graph`` — compiles on miss.
+
+        ``fold_constants`` takes part in the key: a folded and an unfolded
+        plan of the same graph execute different instruction sequences.
+        """
+        key = (graph_signature(graph), fold_constants)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self.stats.hits += 1
+                self._plans.move_to_end(key)
+                return plan
+            self.stats.misses += 1
+        # Compile outside the lock: compilation can be slow and must not
+        # serialize concurrent lookups of other graphs.
+        plan = compile_plan(graph, fold_constants=fold_constants)
+        with self._lock:
+            existing = self._plans.get(key)
+            if existing is not None:
+                return existing  # another thread won the race
+            self._plans[key] = plan
+            while len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
+                self.stats.evictions += 1
+        return plan
+
+    def contains(self, graph: Graph, *, fold_constants: bool = False) -> bool:
+        """Whether a plan for ``graph`` is cached (does not touch LRU order)."""
+        with self._lock:
+            return (graph_signature(graph), fold_constants) in self._plans
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<PlanCache {len(self)}/{self.maxsize} plans, "
+            f"{self.stats.hits} hits / {self.stats.misses} misses>"
+        )
+
+
+_default_cache = PlanCache(maxsize=256)
+
+
+def default_plan_cache() -> PlanCache:
+    """The process-wide cache shared by the simulated frameworks."""
+    return _default_cache

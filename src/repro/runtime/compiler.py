@@ -1,0 +1,381 @@
+"""Graph → Plan compilation.
+
+The compiler performs, once, everything ``Interpreter.run`` redoes per
+call:
+
+* **Schedule** — the topological order is frozen into a flat instruction
+  list (loop bodies compile into nested sub-plans).
+* **Kernel selection** — the shape/flag/hint dispatch of the interpreter's
+  ``matmul`` handler (DOT/GEMV/GEMM, and the property-dispatch hints
+  TRMM/SYRK/SYMM/diag/tridiag/zero/identity) is resolved here; each
+  instruction carries a closure that calls the chosen BLAS kernel
+  directly, plus the pre-built :class:`KernelCall` records (dims and
+  FLOPs are static, so the modelled-cost accounting costs nothing at
+  execution time).
+* **Buffer table** — liveness analysis assigns every value an arena slot;
+  slots of dead temporaries are recycled (inputs, constants and graph
+  outputs stay live for the whole run, matching the interpreter's memory
+  model), so the arena is as small as the peak working set.
+* **Constant preloading** — ``const`` payloads are captured into the
+  instruction at compile time; with ``fold_constants=True`` the
+  :class:`~repro.passes.constant_folding.ConstantFolding` pass
+  pre-evaluates const-only sub-DAGs before compilation (note: the plan
+  then mirrors the *folded* program, so report parity is with the
+  Interpreter on the folded graph).
+
+The executor closures below must stay in lock-step with the corresponding
+``Interpreter._op_*`` handlers: the parity suite executes both on every
+workload and compares outputs bit-for-bit and reports field-for-field.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..errors import GraphError, KernelError
+from ..ir.graph import Graph
+from ..ir.interpreter import KernelCall
+from ..ir.node import Node
+from ..kernels import blas1, blas2, blas3, special
+from ..kernels.flops import kernel_flops
+from .plan import Instruction, Plan, PlanInput
+from .signature import graph_signature
+
+
+def _call(kernel: str, dims: tuple[int, ...], node_op: str) -> KernelCall:
+    return KernelCall(kernel, dims, kernel_flops(kernel, *dims), node_op)
+
+
+def _call_free(kernel: str, node_op: str) -> KernelCall:
+    return KernelCall(kernel, (), 0, node_op)
+
+
+# -- per-op compilation -------------------------------------------------------
+#
+# Each _compile_* returns (fn, calls): the executor closure and the static
+# kernel-call records appended per execution.
+
+
+def _compile_const(node: Node):
+    value = node.attrs["value"]
+
+    def run(args, report, record):
+        return value
+
+    return run, ()
+
+
+def _compile_transpose(node: Node):
+    def run(args, report, record):
+        return np.ascontiguousarray(args[0].T)
+
+    return run, (_call("transpose", node.inputs[0].shape, node.op),)
+
+
+def _compile_add(node: Node):
+    def run(args, report, record):
+        return args[0] + args[1]
+
+    return run, (_call("add", node.inputs[0].shape, node.op),)
+
+
+def _compile_sub(node: Node):
+    def run(args, report, record):
+        return args[0] - args[1]
+
+    return run, (_call("sub", node.inputs[0].shape, node.op),)
+
+
+def _compile_neg(node: Node):
+    def run(args, report, record):
+        return -args[0]
+
+    return run, (_call("scale", node.inputs[0].shape, node.op),)
+
+
+def _compile_scale(node: Node):
+    alpha = node.attrs["alpha"]
+
+    def run(args, report, record):
+        a = args[0]
+        return a * a.dtype.type(alpha)
+
+    return run, (_call("scale", node.inputs[0].shape, node.op),)
+
+
+def _compile_dot(node: Node):
+    a_shape = node.inputs[0].shape
+    length = a_shape[0] * a_shape[1]
+
+    def run(args, report, record):
+        a, b = args
+        av = np.ascontiguousarray(a).ravel()
+        bv = np.ascontiguousarray(b).ravel()
+        return np.array([[blas1.dot(av, bv)]], dtype=a.dtype)
+
+    return run, (_call("dot", (length,), node.op),)
+
+
+def _compile_slice(node: Node):
+    sel = []
+    for key in ("rows", "cols"):
+        s = node.attrs.get(key)
+        if s is None:
+            sel.append(slice(None))
+        elif isinstance(s, int):
+            sel.append(slice(s, s + 1) if s != -1 else slice(s, None))
+        else:
+            sel.append(slice(s[0], s[1]))
+    sel = tuple(sel)
+
+    def run(args, report, record):
+        return np.ascontiguousarray(args[0][sel])
+
+    return run, (_call_free("slice", node.op),)
+
+
+def _compile_concat(node: Node):
+    axis = node.attrs.get("axis", 0)
+
+    def run(args, report, record):
+        return np.concatenate(args, axis=axis)
+
+    return run, (_call_free("concat", node.op),)
+
+
+def _compile_tridiagonal_matmul(node: Node):
+    t, b = node.inputs
+
+    def run(args, report, record):
+        return special.tridiagonal_matmul(args[0], args[1])
+
+    return run, (_call("tridiagonal_matmul", (t.shape[0], b.shape[1]), node.op),)
+
+
+def _compile_loop(node: Node):
+    body: Graph = node.attrs["body"]
+    trip: int = node.attrs["trip_count"]
+    sub_plan = compile_plan(body)
+
+    def run(args, report, record):
+        carried = args[0]
+        captured = args[1:]
+        for i in range(trip):
+            idx = np.array([[float(i)]], dtype=carried.dtype)
+            outs, _ = sub_plan.execute(
+                [idx, carried, *captured], report=report, record=record
+            )
+            carried = outs[0]
+        return carried
+
+    return run, ()
+
+
+def _compile_matmul(node: Node):
+    a_node, b_node = node.inputs
+    trans_a = bool(node.attrs.get("trans_a"))
+    trans_b = bool(node.attrs.get("trans_b"))
+    hint = node.attrs.get("kernel")
+    if hint is not None:
+        return _compile_structured_matmul(node, trans_a, trans_b, hint)
+
+    a_eff = tuple(reversed(a_node.shape)) if trans_a else a_node.shape
+    b_eff = tuple(reversed(b_node.shape)) if trans_b else b_node.shape
+    m, k = a_eff
+    _, n = b_eff
+
+    if m == 1 and n == 1 and k > 1:
+        def run(args, report, record):
+            a, b = args
+            av = np.ascontiguousarray(a).ravel()
+            bv = np.ascontiguousarray(b).ravel()
+            return np.array([[blas1.dot(av, bv)]], dtype=a.dtype)
+
+        return run, (_call("dot", (k,), node.op),)
+    if n == 1 and m > 1:
+        def run(args, report, record):
+            a, b = args
+            x = np.ascontiguousarray(b).ravel()
+            return blas2.gemv(a, x, trans=trans_a).reshape(-1, 1)
+
+        return run, (_call("gemv", (a_node.shape[0], a_node.shape[1]), node.op),)
+    if m == 1 and n > 1:
+        def run(args, report, record):
+            a, b = args
+            x = np.ascontiguousarray(a).ravel()
+            return blas2.gemv(b, x, trans=not trans_b).reshape(1, -1)
+
+        return run, (_call("gemv", (b_node.shape[0], b_node.shape[1]), node.op),)
+
+    def run(args, report, record):
+        return blas3.gemm(args[0], args[1], trans_a=trans_a, trans_b=trans_b)
+
+    return run, (_call("gemm", (m, k, n), node.op),)
+
+
+def _compile_structured_matmul(node: Node, trans_a: bool, trans_b: bool, hint: str):
+    """Compile a matmul carrying a property-dispatch kernel hint."""
+    a_node, b_node = node.inputs
+    opts = dict(node.attrs.get("kernel_opts", ()))
+    a_eff_shape = tuple(reversed(a_node.shape)) if trans_a else a_node.shape
+    b_eff_shape = tuple(reversed(b_node.shape)) if trans_b else b_node.shape
+    m, k = a_eff_shape
+    n = b_eff_shape[1]
+
+    def eff(args):
+        a, b = args
+        a_eff = np.ascontiguousarray(a.T) if trans_a else a
+        b_eff = np.ascontiguousarray(b.T) if trans_b else b
+        return a_eff, b_eff
+
+    if hint == "zero":
+        def run(args, report, record):
+            return np.zeros((m, n), dtype=args[0].dtype)
+
+        return run, (_call_free("zero", node.op),)
+    if hint == "identity":
+        def run(args, report, record):
+            return eff(args)[1].copy()
+
+        return run, (_call_free("identity", node.op),)
+    if hint == "identity_right":
+        def run(args, report, record):
+            return eff(args)[0].copy()
+
+        return run, (_call_free("identity", node.op),)
+    if hint == "diag_matmul":
+        def run(args, report, record):
+            return special.diag_matmul(*eff(args))
+
+        return run, (_call("diag_matmul", (k, n), node.op),)
+    if hint == "tridiagonal_matmul":
+        def run(args, report, record):
+            return special.tridiagonal_matmul(*eff(args))
+
+        return run, (_call("tridiagonal_matmul", (k, n), node.op),)
+    if hint == "trmm":
+        lower = opts.get("lower", True)
+
+        def run(args, report, record):
+            a_eff, b_eff = eff(args)
+            return blas3.trmm(a_eff, b_eff, lower=lower)
+
+        return run, (_call("trmm", (m, n), node.op),)
+    if hint == "trmm_right":
+        lower = opts.get("lower", True)
+
+        def run(args, report, record):
+            a_eff, b_eff = eff(args)
+            return blas3.trmm(b_eff, a_eff, side_left=False, lower=lower)
+
+        return run, (_call("trmm", (n, m), node.op),)
+    if hint == "symm":
+        def run(args, report, record):
+            return blas3.symm(*eff(args))
+
+        return run, (_call("symm", (m, n), node.op),)
+    if hint == "syrk":
+        if trans_b == trans_a:
+            raise KernelError("syrk hint requires exactly one transpose flag")
+        trans = trans_a
+
+        def run(args, report, record):
+            return blas3.syrk(args[0], trans=trans)
+
+        return run, (_call("syrk", (m, k), node.op),)
+    raise KernelError(f"unknown matmul kernel hint {hint!r}")
+
+
+_COMPILERS = {
+    "const": _compile_const,
+    "transpose": _compile_transpose,
+    "add": _compile_add,
+    "sub": _compile_sub,
+    "neg": _compile_neg,
+    "scale": _compile_scale,
+    "dot": _compile_dot,
+    "slice": _compile_slice,
+    "concat": _compile_concat,
+    "tridiagonal_matmul": _compile_tridiagonal_matmul,
+    "loop": _compile_loop,
+    "matmul": _compile_matmul,
+}
+
+
+# -- the compiler proper ------------------------------------------------------
+
+
+def compile_plan(graph: Graph, *, fold_constants: bool = False) -> Plan:
+    """Compile ``graph`` into an executable :class:`Plan`."""
+    start = time.perf_counter()
+    signature = graph_signature(graph)
+    if fold_constants:
+        from ..passes.constant_folding import ConstantFolding
+
+        graph = ConstantFolding().run(graph)
+
+    order = graph.topological()
+    last_use: dict[int, int] = {}
+    for idx, node in enumerate(order):
+        for inp in node.inputs:
+            last_use[id(inp)] = idx
+    for out in graph.outputs:
+        last_use[id(out)] = len(order)  # outputs stay live
+
+    # Slot assignment: inputs first (positional feed order), then one slot
+    # per executed node, recycling slots of dead temporaries.
+    slot_of: dict[int, int] = {}
+    inputs: list[PlanInput] = []
+    for i, node in enumerate(graph.inputs):
+        slot_of[id(node)] = i
+        inputs.append(PlanInput(node.name, node.shape, i))
+    num_slots = len(inputs)
+    free_pool: list[int] = []
+
+    instructions: list[Instruction] = []
+    for idx, node in enumerate(order):
+        if node.op == "input":
+            if id(node) not in slot_of:
+                raise GraphError(f"reachable input {node.name!r} not declared")
+            continue
+        compiler = _COMPILERS.get(node.op)
+        if compiler is None:
+            raise GraphError(f"runtime has no compiler for op {node.op!r}")
+        fn, calls = compiler(node)
+        if free_pool:
+            out_slot = free_pool.pop()
+        else:
+            out_slot = num_slots
+            num_slots += 1
+        slot_of[id(node)] = out_slot
+        frees: list[int] = []
+        seen: set[int] = set()
+        for inp in node.inputs:
+            if id(inp) in seen:
+                continue
+            seen.add(id(inp))
+            if last_use.get(id(inp)) == idx and inp.op not in ("input", "const"):
+                frees.append(slot_of[id(inp)])
+        free_pool.extend(frees)
+        instructions.append(
+            Instruction(
+                out_slot=out_slot,
+                arg_slots=tuple(slot_of[id(i)] for i in node.inputs),
+                fn=fn,
+                calls=tuple(calls),
+                free_slots=tuple(frees),
+                op=node.op,
+                label=node.name,
+            )
+        )
+
+    return Plan(
+        instructions=tuple(instructions),
+        inputs=tuple(inputs),
+        output_slots=tuple(slot_of[id(o)] for o in graph.outputs),
+        num_slots=num_slots,
+        signature=signature,
+        compile_seconds=time.perf_counter() - start,
+    )

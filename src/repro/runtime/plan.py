@@ -1,0 +1,199 @@
+"""Executable plans: the compile-once / execute-many artifact.
+
+A :class:`Plan` is a flat list of :class:`Instruction` records over a slot
+arena.  Everything the Interpreter derives per call — topological order,
+liveness, kernel choice, FLOP model, result sizes — is frozen into the
+instructions at compile time; executing the plan is a single sweep over
+the list with no graph traversal, no ``getattr`` dispatch and no dict
+rebuilds.
+
+Parity contract: ``Plan.execute`` produces bit-identical outputs and an
+:class:`~repro.ir.interpreter.ExecutionReport` equal (kernel call list,
+FLOPs, peak bytes) to ``Interpreter.run`` on the same graph and feeds.
+The executor replicates the Interpreter's accounting protocol exactly:
+record kernel calls during the op, alloc the result, then free operands
+whose last consumer this was (inputs and constants stay live).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import GraphError
+from ..ir.interpreter import ExecutionReport, KernelCall, _normalize_feed
+
+#: An op executor: ``fn(args, report, record) -> ndarray``.  Most ops
+#: ignore ``report``/``record``; ``loop`` threads them into its sub-plan.
+ExecFn = Callable[[list, ExecutionReport, bool], np.ndarray]
+
+
+@dataclasses.dataclass(frozen=True)
+class Instruction:
+    """One scheduled op with everything pre-resolved."""
+
+    #: Arena slot the result is written to.
+    out_slot: int
+    #: Arena slots of the operands, in positional order.
+    arg_slots: tuple[int, ...]
+    #: The compiled executor for this op (kernel already selected).
+    fn: ExecFn
+    #: Kernel-call records to append per execution (dims and FLOPs are
+    #: static, so the records are built once and shared).
+    calls: tuple[KernelCall, ...]
+    #: Slots whose value dies here (last consumer): freed from the report
+    #: and cleared from the arena so the slot can be reused.
+    free_slots: tuple[int, ...]
+    #: Source node's op and name — for introspection/debugging only.
+    op: str
+    label: str
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanInput:
+    """Feed-binding metadata for one graph input."""
+
+    name: str
+    shape: tuple[int, int]
+    slot: int
+
+
+class Plan:
+    """A compiled graph: schedule + kernels + buffer table.
+
+    Build via :func:`repro.runtime.compiler.compile_plan`, not directly.
+    """
+
+    __slots__ = (
+        "instructions",
+        "inputs",
+        "output_slots",
+        "num_slots",
+        "signature",
+        "compile_seconds",
+    )
+
+    def __init__(
+        self,
+        instructions: tuple[Instruction, ...],
+        inputs: tuple[PlanInput, ...],
+        output_slots: tuple[int, ...],
+        num_slots: int,
+        signature: tuple,
+        compile_seconds: float = 0.0,
+    ) -> None:
+        self.instructions = instructions
+        self.inputs = inputs
+        self.output_slots = output_slots
+        self.num_slots = num_slots
+        self.signature = signature
+        self.compile_seconds = compile_seconds
+
+    # -- feed binding ---------------------------------------------------------
+
+    def _bind(
+        self, feeds: Sequence[object] | Mapping[object, object], arena: list
+    ) -> None:
+        if isinstance(feeds, Mapping):
+            by_name = {p.name: p for p in self.inputs}
+            by_pos = {i: p for i, p in enumerate(self.inputs)}
+            bound: set[int] = set()
+            for key, value in feeds.items():
+                if isinstance(key, str):
+                    spec = by_name.get(key)
+                elif isinstance(key, int):
+                    spec = by_pos.get(key)
+                else:
+                    # Node keys: match by input name (plans outlive the
+                    # node objects they were compiled from).
+                    spec = by_name.get(getattr(key, "name", None))
+                if spec is None:
+                    raise GraphError(f"no plan input matches feed key {key!r}")
+                arena[spec.slot] = _normalize_feed(value)
+                bound.add(spec.slot)
+            for spec in self.inputs:
+                if spec.slot not in bound:
+                    raise GraphError(f"missing feed for input {spec.name!r}")
+        else:
+            feeds = list(feeds)
+            if len(feeds) != len(self.inputs):
+                raise GraphError(
+                    f"plan has {len(self.inputs)} inputs, got {len(feeds)} feeds"
+                )
+            for spec, value in zip(self.inputs, feeds):
+                arena[spec.slot] = _normalize_feed(value)
+        for spec in self.inputs:
+            arr = arena[spec.slot]
+            if tuple(arr.shape) != spec.shape:
+                raise GraphError(
+                    f"feed for {spec.name!r} has shape {arr.shape}, "
+                    f"input declares {spec.shape}"
+                )
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(
+        self,
+        feeds: Sequence[object] | Mapping[object, object],
+        *,
+        report: ExecutionReport | None = None,
+        record: bool = True,
+    ) -> tuple[list[np.ndarray], ExecutionReport]:
+        """Run the plan; returns ``(outputs, report)`` like Interpreter.run."""
+        report = report if report is not None else ExecutionReport()
+        arena: list = [None] * self.num_slots
+        self._bind(feeds, arena)
+        if record:
+            calls = report.calls
+            for inst in self.instructions:
+                args = [arena[s] for s in inst.arg_slots]
+                result = inst.fn(args, report, record)
+                arena[inst.out_slot] = result
+                if inst.calls:
+                    calls.extend(inst.calls)
+                report.alloc(result.nbytes)
+                for s in inst.free_slots:
+                    report.free(arena[s].nbytes)
+                    arena[s] = None
+        else:
+            for inst in self.instructions:
+                args = [arena[s] for s in inst.arg_slots]
+                arena[inst.out_slot] = inst.fn(args, report, record)
+                for s in inst.free_slots:
+                    arena[s] = None
+        return [arena[s] for s in self.output_slots], report
+
+    __call__ = execute
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def flops(self) -> int:
+        """Modelled FLOPs of one execution (loops excluded — their cost
+        lives in the sub-plan and depends on the trip count)."""
+        return sum(c.flops for inst in self.instructions for c in inst.calls)
+
+    def describe(self) -> str:
+        """One line per instruction: slot assignment and chosen kernels."""
+        lines = [
+            f"plan: {len(self.instructions)} instructions, "
+            f"{len(self.inputs)} inputs, {self.num_slots} slots"
+        ]
+        for i, inst in enumerate(self.instructions):
+            kernels = ",".join(c.kernel for c in inst.calls) or "-"
+            frees = f" free{list(inst.free_slots)}" if inst.free_slots else ""
+            lines.append(
+                f"  [{i:>3}] s{inst.out_slot} <- {inst.op}"
+                f"({', '.join(f's{s}' for s in inst.arg_slots)})"
+                f" [{kernels}]{frees}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Plan {len(self.instructions)} instructions, "
+            f"{self.num_slots} slots, {len(self.inputs)} inputs -> "
+            f"{len(self.output_slots)} outputs>"
+        )

@@ -1,0 +1,69 @@
+"""Canonical structural signatures for graphs.
+
+A signature is a hashable value with the property that two graphs compare
+equal iff they describe the same computation: same ops, shapes, dtypes,
+attrs (including property annotations and transpose flags), same wiring,
+same input order and same outputs.  Node *identity* and node *names* are
+deliberately excluded — names carry trace ids, so two traces of the same
+Python function produce different names for structurally identical graphs,
+and those must collide in the :class:`~repro.runtime.cache.PlanCache`.
+
+The topological order of :meth:`Graph.topological` is deterministic given
+structure (iterative DFS from the outputs in declaration order), so the
+per-node index assignment is canonical and no graph isomorphism search is
+needed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+import numpy as np
+
+from ..ir.graph import Graph
+from ..ir.node import Node
+
+
+def _attr_value_key(value: Any) -> Any:
+    """Hashable, structure-respecting encoding of one attr value."""
+    if isinstance(value, np.ndarray):
+        digest = hashlib.sha1(np.ascontiguousarray(value).tobytes()).hexdigest()
+        return ("ndarray", value.shape, str(value.dtype), digest)
+    if isinstance(value, Graph):
+        # Loop bodies: recurse — repr() would collapse distinct bodies
+        # with equal op histograms onto one key.
+        return ("graph", graph_signature(value))
+    if isinstance(value, (frozenset, tuple, str, int, float, bool, type(None))):
+        return value
+    return ("repr", repr(value))
+
+
+def _node_key(node: Node, index_of: dict[int, int]) -> tuple:
+    attrs = tuple(
+        (k, _attr_value_key(node.attrs[k])) for k in sorted(node.attrs)
+    )
+    return (
+        node.op,
+        node.shape,
+        str(node.dtype),
+        attrs,
+        tuple(index_of[id(i)] for i in node.inputs),
+    )
+
+
+def graph_signature(graph: Graph) -> tuple:
+    """Canonical structural key of ``graph`` (see module docstring).
+
+    Declared-but-unreachable inputs take part with index ``-1`` plus their
+    shape/dtype: they still consume a positional feed slot, so plans for
+    graphs that differ only in dead inputs must not be interchanged.
+    """
+    order = graph.topological()
+    index_of = {id(n): i for i, n in enumerate(order)}
+    nodes = tuple(_node_key(n, index_of) for n in order)
+    inputs = tuple(
+        (index_of.get(id(n), -1), n.shape, str(n.dtype)) for n in graph.inputs
+    )
+    outputs = tuple(index_of[id(o)] for o in graph.outputs)
+    return (nodes, inputs, outputs)

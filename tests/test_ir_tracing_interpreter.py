@@ -210,3 +210,66 @@ class TestPretty:
         assert dot.rstrip().endswith("}")
         assert "shape=ellipse" in dot  # I/O circles
         assert "shape=box" in dot  # op rectangles
+
+
+class TestReportMemoryModel:
+    """Regression tests for ExecutionReport peak/live accounting."""
+
+    def test_peak_counts_both_gemm_results(self, operands):
+        """In (AᵀB)ᵀ(AᵀB) after CSE, the shared AᵀB stays live while the
+        final product is computed: peak ≥ 2 result matrices."""
+        from repro.passes import default_pipeline
+
+        g = default_pipeline().run(
+            trace(lambda a, b: (a.T @ b).T @ (a.T @ b),
+                  [operands["A"], operands["B"]])
+        )
+        _, report = run_graph(g, [operands["A"], operands["B"]])
+        nbytes = operands["A"].nbytes
+        assert report.peak_bytes == 2 * nbytes
+        # Only the graph output survives the run.
+        assert report.live_bytes == nbytes
+
+    def test_outputs_stay_live(self, operands):
+        """A multi-output graph must not free intermediate results that
+        are also outputs, even after their last consumer ran."""
+        def fn(a, b):
+            t = a @ b
+            return t, t @ b
+
+        g = trace(fn, [operands["A"], operands["B"]])
+        _, report = run_graph(g, [operands["A"], operands["B"]])
+        nbytes = operands["A"].nbytes
+        assert report.live_bytes == 2 * nbytes  # both outputs live
+        assert report.peak_bytes == 2 * nbytes
+
+    def test_reused_input_freed_once_never(self, operands):
+        """Inputs consumed by several nodes are never alloc'd or freed:
+        a @ a leaves exactly one result live."""
+        g = trace(lambda a: (a @ a) @ a, [operands["A"]])
+        _, report = run_graph(g, [operands["A"]])
+        nbytes = operands["A"].nbytes
+        # a@a is freed once its consumer ran; only the output remains.
+        assert report.live_bytes == nbytes
+        assert report.peak_bytes == 2 * nbytes
+
+    def test_free_clamps_at_zero(self):
+        from repro.ir.interpreter import ExecutionReport
+
+        report = ExecutionReport()
+        report.alloc(100)
+        report.free(250)  # over-free must not poison later peaks
+        assert report.live_bytes == 0
+        report.alloc(50)
+        assert report.peak_bytes == 100
+
+    def test_live_bytes_tracks_alloc_free(self):
+        from repro.ir.interpreter import ExecutionReport
+
+        report = ExecutionReport()
+        report.alloc(64)
+        report.alloc(32)
+        assert report.live_bytes == 96
+        report.free(32)
+        assert report.live_bytes == 64
+        assert report.peak_bytes == 96

@@ -275,3 +275,55 @@ class TestPipeline:
         once = p.run(g)
         twice = default_pipeline().run(once)
         assert once.op_counts() == twice.op_counts()
+
+
+class TestPipelineExtendAndDescribe:
+    def test_extend_appends_and_keeps_validate(self, operands):
+        p = PassPipeline([TransposeElimination()], validate=False)
+        q = p.extend([CommonSubexpressionElimination()])
+        assert [x.name for x in q.passes] == [x.name for x in p.passes] + ["cse"]
+        assert q.validate is p.validate
+        assert p.passes == q.passes[:-1]  # original untouched
+
+    def test_extend_starts_with_fresh_history(self, operands):
+        p = default_pipeline()
+        p.run(trace(lambda a: a @ a, [operands["A"]]))
+        q = p.extend([NoOpElimination()])
+        assert q.history == []
+        assert len(p.history) == len(p.passes)  # original history intact
+
+    def test_running_extension_leaves_original_history(self, operands):
+        p = default_pipeline()
+        p.run(trace(lambda a: a @ a, [operands["A"]]))
+        before = list(p.history)
+        q = p.extend([NoOpElimination()])
+        q.run(trace(lambda a: a @ a + a, [operands["A"]]))
+        assert p.history == before
+        assert len(q.history) == len(q.passes)
+
+    def test_describe_before_run_lists_names(self):
+        p = PassPipeline([TransposeElimination(), NoOpElimination()])
+        assert p.describe() == "transpose_elim -> noop_elim"
+
+    def test_describe_partial_history_marks_not_run(self, operands):
+        """After a run that failed partway, describe() must still render
+        every pass instead of dropping the ones without stats."""
+        from repro.errors import GraphError
+
+        class Boom(TransposeElimination):
+            name = "boom"
+
+            def apply(self, graph):
+                raise GraphError("synthetic failure")
+
+        p = PassPipeline(
+            [CommonSubexpressionElimination(), Boom(), NoOpElimination()]
+        )
+        g = trace(lambda a: a @ a + a @ a, [operands["A"]])
+        with pytest.raises(GraphError):
+            p.run(g)
+        text = p.describe()
+        assert len(p.history) == 1  # only cse completed
+        assert "cse" in text
+        assert "boom" in text and "noop_elim" in text
+        assert text.count("(not run)") == 2

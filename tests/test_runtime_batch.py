@@ -1,0 +1,80 @@
+"""Batched execution of one plan over many feed sets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.ir import trace
+from repro.passes import default_pipeline
+from repro.runtime import compile_plan, execute_batch
+from repro.tensor import random_general
+
+
+@pytest.fixture
+def plan_and_feeds():
+    fn = lambda a, b: (a.T @ b).T @ (a.T @ b)  # noqa: E731
+    a0 = random_general(12, seed=1)
+    b0 = random_general(12, seed=2)
+    graph = default_pipeline().run(trace(fn, [a0, b0]))
+    plan = compile_plan(graph)
+    feed_sets = [
+        [random_general(12, seed=100 + i).data,
+         random_general(12, seed=200 + i).data]
+        for i in range(6)
+    ]
+    return plan, feed_sets
+
+
+def test_sequential_matches_single_runs(plan_and_feeds):
+    plan, feed_sets = plan_and_feeds
+    batch = execute_batch(plan, feed_sets)
+    assert len(batch) == len(feed_sets)
+    for feeds, outs in zip(feed_sets, batch.outputs):
+        single, _ = plan.execute(feeds, record=False)
+        assert outs[0].tobytes() == single[0].tobytes()
+
+
+def test_threaded_matches_sequential(plan_and_feeds):
+    plan, feed_sets = plan_and_feeds
+    seq = execute_batch(plan, feed_sets, workers=1)
+    par = execute_batch(plan, feed_sets, workers=4)
+    for s, p in zip(seq.outputs, par.outputs):
+        assert s[0].tobytes() == p[0].tobytes()
+
+
+def test_recorded_batch_reports_match_single(plan_and_feeds):
+    plan, feed_sets = plan_and_feeds
+    batch = execute_batch(plan, feed_sets, workers=3, record=True)
+    _, ref = plan.execute(feed_sets[0])
+    for report in batch.reports:
+        assert report.calls == ref.calls
+        assert report.peak_bytes == ref.peak_bytes
+    assert batch.total_flops == ref.total_flops * len(feed_sets)
+
+
+def test_record_off_by_default(plan_and_feeds):
+    plan, feed_sets = plan_and_feeds
+    batch = execute_batch(plan, feed_sets[:2])
+    assert all(r.calls == [] for r in batch.reports)
+
+
+def test_first_outputs_helper(plan_and_feeds):
+    plan, feed_sets = plan_and_feeds
+    batch = execute_batch(plan, feed_sets[:3])
+    firsts = batch.first_outputs()
+    assert len(firsts) == 3
+    assert all(isinstance(f, np.ndarray) for f in firsts)
+
+
+def test_empty_batch(plan_and_feeds):
+    plan, _ = plan_and_feeds
+    batch = execute_batch(plan, [])
+    assert len(batch) == 0 and batch.total_flops == 0
+
+
+def test_negative_workers_rejected(plan_and_feeds):
+    plan, feed_sets = plan_and_feeds
+    with pytest.raises(GraphError):
+        execute_batch(plan, feed_sets, workers=-1)

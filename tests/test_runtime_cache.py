@@ -1,0 +1,199 @@
+"""PlanCache and graph-signature correctness.
+
+The satellite contract: two structurally identical graphs built
+independently must collide in the cache; graphs differing only in a
+property annotation or an attr (e.g. ``trans_a``) must not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frameworks import pytsim, tfsim
+from repro.ir import Graph, builder, trace
+from repro.runtime import PlanCache, default_plan_cache, graph_signature
+from repro.tensor import random_general
+from repro.tensor.properties import Property
+
+
+def _inputs(n=8, dtype="float32"):
+    a = builder.input_node((n, n), dtype, name="a")
+    b = builder.input_node((n, n), dtype, name="b")
+    return a, b
+
+
+class TestGraphSignature:
+    def test_independent_traces_collide(self, operands):
+        """Same Python function, two traces → different node names/ids,
+        same signature."""
+        fn = lambda a, b: (a.T @ b).T @ (a.T @ b)  # noqa: E731
+        g1 = trace(fn, [operands["A"], operands["B"]])
+        g2 = trace(fn, [operands["A"], operands["B"]])
+        assert g1 is not g2
+        assert graph_signature(g1) == graph_signature(g2)
+
+    def test_attr_difference_separates(self):
+        a1, b1 = _inputs()
+        a2, b2 = _inputs()
+        g_plain = Graph([builder.matmul(a1, b1)], inputs=[a1, b1])
+        g_trans = Graph(
+            [builder.matmul(a2, b2, trans_a=True)], inputs=[a2, b2]
+        )
+        assert graph_signature(g_plain) != graph_signature(g_trans)
+
+    def test_property_annotation_separates(self):
+        n = 8
+        plain = builder.input_node((n, n), "float32", name="p")
+        annotated = builder.input_node(
+            (n, n), "float32", name="p",
+            props=frozenset({Property.SYMMETRIC}),
+        )
+        g1 = Graph([builder.matmul(plain, plain)], inputs=[plain])
+        g2 = Graph([builder.matmul(annotated, annotated)], inputs=[annotated])
+        assert graph_signature(g1) != graph_signature(g2)
+
+    def test_shape_and_dtype_separate(self, operands):
+        fn = lambda a: a @ a  # noqa: E731
+        g1 = trace(fn, [operands["A"]])
+        g2 = trace(fn, [random_general(8, seed=1)])
+        assert graph_signature(g1) != graph_signature(g2)
+
+    def test_const_payload_separates(self):
+        a1, _ = _inputs()
+        a2, _ = _inputs()
+        c1 = builder.const(np.ones((8, 8), dtype=np.float32))
+        c2 = builder.const(np.zeros((8, 8), dtype=np.float32))
+        g1 = Graph([builder.add(a1, c1)], inputs=[a1])
+        g2 = Graph([builder.add(a2, c2)], inputs=[a2])
+        assert graph_signature(g1) != graph_signature(g2)
+
+    def test_loop_bodies_compared_structurally(self, operands):
+        """Bodies with equal op histograms but different wiring must not
+        collide (a repr()-based key would)."""
+        a, b = operands["A"], operands["B"]
+
+        def make(body):
+            def fn(p, q):
+                return tfsim.fori_loop(2, body, tfsim.zeros(*p.shape), [p, q])
+
+            return trace(fn, [a, b])
+
+        g_ab = make(lambda i, acc, aa, bb: acc + aa @ bb)
+        g_ba = make(lambda i, acc, aa, bb: acc + bb @ aa)
+        g_ab2 = make(lambda i, acc, aa, bb: acc + aa @ bb)
+        assert graph_signature(g_ab) != graph_signature(g_ba)
+        assert graph_signature(g_ab) == graph_signature(g_ab2)
+
+    def test_output_selection_separates(self):
+        a, b = _inputs()
+        prod = builder.matmul(a, b)
+        total = builder.add(prod, prod)
+        g_one = Graph([total], inputs=[a, b])
+        g_two = Graph([prod, total], inputs=[a, b])
+        assert graph_signature(g_one) != graph_signature(g_two)
+
+
+class TestPlanCache:
+    def test_structural_hit(self, operands):
+        cache = PlanCache(maxsize=8)
+        fn = lambda a, b: a.T @ b + a.T @ b  # noqa: E731
+        g1 = trace(fn, [operands["A"], operands["B"]])
+        g2 = trace(fn, [operands["A"], operands["B"]])
+        p1 = cache.get(g1)
+        p2 = cache.get(g2)
+        assert p1 is p2
+        assert len(cache) == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_attr_and_props_miss(self, operands):
+        cache = PlanCache(maxsize=8)
+        a1, b1 = _inputs()
+        a2, b2 = _inputs()
+        cache.get(Graph([builder.matmul(a1, b1)], inputs=[a1, b1]))
+        cache.get(Graph([builder.matmul(a2, b2, trans_a=True)],
+                        inputs=[a2, b2]))
+        assert cache.stats.misses == 2 and cache.stats.hits == 0
+        assert len(cache) == 2
+
+    def test_lru_eviction(self, operands):
+        cache = PlanCache(maxsize=2)
+        graphs = [
+            trace(lambda a: a @ a, [random_general(n, seed=n)])
+            for n in (4, 5, 6)
+        ]
+        for g in graphs:
+            cache.get(g)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert not cache.contains(graphs[0])  # oldest evicted
+        assert cache.contains(graphs[1]) and cache.contains(graphs[2])
+
+    def test_lru_order_refreshed_by_hits(self):
+        cache = PlanCache(maxsize=2)
+        g4 = trace(lambda a: a @ a, [random_general(4, seed=1)])
+        g5 = trace(lambda a: a @ a, [random_general(5, seed=1)])
+        g6 = trace(lambda a: a @ a, [random_general(6, seed=1)])
+        cache.get(g4)
+        cache.get(g5)
+        cache.get(g4)  # refresh g4 → g5 becomes LRU
+        cache.get(g6)
+        assert cache.contains(g4) and cache.contains(g6)
+        assert not cache.contains(g5)
+
+    def test_fold_constants_keys_separately(self):
+        a, b = _inputs()
+        g = Graph([builder.matmul(a, b)], inputs=[a, b])
+        cache = PlanCache(maxsize=8)
+        p1 = cache.get(g)
+        p2 = cache.get(g, fold_constants=True)
+        assert p1 is not p2
+        assert len(cache) == 2
+
+    def test_clear_resets(self):
+        cache = PlanCache(maxsize=8)
+        cache.get(trace(lambda a: a @ a, [random_general(4, seed=1)]))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.lookups == 0
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            PlanCache(maxsize=0)
+
+
+class TestFrameworkIntegration:
+    def test_same_expression_shares_plan_across_frameworks(self, operands):
+        """tfsim and pytsim traces of one expression land on one plan in
+        the process-wide cache — the cross-trace dedup the tentpole asks
+        for."""
+
+        @tfsim.function
+        def f(a, b):
+            return (a.T @ b).T @ (a.T @ b)
+
+        @pytsim.jit.script
+        def g(a, b):
+            return (a.T @ b).T @ (a.T @ b)
+
+        a, b = operands["A"], operands["B"]
+        plan_tf = f.get_concrete(a, b).plan
+        plan_pyt = g.get_concrete(a, b).plan
+        assert plan_tf is plan_pyt
+
+    def test_default_cache_is_processwide(self):
+        assert default_plan_cache() is default_plan_cache()
+
+    def test_call_results_unchanged_by_cache_hits(self, operands):
+        @tfsim.function
+        def f(a, b):
+            return a @ b
+
+        a, b = operands["A"], operands["B"]
+        first = f(a, b)
+        second = f(a, b)
+        assert first.numpy().tobytes() == second.numpy().tobytes()
+        ref = a.numpy() @ b.numpy()
+        np.testing.assert_allclose(first.numpy(), ref, rtol=1e-5)
