@@ -2,9 +2,10 @@
 
 Run:  python examples/graph_inspection.py [n]
 
-Prints the initial and optimized DAGs for the parenthesized and
-non-parenthesized Gram expressions, shows the per-pass optimization log,
-and writes Graphviz DOT files next to this script.
+Compiles the parenthesized and non-parenthesized Gram expressions through
+a :class:`repro.api.Session`, prints the initial and optimized DAGs, shows
+the per-pass optimization log, and writes Graphviz DOT files next to this
+script.
 """
 
 import pathlib
@@ -14,34 +15,39 @@ from repro import limit_threads
 
 limit_threads(1)
 
+from repro import api  # noqa: E402
 from repro import tensor as T  # noqa: E402
 from repro.frameworks import tfsim  # noqa: E402
 from repro.ir.pretty import graph_to_dot, render_graph  # noqa: E402
+
+
+def parenthesized(p, q):
+    return tfsim.transpose(tfsim.transpose(p) @ q) @ (tfsim.transpose(p) @ q)
+
+
+def unparenthesized(p, q):
+    return tfsim.transpose(tfsim.transpose(p) @ q) @ tfsim.transpose(p) @ q
 
 
 def main(n: int = 128) -> None:
     a = T.random_general(n, seed=1)
     b = T.random_general(n, seed=2)
 
-    @tfsim.function
-    def parenthesized(p, q):
-        return tfsim.transpose(tfsim.transpose(p) @ q) @ (tfsim.transpose(p) @ q)
+    with api.Session(backend="tfsim") as session:
+        paren = session.compile(parenthesized)
+        noparen = session.compile(unparenthesized)
 
-    @tfsim.function
-    def unparenthesized(p, q):
-        return tfsim.transpose(tfsim.transpose(p) @ q) @ tfsim.transpose(p) @ q
+        concrete = paren.get_concrete(a, b)
+        print(render_graph(concrete.graph, title="Fig. 3 initial: (AᵀB)ᵀ(AᵀB)"))
+        print()
+        print(render_graph(concrete.optimized, title="Fig. 3 optimized"))
+        print("\nper-pass log:")
+        print(concrete.pipeline_log)
 
-    concrete = parenthesized.get_concrete(a, b)
-    print(render_graph(concrete.graph, title="Fig. 3 initial: (AᵀB)ᵀ(AᵀB)"))
-    print()
-    print(render_graph(concrete.optimized, title="Fig. 3 optimized"))
-    print("\nper-pass log:")
-    print(concrete.pipeline_log)
-
-    print()
-    concrete2 = unparenthesized.get_concrete(a, b)
-    print(render_graph(concrete2.optimized,
-                       title="Fig. 4: (AᵀB)ᵀAᵀB — no duplicates, CSE finds nothing"))
+        print()
+        concrete2 = noparen.get_concrete(a, b)
+        print(render_graph(concrete2.optimized,
+                           title="Fig. 4: (AᵀB)ᵀAᵀB — no duplicates, CSE finds nothing"))
 
     out_dir = pathlib.Path(__file__).resolve().parent
     for name, graph in [

@@ -16,6 +16,7 @@ appears in an iterative restoration loop.  This example:
 
 ``H`` here is a synthetic blur operator (banded, diagonally dominant), the
 observed signal ``x`` is a blurred noisy version of a ground-truth ramp.
+All three variants compile through one :class:`repro.api.Session`.
 """
 
 import sys
@@ -27,6 +28,7 @@ limit_threads(1)
 
 import numpy as np  # noqa: E402
 
+from repro import api  # noqa: E402
 from repro import tensor as T  # noqa: E402
 from repro.frameworks import tfsim  # noqa: E402
 from repro.rewrite import (  # noqa: E402
@@ -50,23 +52,20 @@ def make_blur_operator(n: int) -> T.Tensor:
     return T.Tensor(h)
 
 
-def variants(n: int):
-    @tfsim.function
+def variants(session: api.Session, n: int):
     def v1(h, x, y):
         i = tfsim.eye(n)
         return tfsim.transpose(h) @ y + (i - tfsim.transpose(h) @ h) @ x
 
-    @tfsim.function
     def v2(h, x, y):
         return tfsim.transpose(h) @ y + x - tfsim.transpose(h) @ (h @ x)
 
-    @tfsim.function
     def v3(h, x, y):
         return tfsim.transpose(h) @ (y - h @ x) + x
 
-    return {"variant 1 (as written)": v1,
-            "variant 2 (distributed)": v2,
-            "variant 3 (factored)": v3}
+    return {"variant 1 (as written)": session.compile(v1, backend="tfsim"),
+            "variant 2 (distributed)": session.compile(v2, backend="tfsim"),
+            "variant 3 (factored)": session.compile(v3, backend="tfsim")}
 
 
 def main(n: int = 1200, iters: int = 8) -> None:
@@ -76,8 +75,9 @@ def main(n: int = 1200, iters: int = 8) -> None:
     H = make_blur_operator(n)
     x = T.Tensor(H.numpy() @ truth + 0.01 * rng.standard_normal((n, 1)).astype(np.float32))
 
+    session = api.Session()
     results = {}
-    for name, step in variants(n).items():
+    for name, step in variants(session, n).items():
         y = x
         step(H, x, y)  # trace outside the timed loop
         t0 = time.perf_counter()

@@ -23,6 +23,7 @@ limit_threads(1)
 
 import numpy as np  # noqa: E402
 
+from repro import api  # noqa: E402
 from repro import tensor as T  # noqa: E402
 from repro.frameworks import tfsim  # noqa: E402
 from repro.kernels import lapack  # noqa: E402
@@ -40,8 +41,11 @@ def main(n: int = 900) -> None:
         p = l @ tfsim.transpose(l)
         return h @ p @ tfsim.transpose(h) + d @ d
 
-    blind = tfsim.function(innovation)
-    aware = tfsim.function(innovation, aware=True)
+    # One session, two pipelines: the structure-blind default and the
+    # paper's linear-algebra-aware pass set.
+    session = api.Session(backend="tfsim")
+    blind = session.compile(innovation, pipeline="default")
+    aware = session.compile(innovation, pipeline="aware")
     for fn in (blind, aware):
         fn(Hm, L, D)
 

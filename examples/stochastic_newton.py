@@ -21,30 +21,29 @@ from repro import limit_threads
 
 limit_threads(1)
 
+from repro import api  # noqa: E402
 from repro import tensor as T  # noqa: E402
 from repro.frameworks import pytsim, tfsim  # noqa: E402
+
+
+def gram_paren(a, b):
+    return tfsim.transpose(tfsim.transpose(a) @ b) @ (tfsim.transpose(a) @ b)
+
+
+def gram_noparen(a, b):
+    return tfsim.transpose(tfsim.transpose(a) @ b) @ tfsim.transpose(a) @ b
 
 
 def main(n: int = 800, sketches: int = 5) -> None:
     print(f"== stochastic Newton sketches (n = {n}, {sketches} sketches) ==\n")
     A = T.random_general(n, seed=0)
 
-    @tfsim.function
-    def gram_paren(a, b):
-        return tfsim.transpose(tfsim.transpose(a) @ b) @ (tfsim.transpose(a) @ b)
-
-    @tfsim.function
-    def gram_noparen(a, b):
-        return tfsim.transpose(tfsim.transpose(a) @ b) @ tfsim.transpose(a) @ b
-
-    @tfsim.function(aware=True)
-    def gram_noparen_aware(a, b):
-        return tfsim.transpose(tfsim.transpose(a) @ b) @ tfsim.transpose(a) @ b
-
+    session = api.Session(backend="tfsim")
     modes = {
-        "graph, parenthesized": gram_paren,
-        "graph, NO parentheses": gram_noparen,
-        "graph, no parens + aware": gram_noparen_aware,
+        "graph, parenthesized": session.compile(gram_paren),
+        "graph, NO parentheses": session.compile(gram_noparen),
+        "graph, no parens + aware": session.compile(gram_noparen,
+                                                    pipeline="aware"),
     }
 
     sketches_data = [T.random_general(n, seed=100 + i) for i in range(sketches)]

@@ -6,6 +6,8 @@ The original study probes two real frameworks; this package *builds* both
 frameworks as faithful simulators over a real BLAS substrate and re-runs
 every experiment:
 
+* :mod:`repro.api`         — **the public surface**: ``Session`` (scoped plan
+  cache + options), backend registry, one compile/run/stats entry point
 * :mod:`repro.kernels`     — BLAS/LAPACK substrate (the "MKL" role)
 * :mod:`repro.tensor`      — dense tensors + matrix-property annotations
 * :mod:`repro.ir`          — computational-graph IR, tracing, interpreter
@@ -20,17 +22,16 @@ every experiment:
 
 Quickstart::
 
-    from repro import tensor as T
-    from repro.frameworks import tfsim
+    from repro import api, tensor as T
 
     A, B = T.random_general(1000, seed=1), T.random_general(1000, seed=2)
 
-    @tfsim.function
-    def f(a, b):
-        return tfsim.transpose(tfsim.transpose(a) @ b) @ (tfsim.transpose(a) @ b)
-
-    y = f(A, B)                                   # CSE: 2 GEMMs, not 3
-    print(f.last_report.kernel_counts())
+    with api.Session() as session:
+        f = session.compile(lambda a, b: (a.T @ b).T @ (a.T @ b),
+                            backend="tfsim")
+        y = session.run(f, A, B)                  # CSE: 2 GEMMs, not 3
+        print(f.last_report.kernel_counts())
+        print(session.stats().render())           # cache + per-plan timings
 """
 
 __version__ = "1.0.0"

@@ -1,0 +1,85 @@
+"""Per-session configuration: the :class:`Options` dataclass.
+
+Everything a :class:`~repro.api.session.Session` lets you choose lives
+here, with one ``validate()`` gate so a bad knob fails at session
+construction instead of mid-run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import ConfigError
+
+#: Pipeline choices a backend profile understands.
+PIPELINES = ("default", "aware")
+
+#: Graph-validation levels applied around trace/optimize:
+#: ``off``   no structural checks (the PR-1 decorator behaviour);
+#: ``trace`` validate the freshly traced graph;
+#: ``full``  validate the traced *and* the optimized graph — catches
+#:           passes that corrupt shapes/wiring before a plan is built.
+VALIDATION_LEVELS = ("off", "trace", "full")
+
+
+@dataclasses.dataclass(frozen=True)
+class Options:
+    """Knobs of one :class:`~repro.api.session.Session`.
+
+    Attributes
+    ----------
+    backend:
+        Default backend name used by ``session.compile`` when none is
+        given (must be resolvable via :func:`repro.api.backend`).
+    pipeline:
+        Default optimization pipeline: ``"default"`` (the TF/PyT-faithful
+        passes) or ``"aware"`` (the paper's linear-algebra-aware set).
+    cache_capacity:
+        Max entries of the session-owned :class:`~repro.runtime.PlanCache`.
+    batch_workers:
+        Default worker count for ``session.run_batch``; ``None``/``0``/``1``
+        executes sequentially, ``k > 1`` uses a thread pool.
+    validation:
+        Graph-validation level, one of :data:`VALIDATION_LEVELS`.
+    fold_constants:
+        Whether plans are compiled with constant folding (keys the plan
+        cache separately, exactly like ``compile_plan``).
+    """
+
+    backend: str = "tfsim"
+    pipeline: str = "default"
+    cache_capacity: int = 256
+    batch_workers: int | None = None
+    validation: str = "off"
+    fold_constants: bool = False
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` if any field is out of range."""
+        if not self.backend or not isinstance(self.backend, str):
+            raise ConfigError(f"backend must be a non-empty string, got {self.backend!r}")
+        if self.pipeline not in PIPELINES:
+            raise ConfigError(
+                f"pipeline must be one of {PIPELINES}, got {self.pipeline!r}"
+            )
+        if self.cache_capacity < 1:
+            raise ConfigError(
+                f"cache_capacity must be >= 1, got {self.cache_capacity}"
+            )
+        if self.batch_workers is not None and self.batch_workers < 0:
+            raise ConfigError(
+                f"batch_workers must be >= 0 or None, got {self.batch_workers}"
+            )
+        if self.validation not in VALIDATION_LEVELS:
+            raise ConfigError(
+                f"validation must be one of {VALIDATION_LEVELS}, "
+                f"got {self.validation!r}"
+            )
+
+    def replace(self, **overrides: object) -> "Options":
+        """A validated copy with ``overrides`` applied."""
+        unknown = set(overrides) - {f.name for f in dataclasses.fields(Options)}
+        if unknown:
+            raise ConfigError(f"unknown option fields: {sorted(unknown)}")
+        out = dataclasses.replace(self, **overrides)  # type: ignore[arg-type]
+        out.validate()
+        return out

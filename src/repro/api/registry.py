@@ -1,0 +1,90 @@
+"""Backend registry: named :class:`FrameworkProfile` s.
+
+A *backend* is one simulated framework front-end — its identity, its
+paper-reported decorator overhead, and the optimization pipelines its
+graph mode runs.  ``tfsim`` and ``pytsim`` register their profiles when
+:mod:`repro.frameworks` is imported; :func:`backend` imports it lazily on
+first lookup, so ``repro.api.backend("tfsim")`` works from a cold start.
+
+The registry exists so :class:`~repro.api.session.Session` can name
+backends by string (``session.compile(fn, backend="pytsim")``) without the
+API layer depending on the framework packages at import time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from collections.abc import Callable
+
+from ..errors import ConfigError
+from ..passes import PassPipeline
+
+
+@dataclasses.dataclass(frozen=True)
+class FrameworkProfile:
+    """Identity and knobs of one simulated framework backend."""
+
+    name: str
+    #: The decorator overhead the paper reports (seconds); informational —
+    #: the simulator's real overhead is the measured trace time.
+    paper_decorator_overhead_s: float
+    pipeline_factory: Callable[[], PassPipeline]
+    aware_pipeline_factory: Callable[[], PassPipeline]
+
+    def pipeline(self, choice: str) -> PassPipeline:
+        """A fresh pipeline for ``choice`` (``"default"`` or ``"aware"``)."""
+        if choice == "aware":
+            return self.aware_pipeline_factory()
+        if choice == "default":
+            return self.pipeline_factory()
+        raise ConfigError(
+            f"unknown pipeline {choice!r}; expected 'default' or 'aware'"
+        )
+
+
+_registry: dict[str, FrameworkProfile] = {}
+_lock = threading.Lock()
+
+
+def register_backend(profile: FrameworkProfile) -> FrameworkProfile:
+    """Register ``profile`` under ``profile.name``.
+
+    Re-registering the same name is allowed only with an equal profile —
+    two different frameworks claiming one name is a wiring bug.
+    """
+    with _lock:
+        existing = _registry.get(profile.name)
+        if existing is not None and existing != profile:
+            raise ConfigError(
+                f"backend {profile.name!r} already registered with a "
+                "different profile"
+            )
+        _registry[profile.name] = profile
+    return profile
+
+
+def backend(name: str) -> FrameworkProfile:
+    """The registered profile for ``name`` (e.g. ``"tfsim"``).
+
+    Imports :mod:`repro.frameworks` on a registry miss so the built-in
+    backends resolve without an explicit framework import first.
+    """
+    with _lock:
+        profile = _registry.get(name)
+    if profile is None:
+        from .. import frameworks  # noqa: F401  (registers tfsim/pytsim)
+
+        with _lock:
+            profile = _registry.get(name)
+    if profile is None:
+        raise ConfigError(
+            f"unknown backend {name!r}; registered: {available_backends()}"
+        )
+    return profile
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of all registered backends, sorted."""
+    with _lock:
+        return tuple(sorted(_registry))

@@ -1,0 +1,425 @@
+"""The :class:`Session` — one owner for plan cache, options and stats.
+
+PR 1 left three uncoordinated graph-mode entry points (``tfsim.function``,
+``pytsim.jit.script`` and the raw ``runtime`` calls) all funnelling into
+one mutable process-wide plan cache.  A ``Session`` makes that ownership
+explicit:
+
+* it owns its *own* :class:`~repro.runtime.PlanCache` (capacity from
+  :class:`~repro.api.options.Options`), so tenants/tests/experiments
+  isolate by construction;
+* it is the single compile/run surface — ``compile``/``run``/``run_batch``
+  — over any registered backend;
+* it records per-plan compile and execution timings next to the cache's
+  hit/miss/eviction counters, exposed as one :meth:`stats` snapshot.
+
+Sessions nest as context managers: inside ``with Session() as s:`` the
+legacy decorators compile into ``s`` (they resolve the *ambient* session
+per call).  With no session entered, a lazily created process-wide
+default session — whose cache is the PR-1 global cache instance — keeps
+old code behaving exactly as before.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import dataclasses
+import threading
+import time
+import weakref
+from collections import OrderedDict
+from collections.abc import Callable, Sequence
+
+from ..errors import ConfigError
+from ..ir.tracing import trace
+from ..ir.validate import validate_graph
+from ..runtime import BatchResult, PlanCache, execute_batch
+from ..runtime import cache as _cache_module
+from ..runtime.plan import Plan
+from ..tensor.tensor import Tensor
+from .compiled import Compiled, Concrete
+from .options import Options
+from .registry import FrameworkProfile, backend as resolve_backend
+
+
+@dataclasses.dataclass
+class PlanStats:
+    """Compile/exec accounting of one plan within one session.
+
+    A plan deduplicates structurally identical traces, so *several*
+    functions/backends/pipelines can land on it — the tuples accumulate
+    every contributor (rendered joined with ``+``), not just the first.
+    """
+
+    labels: tuple[str, ...]
+    backends: tuple[str, ...]
+    pipelines: tuple[str, ...]
+    #: Number of traces that landed on this plan (≥ 2 means the session
+    #: deduplicated structurally identical expressions).
+    traces: int = 0
+    #: Total trace+optimize+plan-acquire seconds across those traces.
+    trace_seconds: float = 0.0
+    #: Graph→Plan compile seconds (0.0 while the plan came from cache).
+    plan_compile_seconds: float = 0.0
+    executions: int = 0
+    exec_seconds: float = 0.0
+
+    @property
+    def label(self) -> str:
+        return "+".join(self.labels)
+
+    @property
+    def backend(self) -> str:
+        return "+".join(self.backends)
+
+    @property
+    def pipeline(self) -> str:
+        return "+".join(self.pipelines)
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionStats:
+    """Point-in-time snapshot returned by :meth:`Session.stats`."""
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    capacity: int
+    plans: tuple[PlanStats, ...]
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def render(self) -> str:
+        """Human-readable table (used by ``laab … --cache-stats``).
+
+        ``trace(s)`` is trace+optimize+plan-acquire wall time (the
+        paper's excluded decorator overhead); ``compile(s)`` is the
+        Graph→Plan compile time actually paid by this session (0 for
+        pure cache hits).
+        """
+        lines = [
+            f"plan cache: {self.entries}/{self.capacity} plans | "
+            f"{self.hits} hits / {self.misses} misses / "
+            f"{self.evictions} evictions (hit rate {self.hit_rate:.1%})"
+        ]
+        if self.plans:
+            lw = max(12, max(len(p.label) for p in self.plans))
+            bw = max(7, max(len(p.backend) for p in self.plans))
+            lines.append(
+                f"  {'plan'.ljust(lw)}  {'backend'.ljust(bw)}  pipeline  "
+                f"traces  trace(s)  compile(s)  execs  exec(s)"
+            )
+            for p in self.plans:
+                lines.append(
+                    f"  {p.label.ljust(lw)}  {p.backend.ljust(bw)}  "
+                    f"{p.pipeline:<8}  {p.traces:>6}  "
+                    f"{p.trace_seconds:>8.4f}  "
+                    f"{p.plan_compile_seconds:>10.4f}  {p.executions:>5}  "
+                    f"{p.exec_seconds:>7.4f}"
+                )
+        return "\n".join(lines)
+
+
+class Session:
+    """Scoped compile/run surface over the compiled-execution runtime."""
+
+    def __init__(
+        self,
+        options: Options | None = None,
+        *,
+        plan_cache: PlanCache | None = None,
+        **overrides: object,
+    ) -> None:
+        base = options if options is not None else Options()
+        self.options = base.replace(**overrides) if overrides else base
+        self.options.validate()
+        if plan_cache is not None:
+            # Adopting an existing cache (the process-wide default session
+            # adopts the PR-1 global instance) — capacity is the cache's,
+            # so an explicit conflicting capacity is an error, not a
+            # silently dropped knob.
+            if "cache_capacity" in overrides or (
+                options is not None
+                and options.cache_capacity != plan_cache.maxsize
+            ):
+                raise ConfigError(
+                    f"cache_capacity={self.options.cache_capacity} conflicts "
+                    f"with the adopted plan_cache (maxsize="
+                    f"{plan_cache.maxsize}); pass one or the other"
+                )
+            self.plan_cache = plan_cache
+            self.options = self.options.replace(cache_capacity=plan_cache.maxsize)
+        else:
+            self.plan_cache = PlanCache(maxsize=self.options.cache_capacity)
+        # Weak keys: accounting must not pin plans the LRU has evicted
+        # and nothing else references — a stats row lives as long as its
+        # plan does (in the cache or in a live Concrete).
+        self._plan_stats: "weakref.WeakKeyDictionary[Plan, PlanStats]" = (
+            weakref.WeakKeyDictionary()
+        )
+        #: (fn, backend name, pipeline) → Compiled, so ``session.run`` on
+        #: a plain callable is trace-once/execute-many, not retrace-per-
+        #: call.  LRU-bounded like the plan cache: callers passing a fresh
+        #: lambda per call must not grow the session without bound.
+        self._run_memo: "OrderedDict[tuple, Compiled]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- the one compile surface -----------------------------------------------
+
+    def compile(
+        self,
+        fn: Callable,
+        *,
+        backend: str | FrameworkProfile | None = None,
+        pipeline: str | None = None,
+    ) -> Compiled:
+        """Wrap ``fn`` for graph-mode execution in this session.
+
+        ``backend`` is a registered name (``"tfsim"``/``"pytsim"``) or a
+        :class:`FrameworkProfile`; defaults to ``options.backend``.
+        ``pipeline`` overrides ``options.pipeline`` for this function.
+        """
+        if isinstance(fn, Compiled):
+            raise TypeError(
+                f"{fn!r} is already compiled; pass the plain Python function"
+            )
+        profile = backend if isinstance(backend, FrameworkProfile) else \
+            resolve_backend(backend or self.options.backend)
+        if pipeline is not None:
+            # Fail fast on typos instead of at first call.
+            Options(pipeline=pipeline).validate()
+        return Compiled(fn, profile, session=self, pipeline=pipeline)
+
+    def run(
+        self,
+        fn: Callable | Compiled,
+        *args: Tensor,
+        backend: str | FrameworkProfile | None = None,
+        pipeline: str | None = None,
+    ):
+        """Compile-if-needed and execute ``fn(*args)`` through this session.
+
+        ``backend``/``pipeline`` only apply when ``fn`` still needs
+        compiling; passing them with an already-``Compiled`` function is
+        rejected rather than silently ignored.
+        """
+        if isinstance(fn, Compiled):
+            if backend is not None or pipeline is not None:
+                raise ValueError(
+                    f"{fn!r} is already compiled; backend=/pipeline= have "
+                    "no effect here — pass them to session.compile instead"
+                )
+            return fn._call_in(fn._session_for(self), args)
+        profile = backend if isinstance(backend, FrameworkProfile) else \
+            resolve_backend(backend or self.options.backend)
+        # Key by the profile object, not its name: run() accepts ad-hoc
+        # unregistered profiles, and two distinct profiles sharing a name
+        # must not reuse each other's Compiled.
+        memo_key = (fn, profile, pipeline)
+        with self._lock:
+            compiled = self._run_memo.get(memo_key)
+            if compiled is not None:
+                self._run_memo.move_to_end(memo_key)
+        if compiled is None:
+            compiled = self.compile(fn, backend=profile, pipeline=pipeline)
+            with self._lock:
+                compiled = self._run_memo.setdefault(memo_key, compiled)
+                while len(self._run_memo) > self.options.cache_capacity:
+                    self._run_memo.popitem(last=False)
+        return compiled._call_in(self, args)
+
+    def run_batch(
+        self,
+        fn: Compiled,
+        feed_sets: Sequence[Sequence[Tensor]],
+        *,
+        workers: int | None = None,
+        record: bool = False,
+    ) -> BatchResult:
+        """One compiled plan over many feed sets (wraps ``execute_batch``).
+
+        The first feed set fixes the trace signature; every set must bind
+        to the same plan (shape-checked by the plan itself).  ``workers``
+        defaults to ``options.batch_workers``.
+        """
+        if not isinstance(fn, Compiled):
+            raise TypeError(
+                f"run_batch needs a Compiled (from session.compile), got "
+                f"{type(fn).__name__}"
+            )
+        feed_sets = [list(feeds) for feeds in feed_sets]
+        if not feed_sets:
+            return BatchResult(outputs=[], reports=[])
+        session = fn._session_for(self)
+        concrete = fn._concrete_in(session, feed_sets[0])
+        if workers is None:
+            workers = self.options.batch_workers
+        start = time.perf_counter()
+        result = execute_batch(
+            concrete.plan, feed_sets, workers=workers, record=record
+        )
+        self._record_exec(
+            concrete.plan, time.perf_counter() - start, count=len(feed_sets)
+        )
+        return result
+
+    # -- stats -------------------------------------------------------------------
+
+    def stats(self) -> SessionStats:
+        """Snapshot of cache counters and per-plan compile/exec timings."""
+        cache_stats = self.plan_cache.stats
+        with self._lock:
+            plans = tuple(
+                dataclasses.replace(p) for p in self._plan_stats.values()
+            )
+        return SessionStats(
+            hits=cache_stats.hits,
+            misses=cache_stats.misses,
+            evictions=cache_stats.evictions,
+            entries=len(self.plan_cache),
+            capacity=self.plan_cache.maxsize,
+            plans=plans,
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _build(
+        self,
+        fn: Callable,
+        profile: FrameworkProfile,
+        pipeline_choice: str,
+        args: Sequence[Tensor],
+        *,
+        label: str,
+    ) -> Concrete:
+        """Trace → (validate) → optimize → plan-compile, with accounting.
+
+        This is the single code path behind ``session.compile(...)`` calls
+        and the legacy decorators alike.
+        """
+        validation = self.options.validation
+        start = time.perf_counter()
+        graph = trace(fn, list(args))
+        if validation in ("trace", "full"):
+            validate_graph(graph)
+        pipeline = profile.pipeline(pipeline_choice)
+        optimized = pipeline.run(graph)
+        if validation == "full":
+            validate_graph(optimized)
+        plan, compiled_here = self.plan_cache.get_with_info(
+            optimized, fold_constants=self.options.fold_constants
+        )
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            rec = self._plan_stats.get(plan)
+            if rec is None:
+                rec = self._plan_stats[plan] = PlanStats(
+                    labels=(label,),
+                    backends=(profile.name,),
+                    pipelines=(pipeline_choice,),
+                )
+            else:
+                # Deduped trace from another function/backend: attribute
+                # it, don't let the first compiler own the row.
+                if label not in rec.labels:
+                    rec.labels += (label,)
+                if profile.name not in rec.backends:
+                    rec.backends += (profile.name,)
+                if pipeline_choice not in rec.pipelines:
+                    rec.pipelines += (pipeline_choice,)
+            rec.traces += 1
+            rec.trace_seconds += elapsed
+            if compiled_here:
+                rec.plan_compile_seconds += plan.compile_seconds
+        return Concrete(
+            graph=graph,
+            optimized=optimized,
+            plan=plan,
+            trace_seconds=elapsed,
+            pipeline_log=pipeline.describe(),
+        )
+
+    def _record_exec(self, plan: Plan, seconds: float, *, count: int = 1) -> None:
+        with self._lock:
+            rec = self._plan_stats.get(plan)
+            if rec is None:  # plan executed without a recorded build
+                rec = self._plan_stats[plan] = PlanStats(
+                    labels=("<unbuilt>",), backends=("?",), pipelines=("?",)
+                )
+            rec.executions += count
+            rec.exec_seconds += seconds
+
+    # -- context management -------------------------------------------------------
+
+    def __enter__(self) -> "Session":
+        _ambient_stack.set(_ambient_stack.get() + (self,))
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        # Remove the most recent occurrence of self: tolerant of
+        # interleaved (non-LIFO) exits from generators/fixtures.
+        stack = _ambient_stack.get()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is self:
+                _ambient_stack.set(stack[:i] + stack[i + 1:])
+                break
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.plan_cache.stats
+        return (
+            f"<Session backend={self.options.backend!r} "
+            f"pipeline={self.options.pipeline!r} "
+            f"cache={len(self.plan_cache)}/{self.plan_cache.maxsize} "
+            f"({s.hits}h/{s.misses}m)>"
+        )
+
+
+# -- ambient session ------------------------------------------------------------
+
+#: Context-local (per-thread / per-asyncio-task) stack of entered
+#: sessions.  A ``with Session():`` in one thread must not redirect other
+#: threads' ambient compiles — that would cross exactly the isolation
+#: boundary sessions exist to draw.  New threads start with an empty
+#: stack and fall back to the process-wide default session.
+_ambient_stack: contextvars.ContextVar[tuple["Session", ...]] = (
+    contextvars.ContextVar("repro_api_ambient_sessions", default=())
+)
+_default_session: Session | None = None
+_default_session_lock = threading.Lock()
+
+
+def default_session() -> Session:
+    """The lazily created process-wide session.
+
+    Its plan cache *is* the PR-1 global cache instance, so legacy code
+    (and code that never opens a session) keeps the exact pre-Session
+    behaviour, including cross-framework plan sharing.
+    """
+    global _default_session
+    # Lock-free fast path: this sits on the call path of every ambient
+    # decorated function, and after first use the reference never changes.
+    session = _default_session
+    if session is not None:
+        return session
+    with _default_session_lock:
+        if _default_session is None:
+            _default_session = Session(
+                plan_cache=_cache_module._default_plan_cache()
+            )
+        return _default_session
+
+
+def current_session() -> Session:
+    """The innermost session entered *in this context* (thread/task), or
+    the process-wide default."""
+    stack = _ambient_stack.get()
+    if stack:
+        return stack[-1]
+    return default_session()

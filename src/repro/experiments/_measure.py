@@ -1,12 +1,18 @@
-"""Shared measurement helpers for experiment modules."""
+"""Shared measurement helpers for experiment modules.
+
+Graph-mode timing runs through the :mod:`repro.api` layer: the function
+under test is a :class:`~repro.api.Compiled` (``session.compile`` result
+or a legacy decorator shim), and trace/optimize/plan-compile happens in
+whatever session is ambient — the experiments CLI opens one per run so
+cache stats are scoped and reportable.
+"""
 
 from __future__ import annotations
 
 from collections.abc import Callable
 
+from ..api import Compiled
 from ..bench.timing import TimingSample, measure
-from ..errors import BenchmarkError
-from ..frameworks.common import CompiledFunction
 from ..tensor.tensor import Tensor
 
 #: Execution modes for graph-mode timing:
@@ -18,7 +24,7 @@ EXECUTION_MODES = ("graph", "runtime", "interpreter")
 
 
 def time_compiled(
-    fn: CompiledFunction,
+    fn: Compiled,
     args: list[Tensor],
     *,
     label: str,
@@ -27,9 +33,12 @@ def time_compiled(
 ) -> TimingSample:
     """Time a graph-mode function: trace/optimize/plan-compile first
     (untimed — the paper excludes decorator overheads), then measure
-    steady-state calls in the chosen execution ``mode``."""
+    steady-state calls in the chosen execution ``mode``.
+
+    Raises :class:`ValueError` on an unknown ``mode``.
+    """
     if mode not in EXECUTION_MODES:
-        raise BenchmarkError(
+        raise ValueError(
             f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
         )
     concrete = fn.get_concrete(*args)

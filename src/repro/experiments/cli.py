@@ -7,7 +7,14 @@ Examples::
     laab run exp2 --n 2000          # one experiment at a custom size
     laab run all --paper-scale      # n = 3000 like the paper (slow)
     laab run exp3 --json out.json   # machine-readable results
+    laab run all --cache-stats      # + plan-cache hit/miss/eviction report
+    laab cache-stats exp1           # run one experiment, print cache stats
     laab graphs                     # print Fig. 3 / Fig. 4 DAGs
+
+Every ``run`` executes inside its own :class:`repro.api.Session`, so the
+plan-cache counters and per-plan compile/exec timings printed by
+``--cache-stats`` (and the ``cache-stats`` subcommand) are scoped to that
+run — the ROADMAP's "cache observability" item.
 """
 
 from __future__ import annotations
@@ -39,6 +46,25 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", default=None, help="also write results as JSON")
     run.add_argument("--markdown", default=None,
                      help="also write results as markdown")
+    run.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print plan-cache hits/misses/evictions and per-plan timings "
+             "after the run",
+    )
+
+    cache = sub.add_parser(
+        "cache-stats",
+        help="run one experiment (default exp1) and print the session's "
+             "plan-cache statistics",
+    )
+    cache.add_argument("experiment", nargs="?", default="exp1",
+                       help="experiment name or 'all'")
+    cache.add_argument("--n", type=int, default=256, help="problem size")
+    cache.add_argument("--reps", type=int, default=3,
+                       help="timed repetitions")
+    cache.add_argument("--threads", type=int, default=1,
+                       help="BLAS threads (paper: 1)")
 
     sub.add_parser("list", help="list experiments")
     graphs = sub.add_parser("graphs",
@@ -88,17 +114,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # Experiments import numpy transitively; registration happens here so
     # limit_threads above is set before any BLAS pool spins up.
     from .. import experiments  # noqa: F401
+    from ..api import Session
     from ..bench.registry import EXPERIMENTS, get_experiment
 
     n = 3000 if args.paper_scale else args.n
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     tables = []
-    for name in names:
-        info = get_experiment(name)
-        print(f"\n>>> {info.name} ({info.paper_artifact}): {info.description}")
-        table = info.fn(n=n, repetitions=args.reps)
-        tables.append(table)
-        print(table.render())
+    # One session per run: the experiments' graph-mode functions compile
+    # into it (they resolve the ambient session), giving scoped, reportable
+    # plan-cache statistics.
+    quiet = getattr(args, "quiet_tables", False)
+    with Session() as session:
+        for name in names:
+            info = get_experiment(name)
+            if quiet:
+                print(f">>> {info.name}: warming plan cache "
+                      f"(n = {n}, reps = {args.reps})")
+            else:
+                print(f"\n>>> {info.name} ({info.paper_artifact}): "
+                      f"{info.description}")
+            table = info.fn(n=n, repetitions=args.reps)
+            tables.append(table)
+            if not quiet:
+                print(table.render())
+        if getattr(args, "cache_stats", False):
+            print("\n== plan-cache statistics ==")
+            print(session.stats().render())
     if args.json:
         import json
 
@@ -113,6 +154,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    """``laab cache-stats`` ≡ ``laab run --cache-stats`` with result
+    tables suppressed — one code path, no drift between the two."""
+    return _cmd_run(argparse.Namespace(
+        experiment=args.experiment,
+        n=args.n,
+        reps=args.reps,
+        paper_scale=False,
+        threads=args.threads,
+        json=None,
+        markdown=None,
+        cache_stats=True,
+        quiet_tables=True,
+    ))
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -123,6 +180,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_graphs(args.n)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "cache-stats":
+        return _cmd_cache_stats(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

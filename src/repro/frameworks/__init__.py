@@ -20,6 +20,11 @@ dispatch, distributivity, or partial-access rewrites — the paper's central
 negative findings.  Both accept an ``aware=True`` escape hatch on their
 graph-mode decorators to run the extended pipeline, powering the ablation
 benchmarks.
+
+Both graph-mode decorators are thin shims over :mod:`repro.api`: they
+register their :class:`~repro.api.FrameworkProfile` s with the backend
+registry and compile into the ambient :class:`~repro.api.Session` (the
+innermost ``with Session():`` block, or the process-wide default).
 """
 
 from . import tfsim

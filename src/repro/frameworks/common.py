@@ -1,93 +1,61 @@
 """Machinery shared by the simulated frameworks.
 
-The central class is :class:`CompiledFunction` — what ``@tfsim.function``
-and ``@pytsim.jit.script`` return.  It implements the trace-once /
-execute-many contract of the real decorators:
+Since the ``repro.api`` redesign this module is a thin back-compat shim
+over the Session layer: the real trace-once/execute-many machinery lives
+in :class:`repro.api.Compiled` and :meth:`repro.api.Session._build`.
 
-* the first call with a new *input signature* (shapes, dtypes, property
-  annotations) traces the Python function into a graph, runs the
-  framework's optimization pipeline, compiles the optimized graph into an
-  executable :class:`~repro.runtime.Plan` through the process-wide
-  :class:`~repro.runtime.PlanCache` (structurally identical expressions
-  — even from different traces or the other framework — share one plan),
-  and caches the result;
-* subsequent calls execute the cached compiled plan directly
-  (:meth:`CompiledFunction.interpret` keeps the reference-interpreter
-  path for parity checks);
-* trace/optimize time is recorded separately (``last_trace_seconds``) — the
-  analogue of the paper's footnote-4 decorator overheads, which its
-  measurements exclude.
+* :data:`TF_PROFILE` / :data:`PYT_PROFILE` are the two built-in
+  :class:`~repro.api.FrameworkProfile` s, registered with the
+  :mod:`repro.api` backend registry at import time (so
+  ``repro.api.backend("tfsim")`` resolves them by name);
+* :class:`CompiledFunction` — what ``@tfsim.function`` and
+  ``@pytsim.jit.script`` return — is an *ambient* ``Compiled``: it
+  resolves the active :class:`~repro.api.Session` per call, so decorated
+  functions compile into the innermost ``with Session():`` block, or the
+  process-wide default session (whose plan cache is the PR-1 global
+  instance) when none is entered.  Behaviour, outputs and reports are
+  identical to PR 1 (``tests/test_api_backcompat.py``).
 """
 
 from __future__ import annotations
 
-import dataclasses
-import time
-from collections.abc import Callable, Sequence
+from collections.abc import Callable
 
-import numpy as np
+from ..api import Compiled, Concrete, FrameworkProfile, register_backend
+from ..api.compiled import input_signature as _signature  # noqa: F401  (back-compat)
+from ..passes import aware_pipeline, default_pipeline
 
-from ..errors import TracingError
-from ..ir.graph import Graph
-from ..ir.interpreter import ExecutionReport, Interpreter
-from ..ir.tracing import trace
-from ..passes import PassPipeline, aware_pipeline, default_pipeline
-from ..runtime import Plan, default_plan_cache
-from ..tensor.tensor import Tensor
+#: Back-compat alias: PR 1 called the per-signature specialization
+#: ``ConcreteFunction``; the api layer names it ``Concrete``.
+ConcreteFunction = Concrete
 
 
-@dataclasses.dataclass(frozen=True)
-class FrameworkProfile:
-    """Identity and knobs of one simulated framework."""
-
-    name: str
-    #: The decorator overhead the paper reports (seconds); informational —
-    #: the simulator's real overhead is the measured trace time.
-    paper_decorator_overhead_s: float
-    pipeline_factory: Callable[[], PassPipeline]
-    aware_pipeline_factory: Callable[[], PassPipeline]
-
-
-TF_PROFILE = FrameworkProfile(
-    name="tfsim",
-    paper_decorator_overhead_s=6e-4,
-    pipeline_factory=default_pipeline,
-    aware_pipeline_factory=aware_pipeline,
+TF_PROFILE = register_backend(
+    FrameworkProfile(
+        name="tfsim",
+        paper_decorator_overhead_s=6e-4,
+        pipeline_factory=default_pipeline,
+        aware_pipeline_factory=aware_pipeline,
+    )
 )
 
-PYT_PROFILE = FrameworkProfile(
-    name="pytsim",
-    paper_decorator_overhead_s=2e-3,
-    pipeline_factory=default_pipeline,
-    aware_pipeline_factory=aware_pipeline,
+PYT_PROFILE = register_backend(
+    FrameworkProfile(
+        name="pytsim",
+        paper_decorator_overhead_s=2e-3,
+        pipeline_factory=default_pipeline,
+        aware_pipeline_factory=aware_pipeline,
+    )
 )
 
 
-def _signature(args: Sequence[Tensor]) -> tuple:
-    sig = []
-    for a in args:
-        if not isinstance(a, Tensor):
-            raise TracingError(
-                f"compiled functions take Tensor arguments, got {type(a).__name__}"
-            )
-        sig.append((a.shape, str(a.dtype), frozenset(a.props)))
-    return tuple(sig)
+class CompiledFunction(Compiled):
+    """Graph-mode wrapper around a Python callable (see module docstring).
 
-
-@dataclasses.dataclass
-class ConcreteFunction:
-    """One traced+optimized+plan-compiled specialization of a compiled
-    function."""
-
-    graph: Graph
-    optimized: Graph
-    plan: Plan
-    trace_seconds: float
-    pipeline_log: str
-
-
-class CompiledFunction:
-    """Graph-mode wrapper around a Python callable (see module docstring)."""
+    A session-*ambient* :class:`~repro.api.Compiled` with the PR-1
+    constructor signature.  Prefer ``session.compile(fn, backend=...)``
+    when you want explicit cache ownership.
+    """
 
     def __init__(
         self,
@@ -96,84 +64,9 @@ class CompiledFunction:
         *,
         aware: bool = False,
     ) -> None:
-        self._fn = fn
-        self.profile = profile
-        self.aware = aware
-        self._cache: dict[tuple, ConcreteFunction] = {}
-        self.trace_count = 0
-        self.last_trace_seconds = 0.0
-        self.last_report: ExecutionReport | None = None
-        self.__doc__ = fn.__doc__
-        self.__name__ = getattr(fn, "__name__", "compiled_fn")
-
-    # -- tracing ---------------------------------------------------------------
-
-    def get_concrete(self, *args: Tensor) -> ConcreteFunction:
-        """Trace/optimize for this signature (cached); does not execute."""
-        sig = _signature(args)
-        hit = self._cache.get(sig)
-        if hit is not None:
-            return hit
-        start = time.perf_counter()
-        graph = trace(self._fn, list(args))
-        factory = (
-            self.profile.aware_pipeline_factory
-            if self.aware
-            else self.profile.pipeline_factory
+        super().__init__(
+            fn, profile, session=None, pipeline="aware" if aware else "default"
         )
-        pipeline = factory()
-        optimized = pipeline.run(graph)
-        # Compile to an executable plan through the process-wide cache:
-        # structurally identical expressions — even from different traces
-        # or the other framework — share one compiled plan.
-        plan = default_plan_cache().get(optimized)
-        elapsed = time.perf_counter() - start
-        concrete = ConcreteFunction(
-            graph=graph,
-            optimized=optimized,
-            plan=plan,
-            trace_seconds=elapsed,
-            pipeline_log=pipeline.describe(),
-        )
-        self._cache[sig] = concrete
-        self.trace_count += 1
-        self.last_trace_seconds = elapsed
-        return concrete
-
-    # -- execution ---------------------------------------------------------------
-
-    def __call__(self, *args: Tensor):
-        concrete = self.get_concrete(*args)
-        outputs, report = concrete.plan.execute([a.data for a in args])
-        self.last_report = report
-        return self._wrap(outputs)
-
-    def interpret(self, *args: Tensor):
-        """Execute through the reference :class:`Interpreter` instead of
-        the compiled plan — the pre-runtime path, kept for parity checks
-        and the ``interpreter`` measurement mode."""
-        concrete = self.get_concrete(*args)
-        interp = Interpreter(record=True)
-        outputs, report = interp.run(concrete.optimized, [a.data for a in args])
-        self.last_report = report
-        return self._wrap(outputs)
-
-    @staticmethod
-    def _wrap(outputs):
-        tensors = [Tensor(np.ascontiguousarray(o)) for o in outputs]
-        if len(tensors) == 1:
-            return tensors[0]
-        return tuple(tensors)
-
-    # -- introspection -------------------------------------------------------------
-
-    def initial_graph(self, *args: Tensor) -> Graph:
-        """The pre-optimization DAG (the paper's Fig. 3 left side)."""
-        return self.get_concrete(*args).graph
-
-    def optimized_graph(self, *args: Tensor) -> Graph:
-        """The post-optimization DAG (the paper's Fig. 3 right side)."""
-        return self.get_concrete(*args).optimized
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         mode = "aware" if self.aware else "default"

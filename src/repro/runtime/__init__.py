@@ -19,8 +19,11 @@ This package is that compile-once / execute-many layer:
                output- and report-parity with the Interpreter (verified
                by ``tests/test_runtime_plans.py``).
 ``cache``      :class:`PlanCache` — signature-keyed LRU of compiled
-               plans with hit/miss/eviction stats, plus the process-wide
-               default cache the simulated frameworks share.
+               plans with hit/miss/eviction stats and single-flight
+               concurrent compilation.  Caches are instance-scoped and
+               owned by :class:`repro.api.Session`; the process-wide
+               default instance survives as the default session's cache
+               (reaching it via ``default_plan_cache`` is deprecated).
 ``batch``      One plan over many feed sets, sequentially or via a
                thread pool (BLAS kernels release the GIL).
 """

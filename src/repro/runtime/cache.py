@@ -7,20 +7,32 @@ function, or the same expression arriving from ``tfsim`` and ``pytsim``,
 compile exactly once.  Graphs that differ in any attr (a ``trans_a`` flag,
 a property annotation on an input, a constant's payload) key differently.
 
-A process-wide default cache (:func:`default_plan_cache`) backs the
-simulated frameworks' ``function``/``jit`` decorators.
+Caches are **instance-scoped**: every :class:`repro.api.Session` owns one.
+The process-wide instance that backed PR 1 survives as the *default
+session's* cache; reaching it directly through :func:`default_plan_cache`
+is deprecated in favour of ``repro.api.Session``.
+
+Thread-safety (audited for the instance-scoped design): every LRU
+mutation — lookup bookkeeping, insertion, eviction, ``move_to_end`` —
+happens under ``_lock``, and concurrent misses on one key are
+*single-flighted*: the first thread compiles (outside the lock, so other
+keys aren't serialized behind a slow compile) while later threads wait on
+a per-key event and then read the finished plan.  Two threads racing the
+same signature therefore trigger exactly one compile.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import threading
+import warnings
 from collections import OrderedDict
 
 from ..ir.graph import Graph
 from .compiler import compile_plan
 from .plan import Plan
 from .signature import graph_signature
+from .singleflight import SingleFlight
 
 
 @dataclasses.dataclass
@@ -50,33 +62,64 @@ class PlanCache:
         self.stats = CacheStats()
         self._plans: OrderedDict[tuple, Plan] = OrderedDict()
         self._lock = threading.Lock()
+        #: Single-flights concurrent compiles of one key (shares _lock so
+        #: its callbacks mutate the LRU/stats in the election's critical
+        #: section).
+        self._flight = SingleFlight(self._lock)
+        #: Bumped by clear(): a compile that started before a clear must
+        #: not insert its plan into (or pollute the stats of) the post-
+        #: clear cache.
+        self._epoch = 0
 
     def get(self, graph: Graph, *, fold_constants: bool = False) -> Plan:
         """The compiled plan for ``graph`` — compiles on miss.
 
         ``fold_constants`` takes part in the key: a folded and an unfolded
         plan of the same graph execute different instruction sequences.
+
+        Concurrent misses on one key compile exactly once (single-flight);
+        ``stats.misses`` counts compile-triggering lookups, so it equals
+        the number of compiles performed.
+        """
+        return self.get_with_info(graph, fold_constants=fold_constants)[0]
+
+    def get_with_info(
+        self, graph: Graph, *, fold_constants: bool = False
+    ) -> tuple[Plan, bool]:
+        """Like :meth:`get`, also reporting whether *this call* compiled.
+
+        The flag is what per-caller accounting needs under concurrency: a
+        thread that waited on another thread's in-flight compile receives
+        ``(plan, False)`` — only the single-flight leader gets ``True``.
         """
         key = (graph_signature(graph), fold_constants)
-        with self._lock:
+        leader_epoch = [0]
+
+        def probe() -> Plan | None:
             plan = self._plans.get(key)
             if plan is not None:
                 self.stats.hits += 1
                 self._plans.move_to_end(key)
-                return plan
+            return plan
+
+        def on_leader() -> None:
             self.stats.misses += 1
-        # Compile outside the lock: compilation can be slow and must not
-        # serialize concurrent lookups of other graphs.
-        plan = compile_plan(graph, fold_constants=fold_constants)
-        with self._lock:
-            existing = self._plans.get(key)
-            if existing is not None:
-                return existing  # another thread won the race
+            leader_epoch[0] = self._epoch
+
+        def build() -> Plan:
+            # Compile outside the lock: compilation can be slow and must
+            # not serialize concurrent lookups of other graphs.
+            return compile_plan(graph, fold_constants=fold_constants)
+
+        def publish(plan: Plan) -> None:
+            if self._epoch != leader_epoch[0]:
+                return  # clear() happened mid-compile — don't repopulate
             self._plans[key] = plan
             while len(self._plans) > self.maxsize:
                 self._plans.popitem(last=False)
                 self.stats.evictions += 1
-        return plan
+
+        return self._flight.run(key, probe, build, publish, on_leader)
 
     def contains(self, graph: Graph, *, fold_constants: bool = False) -> bool:
         """Whether a plan for ``graph`` is cached (does not touch LRU order)."""
@@ -84,9 +127,17 @@ class PlanCache:
             return (graph_signature(graph), fold_constants) in self._plans
 
     def clear(self) -> None:
+        """Drop every plan and reset the counters.
+
+        Compiles already in flight finish but do not publish into the
+        cleared cache (epoch check in :meth:`get_with_info`); their
+        waiters re-elect a leader and recompile against the new epoch.
+        """
         with self._lock:
             self._plans.clear()
             self.stats = CacheStats()
+            self._epoch += 1
+            self._flight.abandon_all_locked()
 
     def __len__(self) -> int:
         with self._lock:
@@ -101,7 +152,36 @@ class PlanCache:
 
 _default_cache = PlanCache(maxsize=256)
 
+_deprecation_warned = False
+_deprecation_lock = threading.Lock()
+
+
+def _default_plan_cache() -> PlanCache:
+    """The process-wide cache instance, warning-free — internal use only
+    (the default :class:`repro.api.Session` adopts it)."""
+    return _default_cache
+
 
 def default_plan_cache() -> PlanCache:
-    """The process-wide cache shared by the simulated frameworks."""
+    """Deprecated: the process-wide cache shared by the simulated
+    frameworks.
+
+    Cache ownership is now explicit — use ``repro.api.Session`` (its
+    ``plan_cache`` attribute and ``stats()``) instead.  The warning fires
+    once per process.
+    """
+    global _deprecation_warned
+    if _deprecation_warned:
+        return _default_cache
+    with _deprecation_lock:
+        if _deprecation_warned:
+            return _default_cache
+        _deprecation_warned = True
+        warnings.warn(
+            "default_plan_cache() is deprecated; use repro.api.Session — "
+            "each session owns its own PlanCache (the process-wide default "
+            "session keeps this instance)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     return _default_cache

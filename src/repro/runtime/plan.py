@@ -73,6 +73,9 @@ class Plan:
         "num_slots",
         "signature",
         "compile_seconds",
+        # Weakly referenceable so per-plan accounting (Session._plan_stats)
+        # can key on plans without pinning evicted ones in memory.
+        "__weakref__",
     )
 
     def __init__(

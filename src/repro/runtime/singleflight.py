@@ -1,0 +1,94 @@
+"""Keyed single-flight: concurrent callers of one key build once.
+
+The pattern behind both plan compilation (:meth:`PlanCache.get_with_info`)
+and concrete tracing (:meth:`repro.api.Compiled._concrete_in`): under a
+caller-supplied lock, a *probe* checks for an existing value; the first
+thread to miss becomes the leader and runs the expensive *build* outside
+the lock while later callers wait on a per-key event; the leader then
+*publishes* under the lock and wakes the waiters, who re-probe.  A leader
+that raises wakes the waiters too — they re-elect a new leader instead of
+deadlocking.
+
+Centralizing this here keeps exactly one audited implementation of the
+subtle parts (identity-checked cleanup, failure wake-up, waiter
+re-election) instead of hand-rolled copies drifting apart.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+class SingleFlight:
+    """Leader/waiter election around an expensive keyed build.
+
+    Shares the *caller's* lock so the ``probe``/``on_leader``/``publish``
+    callbacks can touch caller state (LRU order, counters, tables) in the
+    same critical section as the election — no lock-ordering hazards.
+    """
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._inflight: dict[object, threading.Event] = {}
+
+    def run(
+        self,
+        key: object,
+        probe: Callable[[], T | None],
+        build: Callable[[], T],
+        publish: Callable[[T], None] | None = None,
+        on_leader: Callable[[], None] | None = None,
+    ) -> tuple[T, bool]:
+        """``(value, built_here)`` — builds at most once per key at a time.
+
+        ``probe`` (under the lock) returns the existing value or ``None``;
+        ``on_leader`` (under the lock) runs once when this call wins the
+        election; ``build`` runs *outside* the lock; ``publish`` (under
+        the lock) stores the result.  Only the leader gets ``True``.
+        """
+        while True:
+            with self._lock:
+                found = probe()
+                if found is not None:
+                    return found, False
+                done = self._inflight.get(key)
+                if done is None:
+                    done = self._inflight[key] = threading.Event()
+                    if on_leader is not None:
+                        on_leader()
+                    break
+            # Another thread is building this key; wait, then re-probe
+            # (re-electing a leader if that thread failed).
+            done.wait()
+        try:
+            result = build()
+        except BaseException:
+            with self._lock:
+                # Identity check: abandon_all_locked() may have replaced
+                # or removed the entry meanwhile.
+                if self._inflight.get(key) is done:
+                    del self._inflight[key]
+            done.set()
+            raise
+        with self._lock:
+            if publish is not None:
+                publish(result)
+            if self._inflight.get(key) is done:
+                del self._inflight[key]
+        done.set()
+        return result, True
+
+    def abandon_all_locked(self) -> None:
+        """Wake every waiter and forget all in-flight builds.
+
+        Must be called with the shared lock *held* (e.g. from a cache
+        ``clear()``).  Waiters re-probe and re-elect; the abandoned
+        leaders' identity-checked cleanup tolerates the removal.
+        """
+        for event in self._inflight.values():
+            event.set()
+        self._inflight.clear()

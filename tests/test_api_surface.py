@@ -75,7 +75,15 @@ class TestPublicExports:
             ("repro.rewrite", ["Symbol", "MatMul", "Add", "Transpose", "Scale",
                                "Identity", "Zero", "expr_flops", "variants",
                                "best_variant", "DerivationGraph"]),
-            ("repro.frameworks", ["tfsim", "pytsim", "CompiledFunction"]),
+            ("repro.frameworks", ["tfsim", "pytsim", "CompiledFunction",
+                                  "FrameworkProfile"]),
+            ("repro.api", ["Session", "Options", "Compiled", "Concrete",
+                           "FrameworkProfile", "backend", "register_backend",
+                           "available_backends", "current_session",
+                           "default_session", "SessionStats", "PlanStats"]),
+            ("repro.runtime", ["Plan", "PlanCache", "CacheStats",
+                               "compile_plan", "execute_batch",
+                               "graph_signature", "default_plan_cache"]),
             ("repro.bench", ["measure", "bootstrap_compare", "TimingSample",
                              "ExperimentTable", "format_seconds"]),
         ],
@@ -111,7 +119,8 @@ class TestPublicExports:
         """Every name in __all__ must actually exist."""
         for modname in ("repro", "repro.kernels", "repro.tensor", "repro.ir",
                         "repro.passes", "repro.chain", "repro.rewrite",
-                        "repro.bench", "repro.frameworks"):
+                        "repro.bench", "repro.frameworks", "repro.api",
+                        "repro.runtime"):
             mod = importlib.import_module(modname)
             for name in getattr(mod, "__all__", []):
                 assert hasattr(mod, name), f"{modname}.__all__ lists {name}"

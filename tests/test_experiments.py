@@ -174,6 +174,28 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "Fig. 3" in out and "Fig. 4" in out
 
+    def test_run_with_cache_stats_flag(self, capsys):
+        from repro.experiments.cli import main
+
+        with override(repetitions=SMOKE_REPS, warmup=0):
+            code = main(["run", "fig7", "--n", str(SMOKE_N), "--reps", "2",
+                         "--cache-stats"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan-cache statistics" in out
+        assert "misses" in out and "evictions" in out
+
+    def test_cache_stats_command(self, capsys):
+        from repro.experiments.cli import main
+
+        with override(repetitions=SMOKE_REPS, warmup=0):
+            code = main(["cache-stats", "fig7", "--n", str(SMOKE_N),
+                         "--reps", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan cache:" in out
+        assert "hits" in out and "misses" in out
+
     def test_run_single_with_json(self, tmp_path, capsys):
         import json
 

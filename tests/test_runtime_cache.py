@@ -164,6 +164,129 @@ class TestPlanCache:
             PlanCache(maxsize=0)
 
 
+class TestPlanCacheConcurrency:
+    def test_same_signature_compiles_exactly_once(self, monkeypatch):
+        """Two threads racing one signature must trigger a single compile
+        (single-flight): the loser waits for the leader's plan instead of
+        compiling a duplicate that gets thrown away."""
+        import threading
+        import time as _time
+
+        from repro.runtime import cache as cache_module
+
+        compile_calls = []
+        real_compile = cache_module.compile_plan
+
+        def slow_compile(graph, **kwargs):
+            compile_calls.append(threading.get_ident())
+            _time.sleep(0.05)  # widen the race window
+            return real_compile(graph, **kwargs)
+
+        monkeypatch.setattr(cache_module, "compile_plan", slow_compile)
+        cache = PlanCache(maxsize=8)
+        fn = lambda a: a @ a + a  # noqa: E731
+        graphs = [trace(fn, [random_general(8, seed=1)]) for _ in range(2)]
+        plans: list = [None, None]
+        barrier = threading.Barrier(2)
+
+        def worker(i):
+            barrier.wait()
+            plans[i] = cache.get(graphs[i])
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert len(compile_calls) == 1
+        assert plans[0] is plans[1]
+        assert cache.stats.misses == 1  # misses == compiles performed
+        assert cache.stats.hits == 1
+        assert len(cache) == 1
+
+    def test_failed_compile_releases_waiters(self, monkeypatch):
+        """If the leading compile raises, waiters retry (electing a new
+        leader) instead of deadlocking on the in-flight event."""
+        import threading
+
+        from repro.errors import GraphError
+        from repro.runtime import cache as cache_module
+
+        real_compile = cache_module.compile_plan
+        calls = []
+
+        def flaky_compile(graph, **kwargs):
+            calls.append(None)
+            if len(calls) == 1:
+                raise GraphError("injected failure")
+            return real_compile(graph, **kwargs)
+
+        monkeypatch.setattr(cache_module, "compile_plan", flaky_compile)
+        cache = PlanCache(maxsize=8)
+        g = trace(lambda a: a @ a, [random_general(8, seed=2)])
+        with pytest.raises(GraphError):
+            cache.get(g)
+        plan = cache.get(g)  # retry succeeds, no stale in-flight entry
+        assert plan is not None
+        assert len(calls) == 2
+
+    def test_clear_during_inflight_compile_stays_cleared(self, monkeypatch):
+        """A compile that started before clear() must not publish into
+        the cleared cache or corrupt its fresh counters."""
+        import threading
+
+        from repro.runtime import cache as cache_module
+
+        real_compile = cache_module.compile_plan
+        started = threading.Event()
+        release = threading.Event()
+
+        def gated_compile(graph, **kwargs):
+            started.set()
+            release.wait(timeout=5)
+            return real_compile(graph, **kwargs)
+
+        monkeypatch.setattr(cache_module, "compile_plan", gated_compile)
+        cache = PlanCache(maxsize=8)
+        g = trace(lambda a: a @ a, [random_general(8, seed=3)])
+        plans = []
+        t = threading.Thread(target=lambda: plans.append(cache.get(g)))
+        t.start()
+        started.wait(timeout=5)
+        cache.clear()  # reset while the compile is in flight
+        release.set()
+        t.join()
+        assert plans[0] is not None  # the caller still got its plan...
+        assert len(cache) == 0  # ...but the cleared cache stayed empty
+        assert cache.stats.misses == 0 and cache.stats.hits == 0
+        monkeypatch.setattr(cache_module, "compile_plan", real_compile)
+        cache.get(g)  # post-clear compile publishes normally
+        assert len(cache) == 1
+        assert cache.stats.misses == 1
+
+    def test_many_threads_distinct_signatures_not_serialized(self):
+        """Distinct keys compile concurrently (compile happens outside the
+        lock); smoke-check correctness under churn."""
+        import threading
+
+        cache = PlanCache(maxsize=16)
+        sizes = (4, 5, 6, 7)
+        results: dict[int, object] = {}
+
+        def worker(n):
+            g = trace(lambda a: a @ a, [random_general(n, seed=n)])
+            results[n] = cache.get(g)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in sizes]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) == len(sizes)
+        assert all(results[n] is not None for n in sizes)
+
+
 class TestFrameworkIntegration:
     def test_same_expression_shares_plan_across_frameworks(self, operands):
         """tfsim and pytsim traces of one expression land on one plan in
