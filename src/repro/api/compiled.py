@@ -55,6 +55,18 @@ class Concrete:
     plan: Plan
     trace_seconds: float
     pipeline_log: str
+    #: Preallocated execution buffers, present when the owning session
+    #: runs with ``Options(arena="preallocated")``.  Serialized calls
+    #: through this concrete reuse it; outputs are copied out before they
+    #: reach the caller, so user-visible results never alias arena
+    #: storage.
+    arena: "object | None" = None
+    #: Guards the arena: one buffer set supports one execution at a time,
+    #: so concurrent calls in arena mode serialize (per-call mode stays
+    #: lock-free and fully concurrent).
+    arena_lock: threading.Lock = dataclasses.field(
+        default_factory=threading.Lock
+    )
 
 
 class Compiled:
@@ -163,7 +175,16 @@ class Compiled:
     def _call_in(self, session, args: Sequence[Tensor]):
         concrete = self._concrete_in(session, args)
         start = time.perf_counter()
-        outputs, report = concrete.plan.execute([a.data for a in args])
+        if concrete.arena is None:
+            outputs, report = concrete.plan.execute([a.data for a in args])
+        else:
+            with concrete.arena_lock:
+                outputs, report = concrete.plan.execute(
+                    [a.data for a in args], arena=concrete.arena
+                )
+                # Detach results from arena storage: the next call
+                # rewrites the buffers these outputs alias.
+                outputs = [out.copy() for out in outputs]
         session._record_exec(concrete.plan, time.perf_counter() - start)
         self.last_report = report
         return self._wrap(outputs)

@@ -10,9 +10,21 @@ from __future__ import annotations
 import dataclasses
 
 from ..errors import ConfigError
+from ..runtime.batch import ARENA_MODES
 
 #: Pipeline choices a backend profile understands.
 PIPELINES = ("default", "aware")
+
+# ARENA_MODES (re-exported from repro.runtime.batch, the single source of
+# truth shared with ``execute_batch``):
+#: ``per-call``      every execution materializes fresh intermediates
+#:                   (the PR-1 behaviour — results are independent arrays);
+#: ``preallocated``  per-slot ndarray storage is allocated once and reused
+#:                   via the kernels' ``out=`` variants — repeated
+#:                   execution is allocation-free after warmup.  Results
+#:                   returned through the Session layer are copied out of
+#:                   the arena, so user-visible values stay independent.
+__all__ = ["ARENA_MODES", "PIPELINES", "VALIDATION_LEVELS", "Options"]
 
 #: Graph-validation levels applied around trace/optimize:
 #: ``off``   no structural checks (the PR-1 decorator behaviour);
@@ -44,6 +56,17 @@ class Options:
     fold_constants:
         Whether plans are compiled with constant folding (keys the plan
         cache separately, exactly like ``compile_plan``).
+    fusion:
+        Whether plans are compiled with the post-schedule kernel-fusion
+        stage (elementwise-chain collapsing + GEMM alpha folding; keys
+        the plan cache separately).  Outputs are bit-identical; reports
+        represent fused sites as combined kernel-call records while
+        preserving FLOP totals and peak bytes.
+    arena:
+        Execution-buffer strategy, one of :data:`ARENA_MODES`.
+        ``"preallocated"`` executes every compiled function through a
+        per-``Concrete`` :class:`~repro.runtime.PlanArena` — repeated
+        calls perform zero intermediate allocations after warmup.
     """
 
     backend: str = "tfsim"
@@ -52,6 +75,8 @@ class Options:
     batch_workers: int | None = None
     validation: str = "off"
     fold_constants: bool = False
+    fusion: bool = False
+    arena: str = "per-call"
 
     def validate(self) -> None:
         """Raise :class:`ConfigError` if any field is out of range."""
@@ -73,6 +98,12 @@ class Options:
             raise ConfigError(
                 f"validation must be one of {VALIDATION_LEVELS}, "
                 f"got {self.validation!r}"
+            )
+        if not isinstance(self.fusion, bool):
+            raise ConfigError(f"fusion must be a bool, got {self.fusion!r}")
+        if self.arena not in ARENA_MODES:
+            raise ConfigError(
+                f"arena must be one of {ARENA_MODES}, got {self.arena!r}"
             )
 
     def replace(self, **overrides: object) -> "Options":

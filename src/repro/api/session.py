@@ -63,6 +63,9 @@ class PlanStats:
     plan_compile_seconds: float = 0.0
     executions: int = 0
     exec_seconds: float = 0.0
+    #: Fused sites in the plan (elementwise chains + GEMM alpha folds);
+    #: 0 when the session compiles with ``fusion=False``.
+    fused_sites: int = 0
 
     @property
     def label(self) -> str:
@@ -87,6 +90,15 @@ class SessionStats:
     entries: int
     capacity: int
     plans: tuple[PlanStats, ...]
+    #: The session's execution-mode knobs, echoed so ``laab cache-stats``
+    #: renders them next to the counters they explain.
+    fusion: bool = False
+    arena: str = "per-call"
+
+    @property
+    def fused_sites(self) -> int:
+        """Total fused sites across this session's plans."""
+        return sum(p.fused_sites for p in self.plans)
 
     @property
     def lookups(self) -> int:
@@ -104,10 +116,14 @@ class SessionStats:
         Graph→Plan compile time actually paid by this session (0 for
         pure cache hits).
         """
+        fusion = (
+            f"on ({self.fused_sites} fused sites)" if self.fusion else "off"
+        )
         lines = [
             f"plan cache: {self.entries}/{self.capacity} plans | "
             f"{self.hits} hits / {self.misses} misses / "
-            f"{self.evictions} evictions (hit rate {self.hit_rate:.1%})"
+            f"{self.evictions} evictions (hit rate {self.hit_rate:.1%})",
+            f"execution: fusion {fusion} | arena {self.arena}",
         ]
         if self.plans:
             lw = max(12, max(len(p.label) for p in self.plans))
@@ -263,7 +279,11 @@ class Session:
             workers = self.options.batch_workers
         start = time.perf_counter()
         result = execute_batch(
-            concrete.plan, feed_sets, workers=workers, record=record
+            concrete.plan,
+            feed_sets,
+            workers=workers,
+            record=record,
+            arena=session.options.arena,
         )
         self._record_exec(
             concrete.plan, time.perf_counter() - start, count=len(feed_sets)
@@ -286,6 +306,8 @@ class Session:
             entries=len(self.plan_cache),
             capacity=self.plan_cache.maxsize,
             plans=plans,
+            fusion=self.options.fusion,
+            arena=self.options.arena,
         )
 
     # -- internals ---------------------------------------------------------------
@@ -314,7 +336,9 @@ class Session:
         if validation == "full":
             validate_graph(optimized)
         plan, compiled_here = self.plan_cache.get_with_info(
-            optimized, fold_constants=self.options.fold_constants
+            optimized,
+            fold_constants=self.options.fold_constants,
+            fusion=self.options.fusion,
         )
         elapsed = time.perf_counter() - start
         with self._lock:
@@ -336,6 +360,8 @@ class Session:
                     rec.pipelines += (pipeline_choice,)
             rec.traces += 1
             rec.trace_seconds += elapsed
+            if plan.fusion_stats is not None:
+                rec.fused_sites = plan.fusion_stats.sites
             if compiled_here:
                 rec.plan_compile_seconds += plan.compile_seconds
         return Concrete(
@@ -344,6 +370,11 @@ class Session:
             plan=plan,
             trace_seconds=elapsed,
             pipeline_log=pipeline.describe(),
+            # One arena per concrete specialization: executions of this
+            # function in this session reuse its preallocated buffers.
+            arena=plan.new_arena()
+            if self.options.arena == "preallocated"
+            else None,
         )
 
     def _record_exec(self, plan: Plan, seconds: float, *, count: int = 1) -> None:

@@ -52,6 +52,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print plan-cache hits/misses/evictions and per-plan timings "
              "after the run",
     )
+    _add_mode_flags(run)
 
     cache = sub.add_parser(
         "cache-stats",
@@ -65,12 +66,34 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="timed repetitions")
     cache.add_argument("--threads", type=int, default=1,
                        help="BLAS threads (paper: 1)")
+    _add_mode_flags(cache)
 
     sub.add_parser("list", help="list experiments")
     graphs = sub.add_parser("graphs",
                             help="print the Fig. 3 / Fig. 4 computational graphs")
     graphs.add_argument("--n", type=int, default=128)
     return parser
+
+
+def _add_mode_flags(parser: argparse.ArgumentParser) -> None:
+    """Execution-mode knobs shared by ``run`` and ``cache-stats``."""
+    parser.add_argument(
+        "--fusion",
+        action="store_true",
+        help="compile plans with the kernel-fusion stage (elementwise "
+             "chains collapse, trailing scales fold into GEMM alpha)",
+    )
+    # Choices mirror repro.api.ARENA_MODES; kept literal here because the
+    # parser is built before limit_threads() runs, and importing the api
+    # layer would pull in numpy/BLAS first (Session construction asserts
+    # the value anyway, so drift fails loudly).
+    parser.add_argument(
+        "--arena",
+        choices=("per-call", "preallocated"),
+        default="per-call",
+        help="execution buffers: 'preallocated' reuses per-slot arena "
+             "storage (allocation-free after warmup)",
+    )
 
 
 def _cmd_list() -> int:
@@ -124,7 +147,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # into it (they resolve the ambient session), giving scoped, reportable
     # plan-cache statistics.
     quiet = getattr(args, "quiet_tables", False)
-    with Session() as session:
+    # Session-level knobs reach every decorated function without touching
+    # a single experiment: the decorators compile into the ambient session.
+    with Session(
+        fusion=getattr(args, "fusion", False),
+        arena=getattr(args, "arena", "per-call"),
+    ) as session:
         for name in names:
             info = get_experiment(name)
             if quiet:
@@ -167,6 +195,8 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
         markdown=None,
         cache_stats=True,
         quiet_tables=True,
+        fusion=args.fusion,
+        arena=args.arena,
     ))
 
 

@@ -22,6 +22,11 @@ def function(fn: Callable | None = None, *, aware: bool = False):
     pipeline); later calls run the cached optimized graph.  ``aware=True``
     enables the paper's recommended optimizations (chain reordering,
     property dispatch, distributivity, partial access) for ablations.
+
+    Execution-engine knobs are session-level, not decorator-level: run
+    decorated functions inside ``with repro.api.Session(fusion=True,
+    arena="preallocated"):`` to get fused kernels and allocation-free
+    preallocated buffers without changing any call site.
     """
     if fn is None:
         return lambda f: CompiledFunction(f, TF_PROFILE, aware=aware)

@@ -4,6 +4,17 @@ Each function validates operands, dispatches on dtype to the compiled
 single/double precision routine in :mod:`scipy.linalg.blas`, and returns a
 plain ndarray (or scalar).  None of the wrappers mutate their inputs unless
 explicitly documented.
+
+Destination-aware variants
+--------------------------
+:func:`add`, :func:`sub`, :func:`neg` and the ``out=`` mode of
+:func:`scal` accept a caller-provided destination buffer and write the
+result in place, so a preallocated execution arena
+(:class:`repro.runtime.plan.PlanArena`) can run elementwise kernels with
+zero allocations.  They are ufunc-backed (the elementwise substrate both
+the Interpreter and the compiled runtime lower ``+``/``-``/negate/scale
+onto), so with and without ``out=`` they produce **bit-identical** results
+— the invariant the plan/interpreter parity suite pins down.
 """
 
 from __future__ import annotations
@@ -34,13 +45,27 @@ def _routine(table: dict, dtype: np.dtype, name: str):
         raise KernelError(f"no {name} kernel for dtype {dtype}") from None
 
 
-def scal(alpha: float, x: np.ndarray, *, overwrite: bool = False) -> np.ndarray:
+def scal(
+    alpha: float,
+    x: np.ndarray,
+    *,
+    overwrite: bool = False,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """SCAL: return ``alpha * x`` (n FLOPs).
 
     With ``overwrite=True`` the input buffer is scaled in place and returned,
     saving an allocation — the mode used by the tridiagonal row-scaling
-    decomposition of Experiment 3.
+    decomposition of Experiment 3.  With ``out=`` the scaled vector is
+    written into the caller's buffer instead (``overwrite`` is then
+    meaningless and rejected); unlike the BLAS path this mode accepts
+    operands of any shape, since it lowers onto the scale ufunc.
     """
+    if out is not None:
+        if overwrite:
+            raise KernelError("scal: pass either overwrite=True or out=, not both")
+        x = as_ndarray(x, "x")
+        return np.multiply(x, x.dtype.type(alpha), out=out)
     x = require_vector(as_ndarray(x, "x"), "x")
     fn = _routine(_SCAL, x.dtype, "scal")
     if not overwrite:
@@ -48,6 +73,28 @@ def scal(alpha: float, x: np.ndarray, *, overwrite: bool = False) -> np.ndarray:
     # f2py's SCAL always scales in place (no overwrite flag); the copy
     # above protects the caller's buffer.
     return fn(x.dtype.type(alpha), x)
+
+
+def add(x: np.ndarray, y: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+    """Elementwise ``x + y`` (n FLOPs), optionally into ``out``.
+
+    Bit-identical to ``x + y``; ``out`` may alias ``x`` or ``y`` (ufunc
+    semantics: same-shape elementwise, no read-after-write hazard).
+    """
+    return np.add(x, y, out=out)
+
+
+def sub(x: np.ndarray, y: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+    """Elementwise ``x - y`` (n FLOPs), optionally into ``out``.
+
+    Bit-identical to ``x - y``; aliasing ``out`` with an operand is safe.
+    """
+    return np.subtract(x, y, out=out)
+
+
+def neg(x: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+    """Elementwise ``-x`` (n FLOPs), optionally into ``out`` (may alias ``x``)."""
+    return np.negative(x, out=out)
 
 
 def axpy(alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:

@@ -35,12 +35,19 @@ def gemv(
     *,
     alpha: float = 1.0,
     trans: bool = False,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """GEMV: return ``alpha * op(A) x`` where ``op`` is identity or transpose.
 
     Cost: 2mn FLOPs.  The ``trans`` flag lets callers compute ``Aᵀx`` without
     materializing the transpose — the trick the paper's right-to-left chain
     evaluation relies on.
+
+    ``out`` is the destination-aware mode: the result vector is written into
+    the caller's contiguous 1-D buffer (BLAS's ``y`` argument with
+    ``beta=0``, ``overwrite_y=1``) and that buffer is returned — no
+    allocation.  Results are bit-identical to the allocating path (same
+    routine, same accumulation).
     """
     a = as_ndarray(a, "a")
     x = as_ndarray(x, "x")
@@ -57,7 +64,30 @@ def gemv(
     else:
         check_matvec_shapes(a, x)
     fn = _routine(_GEMV, a.dtype, "gemv")
-    return fn(a.dtype.type(alpha), a, x, trans=1 if trans else 0)
+    if out is None:
+        return fn(a.dtype.type(alpha), a, x, trans=1 if trans else 0)
+    result_len = a.shape[1] if trans else a.shape[0]
+    if out.ndim != 1 or out.shape[0] != result_len:
+        from ..errors import ShapeError
+
+        raise ShapeError(
+            f"gemv: out has shape {out.shape}, result is ({result_len},)"
+        )
+    if out.dtype != a.dtype:
+        raise KernelError(
+            f"gemv: out dtype {out.dtype} does not match operands ({a.dtype})"
+        )
+    if not out.flags.c_contiguous:
+        raise KernelError("gemv: out must be a contiguous vector")
+    return fn(
+        a.dtype.type(alpha),
+        a,
+        x,
+        beta=a.dtype.type(0.0),
+        y=out,
+        overwrite_y=1,
+        trans=1 if trans else 0,
+    )
 
 
 def ger(x: np.ndarray, y: np.ndarray, *, alpha: float = 1.0) -> np.ndarray:

@@ -38,16 +38,29 @@ def gemm(
     b: np.ndarray,
     *,
     alpha: float = 1.0,
+    beta: float = 0.0,
+    out: np.ndarray | None = None,
     trans_a: bool = False,
     trans_b: bool = False,
 ) -> np.ndarray:
-    """GEMM: return ``alpha * op(A) op(B)`` (2mnk FLOPs).
+    """GEMM: return ``alpha * op(A) op(B) + beta * C`` (2mnk FLOPs).
 
     The transpose flags map to the BLAS ``TRANSA``/``TRANSB`` arguments, so
     ``AᵀB`` costs no explicit transpose — exactly how the paper's reference
     "MKL-C" implementation computes the Table I expressions.  The scaling
     ``alpha`` rides along for free, which is why the frameworks' CSE rewrite
-    of ``AᵀB + AᵀB`` into ``2·(AᵀB)`` has negligible overhead (Experiment 1).
+    of ``AᵀB + AᵀB`` into ``2·(AᵀB)`` has negligible overhead (Experiment 1),
+    and why the runtime's fusion pass can fold a trailing ``scale`` into the
+    product at no cost.
+
+    ``out`` is the destination-aware mode: the result is written into the
+    caller's ``C`` buffer (BLAS's own ``C`` argument, ``overwrite_c=1``) and
+    that same buffer is returned — no allocation.  The buffer must be
+    Fortran-contiguous (the layout BLAS writes; anything else would force
+    f2py to make a hidden copy, silently defeating the point), of the
+    result's exact shape and dtype.  ``beta`` defaults to 0 so ``out`` acts
+    as a pure destination; a nonzero ``beta`` accumulates into it and
+    requires ``out``.
     """
     a = require_matrix(as_ndarray(a, "a"), "a")
     b = require_matrix(as_ndarray(b, "b"), "b")
@@ -56,10 +69,37 @@ def gemm(
     op_b = b.T if trans_b else b
     check_matmul_shapes(op_a, op_b)
     fn = _routine(_GEMM, a.dtype, "gemm")
+    if out is None:
+        if beta != 0.0:
+            raise KernelError("gemm: beta != 0 accumulates into C — pass out=")
+        return fn(
+            a.dtype.type(alpha),
+            a,
+            b,
+            trans_a=1 if trans_a else 0,
+            trans_b=1 if trans_b else 0,
+        )
+    expected = (op_a.shape[0], op_b.shape[1])
+    if out.shape != expected:
+        raise ShapeError(
+            f"gemm: out has shape {out.shape}, result is {expected}"
+        )
+    if out.dtype != a.dtype:
+        raise KernelError(
+            f"gemm: out dtype {out.dtype} does not match operands ({a.dtype})"
+        )
+    if not out.flags.f_contiguous:
+        raise KernelError(
+            "gemm: out must be Fortran-contiguous (use np.empty(..., order='F')) "
+            "— any other layout forces a hidden copy"
+        )
     return fn(
         a.dtype.type(alpha),
         a,
         b,
+        beta=a.dtype.type(beta),
+        c=out,
+        overwrite_c=1,
         trans_a=1 if trans_a else 0,
         trans_b=1 if trans_b else 0,
     )

@@ -1,4 +1,4 @@
-"""Compiled execution runtime: plans, plan cache, batched execution.
+"""Compiled execution runtime: plans, plan cache, fusion, batched execution.
 
 The reference :class:`~repro.ir.interpreter.Interpreter` re-walks the
 graph on *every* call — recomputing topological order and liveness and
@@ -14,34 +14,51 @@ This package is that compile-once / execute-many layer:
 ``compiler``   ``compile_plan(graph)``: Graph → :class:`Plan` — a flat
                instruction list with the schedule, kernel selection,
                FLOP/report records and buffer liveness all resolved at
-               compile time.
-``plan``       The :class:`Plan` object and its executor.  Execution is
-               output- and report-parity with the Interpreter (verified
+               compile time.  Slot recycling is shape-aware, so every
+               slot has one static shape.
+``fusion``     Opt-in post-schedule rewrite (``compile_plan(...,
+               fusion=True)``): adjacent elementwise chains collapse into
+               single fused closures and trailing scales fold into GEMM's
+               alpha — fewer kernel launches, no materialized
+               intermediates, FLOP-total/peak-bytes-preserving reports.
+``plan``       The :class:`Plan` object and its executor, plus
+               :class:`PlanArena` — preallocated per-slot ndarray storage
+               driven through the kernels' destination-aware (``out=``)
+               variants, making repeated execution allocation-free after
+               warmup.  Execution is output- and report-parity with the
+               Interpreter in every fusion × arena combination (verified
                by ``tests/test_runtime_plans.py``).
 ``cache``      :class:`PlanCache` — signature-keyed LRU of compiled
-               plans with hit/miss/eviction stats and single-flight
-               concurrent compilation.  Caches are instance-scoped and
-               owned by :class:`repro.api.Session`; the process-wide
-               default instance survives as the default session's cache
-               (reaching it via ``default_plan_cache`` is deprecated).
+               plans (the fold/fusion knobs key separately) with
+               hit/miss/eviction stats and single-flight concurrent
+               compilation.  Caches are instance-scoped and owned by
+               :class:`repro.api.Session`; the process-wide default
+               instance survives as the default session's cache (reaching
+               it via ``default_plan_cache`` is deprecated).
 ``batch``      One plan over many feed sets, sequentially or via a
-               thread pool (BLAS kernels release the GIL).
+               thread pool (BLAS kernels release the GIL), optionally
+               through one reused arena per worker.
 """
 
-from .batch import BatchResult, execute_batch
+from .batch import ARENA_MODES, BatchResult, execute_batch
 from .cache import CacheStats, PlanCache, default_plan_cache
 from .compiler import compile_plan
-from .plan import Instruction, Plan
+from .fusion import FusionStats, fuse_instructions
+from .plan import Instruction, Plan, PlanArena
 from .signature import graph_signature
 
 __all__ = [
+    "ARENA_MODES",
     "BatchResult",
     "CacheStats",
+    "FusionStats",
     "Instruction",
     "Plan",
+    "PlanArena",
     "PlanCache",
     "compile_plan",
     "default_plan_cache",
     "execute_batch",
+    "fuse_instructions",
     "graph_signature",
 ]

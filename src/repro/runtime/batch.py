@@ -9,14 +9,26 @@ strategies:
   independent feeds genuinely overlap on multicore for kernel-bound
   workloads.
 
-Every feed set gets its own arena and its own
+Every feed set gets its own slot table and its own
 :class:`~repro.ir.interpreter.ExecutionReport`, so results and accounting
 are identical to running the plan once per feed set (order included).
+
+With ``arena="preallocated"`` the batch executes through
+:class:`~repro.runtime.plan.PlanArena` buffers — **one arena per worker**
+(one total when sequential), created lazily per thread and reused across
+every feed that worker serves, instead of materializing a fresh
+intermediate list per feed.  Outputs are copied out of the arena before
+the next feed overwrites it, so per-feed results are exactly what the
+per-call mode returns.  A feed that raises (bad shape, kernel error)
+propagates to the caller; feeds already executed are unaffected, and the
+worker arenas stay valid — every buffer is fully rewritten on the next
+execution.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import threading
 from collections.abc import Mapping, Sequence
 from concurrent.futures import ThreadPoolExecutor
 
@@ -27,6 +39,9 @@ from ..ir.interpreter import ExecutionReport
 from .plan import Plan
 
 FeedSet = Sequence[object] | Mapping[object, object]
+
+#: Arena strategies ``execute_batch`` (and ``Options.arena``) accept.
+ARENA_MODES = ("per-call", "preallocated")
 
 
 @dataclasses.dataclass
@@ -54,20 +69,38 @@ def execute_batch(
     *,
     workers: int | None = None,
     record: bool = False,
+    arena: str = "per-call",
 ) -> BatchResult:
     """Run ``plan`` over every feed set in ``feed_sets``.
 
     ``workers=None``/``0``/``1`` runs sequentially; ``workers=k`` uses a
     thread pool of ``k`` threads.  ``record`` defaults to False — serving
     workloads usually don't want per-request kernel accounting; switch it
-    on for parity checks and experiments.
+    on for parity checks and experiments.  ``arena="preallocated"``
+    executes through one reused :class:`~repro.runtime.plan.PlanArena` per
+    worker (outputs are copied out, so results match per-call mode
+    bit-for-bit).
     """
     if workers is not None and workers < 0:
         raise GraphError(f"workers must be >= 0, got {workers}")
+    if arena not in ARENA_MODES:
+        raise GraphError(f"arena must be one of {ARENA_MODES}, got {arena!r}")
     feed_sets = list(feed_sets)
 
-    def one(feeds: FeedSet) -> tuple[list[np.ndarray], ExecutionReport]:
-        return plan.execute(feeds, record=record)
+    if arena == "preallocated":
+        worker_state = threading.local()
+
+        def one(feeds: FeedSet) -> tuple[list[np.ndarray], ExecutionReport]:
+            worker_arena = getattr(worker_state, "arena", None)
+            if worker_arena is None:
+                worker_arena = worker_state.arena = plan.new_arena()
+            outs, rep = plan.execute(feeds, record=record, arena=worker_arena)
+            # Detach from arena storage: the next feed through this worker
+            # rewrites the buffers the outputs alias.
+            return [out.copy() for out in outs], rep
+    else:
+        def one(feeds: FeedSet) -> tuple[list[np.ndarray], ExecutionReport]:
+            return plan.execute(feeds, record=record)
 
     if workers in (None, 0, 1) or len(feed_sets) <= 1:
         results = [one(feeds) for feeds in feed_sets]

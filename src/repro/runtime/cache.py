@@ -71,20 +71,33 @@ class PlanCache:
         #: clear cache.
         self._epoch = 0
 
-    def get(self, graph: Graph, *, fold_constants: bool = False) -> Plan:
+    def get(
+        self,
+        graph: Graph,
+        *,
+        fold_constants: bool = False,
+        fusion: bool = False,
+    ) -> Plan:
         """The compiled plan for ``graph`` — compiles on miss.
 
-        ``fold_constants`` takes part in the key: a folded and an unfolded
-        plan of the same graph execute different instruction sequences.
+        ``fold_constants`` and ``fusion`` take part in the key: a folded
+        (or fused) and a plain plan of the same graph execute different
+        instruction sequences.
 
         Concurrent misses on one key compile exactly once (single-flight);
         ``stats.misses`` counts compile-triggering lookups, so it equals
         the number of compiles performed.
         """
-        return self.get_with_info(graph, fold_constants=fold_constants)[0]
+        return self.get_with_info(
+            graph, fold_constants=fold_constants, fusion=fusion
+        )[0]
 
     def get_with_info(
-        self, graph: Graph, *, fold_constants: bool = False
+        self,
+        graph: Graph,
+        *,
+        fold_constants: bool = False,
+        fusion: bool = False,
     ) -> tuple[Plan, bool]:
         """Like :meth:`get`, also reporting whether *this call* compiled.
 
@@ -92,7 +105,7 @@ class PlanCache:
         thread that waited on another thread's in-flight compile receives
         ``(plan, False)`` — only the single-flight leader gets ``True``.
         """
-        key = (graph_signature(graph), fold_constants)
+        key = (graph_signature(graph), fold_constants, fusion)
         leader_epoch = [0]
 
         def probe() -> Plan | None:
@@ -109,7 +122,9 @@ class PlanCache:
         def build() -> Plan:
             # Compile outside the lock: compilation can be slow and must
             # not serialize concurrent lookups of other graphs.
-            return compile_plan(graph, fold_constants=fold_constants)
+            return compile_plan(
+                graph, fold_constants=fold_constants, fusion=fusion
+            )
 
         def publish(plan: Plan) -> None:
             if self._epoch != leader_epoch[0]:
@@ -121,10 +136,16 @@ class PlanCache:
 
         return self._flight.run(key, probe, build, publish, on_leader)
 
-    def contains(self, graph: Graph, *, fold_constants: bool = False) -> bool:
+    def contains(
+        self,
+        graph: Graph,
+        *,
+        fold_constants: bool = False,
+        fusion: bool = False,
+    ) -> bool:
         """Whether a plan for ``graph`` is cached (does not touch LRU order)."""
         with self._lock:
-            return (graph_signature(graph), fold_constants) in self._plans
+            return (graph_signature(graph), fold_constants, fusion) in self._plans
 
     def clear(self) -> None:
         """Drop every plan and reset the counters.

@@ -11,11 +11,22 @@ call:
   instruction carries a closure that calls the chosen BLAS kernel
   directly, plus the pre-built :class:`KernelCall` records (dims and
   FLOPs are static, so the modelled-cost accounting costs nothing at
-  execution time).
-* **Buffer table** — liveness analysis assigns every value an arena slot;
-  slots of dead temporaries are recycled (inputs, constants and graph
-  outputs stay live for the whole run, matching the interpreter's memory
-  model), so the arena is as small as the peak working set.
+  execution time).  Ops with a destination-aware kernel variant
+  additionally carry an ``fn_out`` closure writing into a caller-provided
+  buffer — the hook :class:`~repro.runtime.plan.PlanArena` execution uses
+  to stay allocation-free.
+* **Buffer table** — liveness analysis assigns every value a slot; slots
+  of dead temporaries are recycled *shape-aware* (a slot only ever holds
+  values of one shape — what lets an arena back each slot with a single
+  preallocated buffer; inputs, constants and graph outputs stay live for
+  the whole run, matching the interpreter's memory model).
+* **Fusion** (opt-in, ``fusion=True``) — a post-schedule pass over the
+  finished instruction stream (:mod:`repro.runtime.fusion`): adjacent
+  single-consumer elementwise chains collapse into one fused closure, and
+  a ``scale``/``neg`` trailing a dense GEMM folds into the GEMM's alpha.
+  Outputs stay bit-identical; reports keep FLOP totals and peak bytes,
+  with fused sites represented as combined kernel-call records (the
+  parity contract in :mod:`repro.runtime.plan`).
 * **Constant preloading** — ``const`` payloads are captured into the
   instruction at compile time; with ``fold_constants=True`` the
   :class:`~repro.passes.constant_folding.ConstantFolding` pass
@@ -30,7 +41,9 @@ workload and compares outputs bit-for-bit and reports field-for-field.
 
 from __future__ import annotations
 
+import dataclasses
 import time
+from collections.abc import Callable
 
 import numpy as np
 
@@ -40,7 +53,7 @@ from ..ir.interpreter import KernelCall
 from ..ir.node import Node
 from ..kernels import blas1, blas2, blas3, special
 from ..kernels.flops import kernel_flops
-from .plan import Instruction, Plan, PlanInput
+from .plan import ExecFn, Instruction, OutFn, Plan, PlanInput
 from .signature import graph_signature
 
 
@@ -52,73 +65,135 @@ def _call_free(kernel: str, node_op: str) -> KernelCall:
     return KernelCall(kernel, (), 0, node_op)
 
 
+@dataclasses.dataclass(frozen=True)
+class _Op:
+    """What one ``_compile_*`` hands back to the scheduling loop."""
+
+    fn: ExecFn
+    calls: tuple[KernelCall, ...]
+    fn_out: OutFn | None = None
+    kind: str | None = None
+    params: tuple = ()
+
+
 # -- per-op compilation -------------------------------------------------------
 #
-# Each _compile_* returns (fn, calls): the executor closure and the static
+# Each _compile_* returns an _Op: the executor closure(s) and the static
 # kernel-call records appended per execution.
 
 
-def _compile_const(node: Node):
+def _compile_const(node: Node) -> _Op:
     value = node.attrs["value"]
 
     def run(args, report, record):
         return value
 
-    return run, ()
+    return _Op(run, (), kind="const")
 
 
-def _compile_transpose(node: Node):
+def _compile_transpose(node: Node) -> _Op:
     def run(args, report, record):
         return np.ascontiguousarray(args[0].T)
 
-    return run, (_call("transpose", node.inputs[0].shape, node.op),)
+    def run_out(args, out):
+        np.copyto(out, args[0].T)
+        return out
+
+    return _Op(run, (_call("transpose", node.inputs[0].shape, node.op),), run_out)
 
 
-def _compile_add(node: Node):
+def _compile_add(node: Node) -> _Op:
     def run(args, report, record):
         return args[0] + args[1]
 
-    return run, (_call("add", node.inputs[0].shape, node.op),)
+    def run_out(args, out):
+        return blas1.add(args[0], args[1], out=out)
+
+    return _Op(
+        run,
+        (_call("add", node.inputs[0].shape, node.op),),
+        run_out,
+        kind="ew",
+        params=("add",),
+    )
 
 
-def _compile_sub(node: Node):
+def _compile_sub(node: Node) -> _Op:
     def run(args, report, record):
         return args[0] - args[1]
 
-    return run, (_call("sub", node.inputs[0].shape, node.op),)
+    def run_out(args, out):
+        return blas1.sub(args[0], args[1], out=out)
+
+    return _Op(
+        run,
+        (_call("sub", node.inputs[0].shape, node.op),),
+        run_out,
+        kind="ew",
+        params=("sub",),
+    )
 
 
-def _compile_neg(node: Node):
+def _compile_neg(node: Node) -> _Op:
     def run(args, report, record):
         return -args[0]
 
-    return run, (_call("scale", node.inputs[0].shape, node.op),)
+    def run_out(args, out):
+        return blas1.neg(args[0], out=out)
+
+    return _Op(
+        run,
+        (_call("scale", node.inputs[0].shape, node.op),),
+        run_out,
+        kind="ew",
+        params=("neg",),
+    )
 
 
-def _compile_scale(node: Node):
+def _compile_scale(node: Node) -> _Op:
     alpha = node.attrs["alpha"]
 
     def run(args, report, record):
         a = args[0]
         return a * a.dtype.type(alpha)
 
-    return run, (_call("scale", node.inputs[0].shape, node.op),)
+    def run_out(args, out):
+        return blas1.scal(alpha, args[0], out=out)
+
+    return _Op(
+        run,
+        (_call("scale", node.inputs[0].shape, node.op),),
+        run_out,
+        kind="ew",
+        params=("scale", alpha),
+    )
 
 
-def _compile_dot(node: Node):
-    a_shape = node.inputs[0].shape
-    length = a_shape[0] * a_shape[1]
-
+def _dot_fns(length_hint: int) -> tuple[ExecFn, OutFn]:
     def run(args, report, record):
         a, b = args
         av = np.ascontiguousarray(a).ravel()
         bv = np.ascontiguousarray(b).ravel()
         return np.array([[blas1.dot(av, bv)]], dtype=a.dtype)
 
-    return run, (_call("dot", (length,), node.op),)
+    def run_out(args, out):
+        a, b = args
+        av = np.ascontiguousarray(a).ravel()
+        bv = np.ascontiguousarray(b).ravel()
+        out[0, 0] = blas1.dot(av, bv)
+        return out
+
+    return run, run_out
 
 
-def _compile_slice(node: Node):
+def _compile_dot(node: Node) -> _Op:
+    a_shape = node.inputs[0].shape
+    length = a_shape[0] * a_shape[1]
+    run, run_out = _dot_fns(length)
+    return _Op(run, (_call("dot", (length,), node.op),), run_out)
+
+
+def _compile_slice(node: Node) -> _Op:
     sel = []
     for key in ("rows", "cols"):
         s = node.attrs.get(key)
@@ -133,31 +208,39 @@ def _compile_slice(node: Node):
     def run(args, report, record):
         return np.ascontiguousarray(args[0][sel])
 
-    return run, (_call_free("slice", node.op),)
+    def run_out(args, out):
+        np.copyto(out, args[0][sel])
+        return out
+
+    return _Op(run, (_call_free("slice", node.op),), run_out)
 
 
-def _compile_concat(node: Node):
+def _compile_concat(node: Node) -> _Op:
     axis = node.attrs.get("axis", 0)
 
     def run(args, report, record):
         return np.concatenate(args, axis=axis)
 
-    return run, (_call_free("concat", node.op),)
+    def run_out(args, out):
+        np.concatenate(args, axis=axis, out=out)
+        return out
+
+    return _Op(run, (_call_free("concat", node.op),), run_out)
 
 
-def _compile_tridiagonal_matmul(node: Node):
+def _compile_tridiagonal_matmul(node: Node) -> _Op:
     t, b = node.inputs
 
     def run(args, report, record):
         return special.tridiagonal_matmul(args[0], args[1])
 
-    return run, (_call("tridiagonal_matmul", (t.shape[0], b.shape[1]), node.op),)
+    return _Op(run, (_call("tridiagonal_matmul", (t.shape[0], b.shape[1]), node.op),))
 
 
-def _compile_loop(node: Node):
+def _compile_loop(node: Node, fusion: bool) -> _Op:
     body: Graph = node.attrs["body"]
     trip: int = node.attrs["trip_count"]
-    sub_plan = compile_plan(body)
+    sub_plan = compile_plan(body, fusion=fusion)
 
     def run(args, report, record):
         carried = args[0]
@@ -170,10 +253,50 @@ def _compile_loop(node: Node):
             carried = outs[0]
         return carried
 
-    return run, ()
+    return _Op(run, ())
 
 
-def _compile_matmul(node: Node):
+def make_gemm_fns(
+    trans_a: bool, trans_b: bool, alpha: float = 1.0
+) -> tuple[ExecFn, OutFn]:
+    """Executor pair for a dense GEMM with folded ``alpha``.
+
+    Shared with the fusion pass, which rebuilds GEMM closures when it
+    folds a trailing ``scale``/``neg`` into the product.  The
+    destination-aware closure calls the dtype-dispatched f2py routine
+    directly: shapes and flags were validated at compile time, the arena
+    guarantees an F-contiguous destination, and the per-call wrapper
+    checks are exactly the dispatch overhead a compiled plan exists to
+    remove.  Same routine, same bits as :func:`repro.kernels.blas3.gemm`.
+    """
+    ta = 1 if trans_a else 0
+    tb = 1 if trans_b else 0
+    routines = blas3._GEMM
+
+    def run(args, report, record):
+        return blas3.gemm(
+            args[0], args[1], alpha=alpha, trans_a=trans_a, trans_b=trans_b
+        )
+
+    def run_out(args, out):
+        a, b = args
+        dtype = a.dtype
+        routine = routines.get(dtype)
+        if routine is None:
+            # Non-BLAS dtype (e.g. integer feeds): take the validating
+            # wrapper, which coerces or raises exactly like per-call
+            # mode.  The result bypasses the (wrong-dtype) arena buffer —
+            # the executor stores whatever fn_out returns.
+            return run(args, None, False)
+        return routine(
+            dtype.type(alpha), a, b, beta=0.0, c=out, overwrite_c=1,
+            trans_a=ta, trans_b=tb,
+        )
+
+    return run, run_out
+
+
+def _compile_matmul(node: Node) -> _Op:
     a_node, b_node = node.inputs
     trans_a = bool(node.attrs.get("trans_a"))
     trans_b = bool(node.attrs.get("trans_b"))
@@ -187,35 +310,54 @@ def _compile_matmul(node: Node):
     _, n = b_eff
 
     if m == 1 and n == 1 and k > 1:
-        def run(args, report, record):
-            a, b = args
-            av = np.ascontiguousarray(a).ravel()
-            bv = np.ascontiguousarray(b).ravel()
-            return np.array([[blas1.dot(av, bv)]], dtype=a.dtype)
-
-        return run, (_call("dot", (k,), node.op),)
+        run, run_out = _dot_fns(k)
+        return _Op(run, (_call("dot", (k,), node.op),), run_out)
     if n == 1 and m > 1:
         def run(args, report, record):
             a, b = args
             x = np.ascontiguousarray(b).ravel()
             return blas2.gemv(a, x, trans=trans_a).reshape(-1, 1)
 
-        return run, (_call("gemv", (a_node.shape[0], a_node.shape[1]), node.op),)
+        def run_out(args, out):
+            a, b = args
+            x = np.ascontiguousarray(b).ravel()
+            blas2.gemv(a, x, trans=trans_a, out=out.reshape(-1))
+            return out
+
+        return _Op(
+            run, (_call("gemv", (a_node.shape[0], a_node.shape[1]), node.op),),
+            run_out,
+        )
     if m == 1 and n > 1:
         def run(args, report, record):
             a, b = args
             x = np.ascontiguousarray(a).ravel()
             return blas2.gemv(b, x, trans=not trans_b).reshape(1, -1)
 
-        return run, (_call("gemv", (b_node.shape[0], b_node.shape[1]), node.op),)
+        def run_out(args, out):
+            a, b = args
+            x = np.ascontiguousarray(a).ravel()
+            blas2.gemv(b, x, trans=not trans_b, out=out.reshape(-1))
+            return out
 
-    def run(args, report, record):
-        return blas3.gemm(args[0], args[1], trans_a=trans_a, trans_b=trans_b)
+        return _Op(
+            run, (_call("gemv", (b_node.shape[0], b_node.shape[1]), node.op),),
+            run_out,
+        )
 
-    return run, (_call("gemm", (m, k, n), node.op),)
+    run, run_out = make_gemm_fns(trans_a, trans_b)
+    return _Op(
+        run,
+        (_call("gemm", (m, k, n), node.op),),
+        run_out,
+        kind="gemm",
+        params=(trans_a, trans_b, 1.0),
+    )
 
 
-def _compile_structured_matmul(node: Node, trans_a: bool, trans_b: bool, hint: str):
+def _compile_structured_matmul(
+    node: Node, trans_a: bool, trans_b: bool, hint: str
+) -> _Op:
     """Compile a matmul carrying a property-dispatch kernel hint."""
     a_node, b_node = node.inputs
     opts = dict(node.attrs.get("kernel_opts", ()))
@@ -234,27 +376,39 @@ def _compile_structured_matmul(node: Node, trans_a: bool, trans_b: bool, hint: s
         def run(args, report, record):
             return np.zeros((m, n), dtype=args[0].dtype)
 
-        return run, (_call_free("zero", node.op),)
+        def run_out(args, out):
+            out.fill(0.0)
+            return out
+
+        return _Op(run, (_call_free("zero", node.op),), run_out)
     if hint == "identity":
         def run(args, report, record):
             return eff(args)[1].copy()
 
-        return run, (_call_free("identity", node.op),)
+        def run_out(args, out):
+            np.copyto(out, args[1].T if trans_b else args[1])
+            return out
+
+        return _Op(run, (_call_free("identity", node.op),), run_out)
     if hint == "identity_right":
         def run(args, report, record):
             return eff(args)[0].copy()
 
-        return run, (_call_free("identity", node.op),)
+        def run_out(args, out):
+            np.copyto(out, args[0].T if trans_a else args[0])
+            return out
+
+        return _Op(run, (_call_free("identity", node.op),), run_out)
     if hint == "diag_matmul":
         def run(args, report, record):
             return special.diag_matmul(*eff(args))
 
-        return run, (_call("diag_matmul", (k, n), node.op),)
+        return _Op(run, (_call("diag_matmul", (k, n), node.op),))
     if hint == "tridiagonal_matmul":
         def run(args, report, record):
             return special.tridiagonal_matmul(*eff(args))
 
-        return run, (_call("tridiagonal_matmul", (k, n), node.op),)
+        return _Op(run, (_call("tridiagonal_matmul", (k, n), node.op),))
     if hint == "trmm":
         lower = opts.get("lower", True)
 
@@ -262,7 +416,7 @@ def _compile_structured_matmul(node: Node, trans_a: bool, trans_b: bool, hint: s
             a_eff, b_eff = eff(args)
             return blas3.trmm(a_eff, b_eff, lower=lower)
 
-        return run, (_call("trmm", (m, n), node.op),)
+        return _Op(run, (_call("trmm", (m, n), node.op),))
     if hint == "trmm_right":
         lower = opts.get("lower", True)
 
@@ -270,12 +424,12 @@ def _compile_structured_matmul(node: Node, trans_a: bool, trans_b: bool, hint: s
             a_eff, b_eff = eff(args)
             return blas3.trmm(b_eff, a_eff, side_left=False, lower=lower)
 
-        return run, (_call("trmm", (n, m), node.op),)
+        return _Op(run, (_call("trmm", (n, m), node.op),))
     if hint == "symm":
         def run(args, report, record):
             return blas3.symm(*eff(args))
 
-        return run, (_call("symm", (m, n), node.op),)
+        return _Op(run, (_call("symm", (m, n), node.op),))
     if hint == "syrk":
         if trans_b == trans_a:
             raise KernelError("syrk hint requires exactly one transpose flag")
@@ -284,11 +438,11 @@ def _compile_structured_matmul(node: Node, trans_a: bool, trans_b: bool, hint: s
         def run(args, report, record):
             return blas3.syrk(args[0], trans=trans)
 
-        return run, (_call("syrk", (m, k), node.op),)
+        return _Op(run, (_call("syrk", (m, k), node.op),))
     raise KernelError(f"unknown matmul kernel hint {hint!r}")
 
 
-_COMPILERS = {
+_COMPILERS: dict[str, Callable[[Node], _Op]] = {
     "const": _compile_const,
     "transpose": _compile_transpose,
     "add": _compile_add,
@@ -299,7 +453,6 @@ _COMPILERS = {
     "slice": _compile_slice,
     "concat": _compile_concat,
     "tridiagonal_matmul": _compile_tridiagonal_matmul,
-    "loop": _compile_loop,
     "matmul": _compile_matmul,
 }
 
@@ -307,8 +460,15 @@ _COMPILERS = {
 # -- the compiler proper ------------------------------------------------------
 
 
-def compile_plan(graph: Graph, *, fold_constants: bool = False) -> Plan:
-    """Compile ``graph`` into an executable :class:`Plan`."""
+def compile_plan(
+    graph: Graph, *, fold_constants: bool = False, fusion: bool = False
+) -> Plan:
+    """Compile ``graph`` into an executable :class:`Plan`.
+
+    ``fusion=True`` runs the post-schedule fusion stage (see
+    :mod:`repro.runtime.fusion`): elementwise chains collapse into single
+    fused instructions and trailing scales fold into GEMM's alpha.
+    """
     start = time.perf_counter()
     signature = graph_signature(graph)
     if fold_constants:
@@ -325,14 +485,16 @@ def compile_plan(graph: Graph, *, fold_constants: bool = False) -> Plan:
         last_use[id(out)] = len(order)  # outputs stay live
 
     # Slot assignment: inputs first (positional feed order), then one slot
-    # per executed node, recycling slots of dead temporaries.
+    # per executed node.  Recycling is shape-aware — a dead temporary's
+    # slot is only reused for a value of the same shape, so every slot has
+    # exactly one static shape and an arena can back it with one buffer.
     slot_of: dict[int, int] = {}
     inputs: list[PlanInput] = []
     for i, node in enumerate(graph.inputs):
         slot_of[id(node)] = i
         inputs.append(PlanInput(node.name, node.shape, i))
     num_slots = len(inputs)
-    free_pool: list[int] = []
+    free_pool: dict[tuple, list[int]] = {}
 
     instructions: list[Instruction] = []
     for idx, node in enumerate(order):
@@ -340,12 +502,16 @@ def compile_plan(graph: Graph, *, fold_constants: bool = False) -> Plan:
             if id(node) not in slot_of:
                 raise GraphError(f"reachable input {node.name!r} not declared")
             continue
-        compiler = _COMPILERS.get(node.op)
-        if compiler is None:
-            raise GraphError(f"runtime has no compiler for op {node.op!r}")
-        fn, calls = compiler(node)
-        if free_pool:
-            out_slot = free_pool.pop()
+        if node.op == "loop":
+            op = _compile_loop(node, fusion)
+        else:
+            compiler = _COMPILERS.get(node.op)
+            if compiler is None:
+                raise GraphError(f"runtime has no compiler for op {node.op!r}")
+            op = compiler(node)
+        pool = free_pool.get(node.shape)
+        if pool:
+            out_slot = pool.pop()
         else:
             out_slot = num_slots
             num_slots += 1
@@ -358,18 +524,29 @@ def compile_plan(graph: Graph, *, fold_constants: bool = False) -> Plan:
             seen.add(id(inp))
             if last_use.get(id(inp)) == idx and inp.op not in ("input", "const"):
                 frees.append(slot_of[id(inp)])
-        free_pool.extend(frees)
+                free_pool.setdefault(inp.shape, []).append(slot_of[id(inp)])
         instructions.append(
             Instruction(
                 out_slot=out_slot,
                 arg_slots=tuple(slot_of[id(i)] for i in node.inputs),
-                fn=fn,
-                calls=tuple(calls),
+                fn=op.fn,
+                calls=op.calls,
                 free_slots=tuple(frees),
                 op=node.op,
                 label=node.name,
+                out_shape=node.shape,
+                fn_out=op.fn_out,
+                kind=op.kind,
+                params=op.params,
             )
         )
+
+    fusion_stats = None
+    if fusion:
+        from .fusion import fuse_instructions
+
+        instructions, fusion_stats = fuse_instructions(tuple(instructions), inputs)
+        instructions = list(instructions)
 
     return Plan(
         instructions=tuple(instructions),
@@ -378,4 +555,5 @@ def compile_plan(graph: Graph, *, fold_constants: bool = False) -> Plan:
         num_slots=num_slots,
         signature=signature,
         compile_seconds=time.perf_counter() - start,
+        fusion_stats=fusion_stats,
     )

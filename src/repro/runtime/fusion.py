@@ -1,0 +1,376 @@
+"""Post-schedule kernel fusion: rewrite a plan's instruction stream.
+
+The compiler sees the whole schedule, so it can do what per-node eager
+dispatch never can: collapse launch-bound sequences into single fused
+instructions.  Two rewrites, both applied to the *finished* instruction
+list (slots, liveness and kernel selection already resolved):
+
+1. **GEMM alpha folding** — a ``scale`` (or ``neg``) whose sole operand
+   is the immediately preceding dense GEMM's result, and which is that
+   result's only consumer, folds into the GEMM's ``alpha`` argument: the
+   BLAS call computes ``alpha * op(A) op(B)`` for free.  At most **one**
+   factor folds per GEMM: BLAS applies ``alpha`` once after the dot-
+   product accumulation, exactly like one elementwise post-scale, so a
+   single fold is bit-identical — but combining two trailing scales into
+   one premultiplied ``alpha`` would replace two rounded multiplies with
+   one and drift a ULP.  Further trailing scales stay elementwise (and
+   may still fuse with each other via rewrite 2).
+2. **Elementwise chain fusion** — a maximal run of adjacent
+   add/sub/neg/scale instructions, each the single consumer of its
+   predecessor's value, collapses into one fused closure: the first step
+   materializes one array (or writes straight into the arena slot), every
+   later step runs in place on it.  Intermediates are never materialized.
+
+Parity contract (verified case-by-case by the runtime parity suite):
+
+* **Outputs** are bit-identical to the unfused plan and the Interpreter —
+  elementwise in-place ufuncs compute the same values, and BLAS applies
+  ``alpha`` after the dot-product accumulation, exactly like a separate
+  scale pass over the result.
+* **Reports**: a fused site contributes **one** combined
+  :class:`~repro.ir.interpreter.KernelCall` — ``kernel`` is
+  ``"fused(<member>+<member>+...)"``, ``flops`` the members' sum, ``dims``
+  the site's result shape, ``node_op`` ``"fused"`` — so total FLOPs are
+  preserved while the call list shortens.  Peak/live bytes are preserved
+  exactly: each fused instruction carries the members' original
+  alloc/free sequence (:attr:`~repro.runtime.plan.Instruction.fused_events`,
+  signed element counts) which the executor replays against the report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from ..ir.interpreter import KernelCall
+from .plan import Instruction, PlanInput
+
+
+@dataclasses.dataclass(frozen=True)
+class FusionStats:
+    """What the fusion stage did to one plan."""
+
+    ew_chains: int
+    ew_ops_fused: int
+    gemm_folds: int
+    instructions_before: int
+    instructions_after: int
+
+    @property
+    def sites(self) -> int:
+        """Fused sites in the plan (chains + alpha folds)."""
+        return self.ew_chains + self.gemm_folds
+
+    def describe(self) -> str:
+        return (
+            f"fusion: {self.ew_chains} ew chains ({self.ew_ops_fused} ops), "
+            f"{self.gemm_folds} gemm alpha-folds"
+        )
+
+
+def _elems(shape: tuple[int, ...]) -> int:
+    return math.prod(shape) if shape else 1
+
+
+def _default_events(
+    inst: Instruction, shape_of
+) -> tuple[int, ...]:
+    """The interpreter's alloc/free sequence for one unfused instruction,
+    as signed element counts (alloc result, then free dead operands)."""
+    ev = [_elems(inst.out_shape)]
+    ev.extend(-_elems(shape_of(s)) for s in inst.free_slots)
+    return tuple(ev)
+
+
+def _combined_call(
+    members: str, dims: tuple[int, ...], flops: int
+) -> KernelCall:
+    return KernelCall(f"fused({members})", dims, flops, "fused")
+
+
+# -- GEMM alpha folding -------------------------------------------------------
+
+
+def _fold_gemm(
+    gemm: Instruction, ew: Instruction, shape_of
+) -> Instruction:
+    """Merge an (unfused) ``gemm`` and the trailing ``scale``/``neg``
+    ``ew`` into one GEMM instruction with the factor folded into alpha."""
+    from .compiler import make_gemm_fns  # deferred: compiler imports this module
+
+    trans_a, trans_b, alpha = gemm.params
+    factor = ew.params[1] if ew.params[0] == "scale" else -1.0
+    new_alpha = alpha * factor
+    fn, fn_out = make_gemm_fns(trans_a, trans_b, new_alpha)
+    scratch = None
+    if ew.out_slot in gemm.arg_slots:
+        # The ew result reuses an operand's slot, and BLAS forbids C
+        # aliasing A/B.  The GEMM's own (now dead) intermediate slot is
+        # disjoint from every operand by construction — stage the product
+        # there and copy it home.  Still allocation-free under an arena.
+        scratch = gemm.out_slot
+        direct = fn_out
+
+        def fn_out(args, out, staging):
+            np.copyto(out, direct(args, staging))
+            return out
+
+    events = _default_events(gemm, shape_of) + (
+        _elems(ew.out_shape), -_elems(gemm.out_shape),
+    )
+    flops = gemm.calls[0].flops + ew.calls[0].flops
+    members = f"{gemm.calls[0].kernel}+{ew.calls[0].kernel}"
+    return Instruction(
+        out_slot=ew.out_slot,
+        arg_slots=gemm.arg_slots,
+        fn=fn,
+        calls=(_combined_call(members, ew.out_shape, flops),),
+        # The merged site frees what the GEMM freed — except when the ew
+        # result recycled one of those very slots: clearing it after the
+        # write would null the result (the overwrite *is* the recycling).
+        free_slots=tuple(s for s in gemm.free_slots if s != ew.out_slot),
+        op=gemm.op,
+        label=ew.label,
+        out_shape=ew.out_shape,
+        fn_out=fn_out,
+        kind="gemm",
+        params=(trans_a, trans_b, new_alpha),
+        fused_events=events,
+        scratch=scratch,
+    )
+
+
+# -- elementwise chain fusion -------------------------------------------------
+
+#: Selector code meaning "the previous step's value".
+_PREV = -1
+
+
+def _first_step(op: str, sel: tuple[int, ...], alpha: float):
+    """Step 0 executors: ``(args) -> fresh ndarray`` and
+    ``(args, out) -> out``."""
+    if op == "add":
+        i, j = sel
+        return (lambda args: args[i] + args[j],
+                lambda args, out: np.add(args[i], args[j], out=out))
+    if op == "sub":
+        i, j = sel
+        return (lambda args: args[i] - args[j],
+                lambda args, out: np.subtract(args[i], args[j], out=out))
+    if op == "neg":
+        (i,) = sel
+        return (lambda args: -args[i],
+                lambda args, out: np.negative(args[i], out=out))
+    (i,) = sel  # scale
+    return (
+        lambda args: args[i] * args[i].dtype.type(alpha),
+        lambda args, out: np.multiply(args[i], args[i].dtype.type(alpha), out=out),
+    )
+
+
+def _chain_step(op: str, sel: tuple[int, ...], alpha: float):
+    """Step t>0 executors: ``(val, args) -> val`` computing in place on the
+    running value (bit-identical to the out-of-place op: same ufunc,
+    same-shape elementwise, so aliasing the destination is safe)."""
+    if op == "neg":
+        return lambda val, args: np.negative(val, out=val)
+    if op == "scale":
+        return lambda val, args: np.multiply(val, val.dtype.type(alpha), out=val)
+    ufunc = np.add if op == "add" else np.subtract
+    i, j = sel
+    if i == _PREV and j == _PREV:
+        return lambda val, args: ufunc(val, val, out=val)
+    if i == _PREV:
+        return lambda val, args: ufunc(val, args[j], out=val)
+    return lambda val, args: ufunc(args[i], val, out=val)
+
+
+def _fuse_chain(group: list[Instruction], shape_of) -> Instruction:
+    """Collapse a linear elementwise chain into one fused instruction."""
+    intermediates = {g.out_slot for g in group[:-1]}
+    ext_slots: list[int] = []
+    ext_index: dict[int, int] = {}
+    steps: list[tuple[str, tuple[int, ...], float]] = []
+    for t, g in enumerate(group):
+        prev_slot = group[t - 1].out_slot if t > 0 else None
+        sel = []
+        for s in g.arg_slots:
+            if t > 0 and s == prev_slot:
+                sel.append(_PREV)
+            else:
+                if s not in ext_index:
+                    ext_index[s] = len(ext_slots)
+                    ext_slots.append(s)
+                sel.append(ext_index[s])
+        op, *rest = g.params
+        steps.append((op, tuple(sel), rest[0] if rest else 0.0))
+
+    first, first_out = _first_step(*steps[0])
+    rest_steps = tuple(_chain_step(*st) for st in steps[1:])
+
+    def run(args, report, record):
+        val = first(args)
+        for step in rest_steps:
+            val = step(val, args)
+        return val
+
+    out_slot = group[-1].out_slot
+    # Destination aliasing: out_slot may recycle an external operand's
+    # slot.  Writing into it at step 0 is still safe if that operand is
+    # only *read at step 0* (same-shape elementwise ufuncs tolerate
+    # out-aliasing an input); it clobbers a value still needed if the
+    # operand is read at any later step.
+    read_after_step0 = {
+        ext_slots[code]
+        for _, sel, _ in steps[1:]
+        for code in sel
+        if code != _PREV
+    }
+    scratch = None
+    if out_slot in read_after_step0:
+        # Stage the chain in the first member's (dead, provably
+        # alias-free) intermediate slot, then copy home — the arena path
+        # stays allocation-free.
+        scratch = group[0].out_slot
+
+        def run_out(args, out, staging):
+            first_out(args, staging)
+            for step in rest_steps:
+                step(staging, args)
+            np.copyto(out, staging)
+            return out
+    else:
+        def run_out(args, out):
+            first_out(args, out)
+            for step in rest_steps:
+                step(out, args)
+            return out
+
+    # Replay events and accounting: the members' original protocol, with
+    # group-internal shapes resolved against the group itself (a member
+    # may free an earlier member's value before the global map knows it).
+    local: dict[int, tuple[int, ...]] = {}
+
+    def local_shape(s: int) -> tuple[int, ...]:
+        return local[s] if s in local else shape_of(s)
+
+    events: list[int] = []
+    for g in group:
+        events.extend(_default_events(g, local_shape))
+        local[g.out_slot] = g.out_shape
+
+    members = "+".join(g.calls[0].kernel for g in group)
+    flops = sum(g.calls[0].flops for g in group)
+    # External slots the chain kills — minus the chain's own intermediates
+    # (never materialized) and minus the destination slot (a freed operand
+    # slot the last member recycled: clearing it post-write would null the
+    # result; the overwrite is the recycling).
+    free_slots = tuple(
+        s
+        for g in group
+        for s in g.free_slots
+        if s not in intermediates and s != out_slot
+    )
+    return Instruction(
+        out_slot=out_slot,
+        arg_slots=tuple(ext_slots),
+        fn=run,
+        calls=(_combined_call(members, group[-1].out_shape, flops),),
+        free_slots=free_slots,
+        op="fused",
+        label=group[-1].label,
+        out_shape=group[-1].out_shape,
+        fn_out=run_out,
+        fused_events=tuple(events),
+        scratch=scratch,
+    )
+
+
+# -- the pass -----------------------------------------------------------------
+
+
+def fuse_instructions(
+    instructions: tuple[Instruction, ...], inputs: list[PlanInput]
+) -> tuple[tuple[Instruction, ...], FusionStats]:
+    """Run both fusion rewrites over ``instructions``; returns the fused
+    stream and a :class:`FusionStats` summary."""
+    before = len(instructions)
+    slot_shape: dict[int, tuple[int, ...]] = {p.slot: p.shape for p in inputs}
+
+    def shape_of(slot: int) -> tuple[int, ...]:
+        return slot_shape[slot]
+
+    # Pass 1 — GEMM alpha folds.  One fold per GEMM, never a cascade:
+    # a second factor premultiplied into alpha would merge two rounded
+    # multiplies into one and break bit-identity with the interpreter
+    # (the ``fused_events is None`` guard is what stops re-folding).
+    insts = list(instructions)
+    gemm_folds = 0
+    idx = 0
+    while idx < len(insts):
+        inst = insts[idx]
+        nxt = insts[idx + 1] if idx + 1 < len(insts) else None
+        if (
+            inst.kind == "gemm"
+            and inst.fused_events is None
+            and nxt is not None
+            and nxt.kind == "ew"
+            and nxt.params[0] in ("scale", "neg")
+            and nxt.arg_slots == (inst.out_slot,)
+            and inst.out_slot in nxt.free_slots
+        ):
+            insts[idx:idx + 2] = [_fold_gemm(inst, nxt, shape_of)]
+            gemm_folds += 1
+            continue  # re-examine: the guard stops a second fold
+        slot_shape[inst.out_slot] = inst.out_shape
+        idx += 1
+
+    # Pass 2 — elementwise chains.
+    slot_shape = {p.slot: p.shape for p in inputs}
+    fused: list[Instruction] = []
+    ew_chains = 0
+    ew_ops_fused = 0
+    i = 0
+    while i < len(insts):
+        inst = insts[i]
+        if inst.kind != "ew":
+            fused.append(inst)
+            slot_shape[inst.out_slot] = inst.out_shape
+            i += 1
+            continue
+        group = [inst]
+        j = i + 1
+        while j < len(insts):
+            nxt = insts[j]
+            prev = group[-1]
+            if (
+                nxt.kind == "ew"
+                and prev.out_slot in nxt.arg_slots
+                and prev.out_slot in nxt.free_slots
+            ):
+                group.append(nxt)
+                j += 1
+            else:
+                break
+        if len(group) == 1:
+            fused.append(inst)
+            slot_shape[inst.out_slot] = inst.out_shape
+            i += 1
+            continue
+        fused.append(_fuse_chain(group, shape_of))
+        ew_chains += 1
+        ew_ops_fused += len(group)
+        for g in group:
+            slot_shape[g.out_slot] = g.out_shape
+        i = j
+
+    stats = FusionStats(
+        ew_chains=ew_chains,
+        ew_ops_fused=ew_ops_fused,
+        gemm_folds=gemm_folds,
+        instructions_before=before,
+        instructions_after=len(fused),
+    )
+    return tuple(fused), stats

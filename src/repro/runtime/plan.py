@@ -1,18 +1,39 @@
 """Executable plans: the compile-once / execute-many artifact.
 
 A :class:`Plan` is a flat list of :class:`Instruction` records over a slot
-arena.  Everything the Interpreter derives per call — topological order,
+table.  Everything the Interpreter derives per call — topological order,
 liveness, kernel choice, FLOP model, result sizes — is frozen into the
 instructions at compile time; executing the plan is a single sweep over
 the list with no graph traversal, no ``getattr`` dispatch and no dict
 rebuilds.
 
-Parity contract: ``Plan.execute`` produces bit-identical outputs and an
-:class:`~repro.ir.interpreter.ExecutionReport` equal (kernel call list,
-FLOPs, peak bytes) to ``Interpreter.run`` on the same graph and feeds.
-The executor replicates the Interpreter's accounting protocol exactly:
-record kernel calls during the op, alloc the result, then free operands
-whose last consumer this was (inputs and constants stay live).
+Parity contract
+---------------
+``Plan.execute`` produces bit-identical outputs to ``Interpreter.run`` on
+the same graph and feeds — in **every** mode combination: fusion on/off ×
+arena preallocated/per-call.  The report contract has two levels:
+
+* fusion **off**: the :class:`~repro.ir.interpreter.ExecutionReport` is
+  equal field-for-field (kernel-call list, FLOPs, peak/live bytes).  The
+  executor replicates the Interpreter's accounting protocol exactly:
+  record kernel calls during the op, alloc the result, then free operands
+  whose last consumer this was (inputs and constants stay live).
+* fusion **on**: a fused site is reported as **one** combined
+  :class:`~repro.ir.interpreter.KernelCall` — ``kernel`` is
+  ``"fused(add+scale+...)"`` (or ``"fused(gemm+scale)"`` for an alpha
+  fold), ``dims`` is the site's result shape, ``flops`` is the *sum* of
+  the member kernels' modelled FLOPs, ``node_op`` is ``"fused"``.  Total
+  FLOPs and peak/live bytes stay **equal** to the Interpreter's: each
+  fused instruction replays the member ops' original alloc/free sequence
+  (:attr:`Instruction.fused_events`), so the modelled memory high-water
+  mark is unchanged even though the call list is shorter.
+
+The **arena** never affects the report: it changes where results are
+materialized (preallocated per-slot storage, written through the
+``out=``-aware kernels), not what is modelled.  Arena-mode outputs alias
+the arena's buffers — the next execution through the same arena
+overwrites them; copy what you need to keep (``execute_batch`` and the
+Session layer do this for you).
 """
 
 from __future__ import annotations
@@ -29,14 +50,20 @@ from ..ir.interpreter import ExecutionReport, KernelCall, _normalize_feed
 #: ignore ``report``/``record``; ``loop`` threads them into its sub-plan.
 ExecFn = Callable[[list, ExecutionReport, bool], np.ndarray]
 
+#: A destination-aware op executor: ``fn(args, out) -> ndarray``.  Writes
+#: the result into the preallocated ``out`` buffer and returns it; ops
+#: without an in-place kernel leave this ``None`` and the executor falls
+#: back to compute-then-copy.
+OutFn = Callable[[list, np.ndarray], np.ndarray]
+
 
 @dataclasses.dataclass(frozen=True)
 class Instruction:
     """One scheduled op with everything pre-resolved."""
 
-    #: Arena slot the result is written to.
+    #: Slot the result is written to.
     out_slot: int
-    #: Arena slots of the operands, in positional order.
+    #: Slots of the operands, in positional order.
     arg_slots: tuple[int, ...]
     #: The compiled executor for this op (kernel already selected).
     fn: ExecFn
@@ -44,11 +71,37 @@ class Instruction:
     #: static, so the records are built once and shared).
     calls: tuple[KernelCall, ...]
     #: Slots whose value dies here (last consumer): freed from the report
-    #: and cleared from the arena so the slot can be reused.
+    #: and cleared from the slot table so the slot can be reused.
     free_slots: tuple[int, ...]
     #: Source node's op and name — for introspection/debugging only.
     op: str
     label: str
+    #: Static result shape (slot shapes are static; this is what lets a
+    #: :class:`PlanArena` preallocate real storage per slot).
+    out_shape: tuple[int, ...] = ()
+    #: Destination-aware executor (``None`` → compute-then-copy in arena
+    #: mode).
+    fn_out: OutFn | None = None
+    #: Semantic tag the fusion pass dispatches on: "ew" (add/sub/neg/
+    #: scale), "gemm" (plain dense matmul, alpha-foldable), "const"
+    #: (result is an aliased compile-time payload), or ``None`` (opaque).
+    kind: str | None = None
+    #: Fusion-relevant parameters: ``("add",)``/``("sub",)``/``("neg",)``/
+    #: ``("scale", alpha)`` for "ew"; ``(trans_a, trans_b, alpha)`` for
+    #: "gemm".
+    params: tuple = ()
+    #: For fused instructions only: the member ops' alloc/free sequence as
+    #: signed *element* counts, replayed against the report in order
+    #: (positive → ``alloc(n * itemsize)``, negative → ``free``).  Keeps
+    #: peak/live bytes bit-equal to the Interpreter's accounting even
+    #: though the fused site materializes no intermediates.
+    fused_events: tuple[int, ...] | None = None
+    #: Slot of a guaranteed alias-free staging buffer for arena execution
+    #: — used by fused sites whose destination slot recycles one of their
+    #: own operand slots (the fused site's dead intermediate slot is
+    #: repurposed: provably disjoint from every operand, so compute lands
+    #: there and one copy moves it home).
+    scratch: int | None = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -58,6 +111,59 @@ class PlanInput:
     name: str
     shape: tuple[int, int]
     slot: int
+
+
+class PlanArena:
+    """Preallocated per-slot ndarray storage for one executing context.
+
+    Slot shapes are static (the compiler recycles a slot only for values
+    of the same shape), so every slot needs at most one real buffer.
+    Buffers are allocated lazily on first use — the first execution warms
+    the arena (dtype is only known once feeds arrive) — and reused
+    verbatim afterwards: repeated execution through a warm arena performs
+    **zero** ndarray allocations for every op with a destination-aware
+    kernel (elementwise, GEMM/GEMV/DOT, transpose, slice, concat, the
+    zero/identity hints), and compute-then-copy for the rest.
+
+    Every buffer — including the staged copies of feeds and constants —
+    is **Fortran-ordered**.  This is deliberate, not cosmetic: GEMM's
+    in-place ``C`` argument must be F-contiguous, f2py silently copies
+    any C-ordered operand before calling BLAS, and numpy's ufunc
+    machinery falls back to allocating iteration buffers the moment
+    operand layouts mix.  A uniformly-F arena keeps every hot path — the
+    elementwise ufuncs, GEMM/GEMV, the staged feeds — on the
+    no-copy/no-buffering fast path (measured, not assumed: the
+    allocation regression test pins this down).
+
+    An arena belongs to one execution stream: two threads must not
+    execute through the same arena concurrently (use one arena per
+    worker, as :func:`repro.runtime.batch.execute_batch` does).
+    """
+
+    __slots__ = ("buffers", "allocations")
+
+    def __init__(self, plan: "Plan") -> None:
+        #: Per-slot storage; ``None`` until the slot's first write.
+        self.buffers: list[np.ndarray | None] = [None] * plan.num_slots
+        #: Buffers allocated so far — stops growing once the arena is
+        #: warm (asserted by the allocation-free regression test).
+        self.allocations = 0
+
+    def buffer(
+        self, slot: int, shape: tuple[int, ...], dtype: np.dtype
+    ) -> np.ndarray:
+        """The preallocated buffer for ``slot`` (allocating on first use
+        or on a dtype change — shapes never change)."""
+        buf = self.buffers[slot]
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.empty(shape, dtype=dtype, order="F")
+            self.buffers[slot] = buf
+            self.allocations += 1
+        return buf
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        warm = sum(1 for b in self.buffers if b is not None)
+        return f"<PlanArena {warm}/{len(self.buffers)} slots warm>"
 
 
 class Plan:
@@ -73,6 +179,9 @@ class Plan:
         "num_slots",
         "signature",
         "compile_seconds",
+        "fusion_stats",
+        "_by_name",
+        "_by_pos",
         # Weakly referenceable so per-plan accounting (Session._plan_stats)
         # can key on plans without pinning evicted ones in memory.
         "__weakref__",
@@ -86,6 +195,7 @@ class Plan:
         num_slots: int,
         signature: tuple,
         compile_seconds: float = 0.0,
+        fusion_stats: "object | None" = None,
     ) -> None:
         self.instructions = instructions
         self.inputs = inputs
@@ -93,15 +203,26 @@ class Plan:
         self.num_slots = num_slots
         self.signature = signature
         self.compile_seconds = compile_seconds
+        #: :class:`~repro.runtime.fusion.FusionStats` when the plan was
+        #: compiled with ``fusion=True``, else ``None``.
+        self.fusion_stats = fusion_stats
+        # Feed-binding lookups are static — build them once here instead
+        # of rebuilding two dicts on every mapping-feed call.
+        self._by_name = {p.name: p for p in inputs}
+        self._by_pos = dict(enumerate(inputs))
+
+    def new_arena(self) -> PlanArena:
+        """A fresh preallocated-buffer arena for this plan."""
+        return PlanArena(self)
 
     # -- feed binding ---------------------------------------------------------
 
     def _bind(
-        self, feeds: Sequence[object] | Mapping[object, object], arena: list
+        self, feeds: Sequence[object] | Mapping[object, object], slots: list
     ) -> None:
         if isinstance(feeds, Mapping):
-            by_name = {p.name: p for p in self.inputs}
-            by_pos = {i: p for i, p in enumerate(self.inputs)}
+            by_name = self._by_name
+            by_pos = self._by_pos
             bound: set[int] = set()
             for key, value in feeds.items():
                 if isinstance(key, str):
@@ -114,7 +235,7 @@ class Plan:
                     spec = by_name.get(getattr(key, "name", None))
                 if spec is None:
                     raise GraphError(f"no plan input matches feed key {key!r}")
-                arena[spec.slot] = _normalize_feed(value)
+                slots[spec.slot] = _normalize_feed(value)
                 bound.add(spec.slot)
             for spec in self.inputs:
                 if spec.slot not in bound:
@@ -126,9 +247,9 @@ class Plan:
                     f"plan has {len(self.inputs)} inputs, got {len(feeds)} feeds"
                 )
             for spec, value in zip(self.inputs, feeds):
-                arena[spec.slot] = _normalize_feed(value)
+                slots[spec.slot] = _normalize_feed(value)
         for spec in self.inputs:
-            arr = arena[spec.slot]
+            arr = slots[spec.slot]
             if tuple(arr.shape) != spec.shape:
                 raise GraphError(
                     f"feed for {spec.name!r} has shape {arr.shape}, "
@@ -137,36 +258,138 @@ class Plan:
 
     # -- execution ------------------------------------------------------------
 
+    def _exec_into(
+        self,
+        inst: Instruction,
+        args: list,
+        arena: PlanArena,
+        report: ExecutionReport,
+        record: bool,
+    ) -> np.ndarray:
+        """Run one instruction with its result in the arena's slot buffer.
+
+        This is the general path (constants, staged fused sites, ops
+        without an in-place kernel, cold buffers); the executor loop
+        inlines the common warm case — ``fn_out`` straight into the
+        slot's existing buffer — to keep per-instruction overhead below
+        what a fresh allocation would cost.
+        """
+        if inst.kind == "const":
+            # Constant payloads never change: stage them into arena (F-
+            # order) storage once, when the slot buffer is first created.
+            value = inst.fn(args, report, record)
+            buf = arena.buffers[inst.out_slot]
+            if buf is None or buf.shape != value.shape or buf.dtype != value.dtype:
+                buf = arena.buffer(inst.out_slot, value.shape, value.dtype)
+                np.copyto(buf, value)
+            return buf
+        dtype = args[0].dtype if args else np.dtype(np.float64)
+        mixed = any(a.dtype != dtype for a in args)
+        if inst.fn_out is not None and not mixed:
+            buf = arena.buffer(inst.out_slot, inst.out_shape, dtype)
+            if inst.scratch is None:
+                return inst.fn_out(args, buf)
+            staging = arena.buffer(inst.scratch, inst.out_shape, dtype)
+            return inst.fn_out(args, buf, staging)
+        # No in-place kernel (loop, structured matmuls), or mixed operand
+        # dtypes (whose ufunc promotion an in-place destination would
+        # override): compute as per-call mode does, then land the result
+        # in the slot's stable storage when it fits.
+        result = inst.fn(args, report, record)
+        buf = arena.buffer(inst.out_slot, result.shape, result.dtype)
+        np.copyto(buf, result)
+        return buf
+
     def execute(
         self,
         feeds: Sequence[object] | Mapping[object, object],
         *,
         report: ExecutionReport | None = None,
         record: bool = True,
+        arena: PlanArena | None = None,
     ) -> tuple[list[np.ndarray], ExecutionReport]:
-        """Run the plan; returns ``(outputs, report)`` like Interpreter.run."""
+        """Run the plan; returns ``(outputs, report)`` like Interpreter.run.
+
+        ``arena`` switches execution onto preallocated per-slot buffers
+        (see :class:`PlanArena`); outputs then alias arena storage and are
+        only valid until the next execution through the same arena.
+        """
         report = report if report is not None else ExecutionReport()
-        arena: list = [None] * self.num_slots
-        self._bind(feeds, arena)
+        slots: list = [None] * self.num_slots
+        self._bind(feeds, slots)
+        if arena is not None:
+            # Stage feeds into the arena's F-ordered input buffers: one
+            # memcpy per input that (a) keeps every downstream ufunc on
+            # the single-layout no-buffering path and (b) hands BLAS
+            # F-contiguous operands it can use without f2py's hidden
+            # copies.  Values are unchanged, so outputs stay bit-identical.
+            for spec in self.inputs:
+                src = slots[spec.slot]
+                buf = arena.buffer(spec.slot, src.shape, src.dtype)
+                np.copyto(buf, src)
+                slots[spec.slot] = buf
+        bufs = arena.buffers if arena is not None else None
         if record:
             calls = report.calls
             for inst in self.instructions:
-                args = [arena[s] for s in inst.arg_slots]
-                result = inst.fn(args, report, record)
-                arena[inst.out_slot] = result
+                args = [slots[s] for s in inst.arg_slots]
+                if bufs is None:
+                    result = inst.fn(args, report, record)
+                else:
+                    result = self._run_arena(inst, args, arena, bufs,
+                                             report, record)
+                slots[inst.out_slot] = result
                 if inst.calls:
                     calls.extend(inst.calls)
-                report.alloc(result.nbytes)
-                for s in inst.free_slots:
-                    report.free(arena[s].nbytes)
-                    arena[s] = None
+                if inst.fused_events is None:
+                    report.alloc(result.nbytes)
+                    for s in inst.free_slots:
+                        report.free(slots[s].nbytes)
+                        slots[s] = None
+                else:
+                    # Replay the fused members' original alloc/free
+                    # sequence so peak/live bytes match the Interpreter.
+                    isz = result.itemsize
+                    for e in inst.fused_events:
+                        if e >= 0:
+                            report.alloc(e * isz)
+                        else:
+                            report.free(-e * isz)
+                    for s in inst.free_slots:
+                        slots[s] = None
         else:
             for inst in self.instructions:
-                args = [arena[s] for s in inst.arg_slots]
-                arena[inst.out_slot] = inst.fn(args, report, record)
+                args = [slots[s] for s in inst.arg_slots]
+                if bufs is None:
+                    slots[inst.out_slot] = inst.fn(args, report, record)
+                else:
+                    slots[inst.out_slot] = self._run_arena(
+                        inst, args, arena, bufs, report, record
+                    )
                 for s in inst.free_slots:
-                    arena[s] = None
-        return [arena[s] for s in self.output_slots], report
+                    slots[s] = None
+        return [slots[s] for s in self.output_slots], report
+
+    def _run_arena(self, inst, args, arena, bufs, report, record):
+        """Arena dispatch: warm in-place fast path, general path otherwise.
+
+        The fast path requires every operand to share the warm buffer's
+        dtype — a mismatch means either a dtype change (rewarm) or mixed
+        operands (ufunc promotion must win over in-place writing); both
+        take the general path.
+        """
+        fn_out = inst.fn_out
+        if fn_out is not None and inst.scratch is None and inst.kind != "const":
+            buf = bufs[inst.out_slot]
+            if buf is not None:
+                bd = buf.dtype
+                for a in args:
+                    ad = a.dtype
+                    if bd is not ad and bd != ad:
+                        break
+                else:
+                    return fn_out(args, buf)
+        return self._exec_into(inst, args, arena, report, record)
 
     __call__ = execute
 
@@ -184,6 +407,8 @@ class Plan:
             f"plan: {len(self.instructions)} instructions, "
             f"{len(self.inputs)} inputs, {self.num_slots} slots"
         ]
+        if self.fusion_stats is not None:
+            lines[0] += f" | {self.fusion_stats.describe()}"
         for i, inst in enumerate(self.instructions):
             kernels = ",".join(c.kernel for c in inst.calls) or "-"
             frees = f" free{list(inst.free_slots)}" if inst.free_slots else ""

@@ -493,3 +493,116 @@ class TestSessionStats:
                               capacity=8, plans=())
         assert st.lookups == 4
         assert st.hit_rate == 0.75
+
+
+class TestFusionArenaOptions:
+    """`Options(fusion=..., arena=...)` — the execution-engine knobs land
+    at session level, touching no call site (the PR-2 design intent)."""
+
+    def test_defaults_are_backward_compatible(self):
+        opts = api.Options()
+        assert opts.fusion is False
+        assert opts.arena == "per-call"
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [{"fusion": "yes"}, {"arena": "heap"}, {"arena": ""}],
+        ids=["fusion-nonbool", "arena-unknown", "arena-empty"],
+    )
+    def test_bad_mode_values_rejected(self, overrides):
+        with pytest.raises(ConfigError):
+            api.Options(**overrides).validate()
+
+    def test_arena_modes_constant_exported(self):
+        assert api.ARENA_MODES == ("per-call", "preallocated")
+
+    @pytest.mark.parametrize("fusion", [False, True])
+    @pytest.mark.parametrize("arena", ["per-call", "preallocated"])
+    def test_all_mode_combinations_match_interpreter(self, operands, fusion,
+                                                     arena):
+        a, b = operands["A"], operands["B"]
+        session = api.Session(fusion=fusion, arena=arena)
+        f = session.compile(gram)
+        out = f(a, b)
+        report = f.last_report
+        via_interp = f.interpret(a, b)
+        interp_report = f.last_report
+        assert out.numpy().tobytes() == via_interp.numpy().tobytes()
+        assert report.total_flops == interp_report.total_flops
+        assert report.peak_bytes == interp_report.peak_bytes
+        if not fusion:
+            assert report.calls == interp_report.calls
+
+    def test_repeated_arena_calls_return_independent_results(self, operands):
+        """Arena buffers are reused internally, but results handed to the
+        user must not be overwritten by the next call."""
+        a, b, c = operands["A"], operands["B"], operands["C"]
+        session = api.Session(arena="preallocated", fusion=True)
+        f = session.compile(lambda p, q: p @ q + p)
+        first = f(a, b)
+        kept = first.numpy().copy()
+        second = f(a, c)  # same signature, same plan, same arena
+        assert second.numpy().tobytes() != kept.tobytes()
+        assert first.numpy().tobytes() == kept.tobytes()  # not clobbered
+
+    def test_fusion_keys_plan_cache_separately(self, operands):
+        a, b = operands["A"], operands["B"]
+        cache = api.Session(fusion=False).plan_cache
+        fused_session = api.Session(fusion=True)
+        plain_session = api.Session(fusion=False)
+        p1 = plain_session.compile(gram)
+        p2 = fused_session.compile(gram)
+        p1(a, b)
+        p2(a, b)
+        # separate sessions -> separate caches; within one session the
+        # fused and unfused plan of one graph would key differently too:
+        g = p1.optimized_graph(a, b)
+        plain_plan = plain_session.plan_cache.get(g)
+        fused_plan = plain_session.plan_cache.get(g, fusion=True)
+        assert plain_plan is not fused_plan
+        assert fused_plan.fusion_stats is not None
+
+    def test_stats_surface_fusion_and_arena(self, operands):
+        a, b, c = operands["A"], operands["B"], operands["C"]
+        session = api.Session(fusion=True, arena="preallocated")
+        f = session.compile(lambda p, q, r: 2.0 * p + q - r)
+        f(a, b, c)
+        stats = session.stats()
+        assert stats.fusion is True
+        assert stats.arena == "preallocated"
+        assert stats.fused_sites >= 1
+        text = stats.render()
+        assert "fusion on" in text and "preallocated" in text
+
+    def test_stats_render_defaults_mention_modes(self, operands):
+        session = api.Session()
+        session.run(gram, operands["A"], operands["B"])
+        text = session.stats().render()
+        assert "fusion off" in text and "per-call" in text
+
+    def test_run_batch_through_arena_session(self, operands):
+        a, b = operands["A"], operands["B"]
+        per_call = api.Session()
+        arena = api.Session(arena="preallocated", fusion=True)
+        feed_sets = [
+            [random_general(a.shape[0], seed=100 + i),
+             random_general(a.shape[0], seed=200 + i)]
+            for i in range(4)
+        ]
+        ref = per_call.run_batch(per_call.compile(gram), feed_sets)
+        got = arena.run_batch(arena.compile(gram), feed_sets, workers=2)
+        for r, g in zip(ref.outputs, got.outputs):
+            assert r[0].tobytes() == g[0].tobytes()
+
+    def test_ambient_decorators_inherit_session_modes(self, operands):
+        a, b = operands["A"], operands["B"]
+
+        @tfsim.function
+        def f(p, q):
+            return 2.0 * (p @ q)
+
+        with api.Session(fusion=True) as session:
+            f(a, b)
+            stats = session.stats()
+        assert stats.fusion is True
+        assert stats.fused_sites == 1  # the gemm+scale alpha fold

@@ -235,3 +235,116 @@ class TestBlas3:
     def test_mixed_dtype_rejected(self, rng):
         with pytest.raises(DTypeError):
             blas3.gemm(_mat(rng, 4, 4), _mat(rng, 4, 4, np.float64))
+
+
+class TestDestinationAware:
+    """The ``out=``/``overwrite`` variants must be bit-identical to the
+    allocating paths and genuinely write into the caller's buffer —
+    that is the contract arena execution is built on."""
+
+    def test_add_sub_neg_out(self, rng):
+        x = _mat(rng, 12, 12)
+        y = _mat(rng, 12, 12)
+        out = np.empty_like(x)
+        assert blas1.add(x, y, out=out) is out
+        assert out.tobytes() == (x + y).tobytes()
+        assert blas1.sub(x, y, out=out) is out
+        assert out.tobytes() == (x - y).tobytes()
+        assert blas1.neg(x, out=out) is out
+        assert out.tobytes() == (-x).tobytes()
+
+    def test_add_without_out_allocates(self, rng):
+        x = _mat(rng, 8, 8)
+        y = _mat(rng, 8, 8)
+        r = blas1.add(x, y)
+        assert r is not x and r is not y
+        assert r.tobytes() == (x + y).tobytes()
+
+    def test_out_may_alias_operand(self, rng):
+        x = _mat(rng, 10, 10)
+        y = _mat(rng, 10, 10)
+        expected = (x + y).tobytes()
+        blas1.add(x, y, out=x)
+        assert x.tobytes() == expected
+
+    def test_scal_out_mode(self, rng):
+        x = _mat(rng, 9, 9)
+        out = np.empty_like(x)
+        assert blas1.scal(2.5, x, out=out) is out
+        assert out.tobytes() == (x * x.dtype.type(2.5)).tobytes()
+
+    def test_scal_rejects_out_plus_overwrite(self, rng):
+        x = _vec(rng, 8)
+        with pytest.raises(KernelError):
+            blas1.scal(2.0, x, overwrite=True, out=np.empty_like(x))
+
+    def test_gemm_out(self, rng):
+        a = _mat(rng, 14, 10)
+        b = _mat(rng, 10, 12)
+        ref = blas3.gemm(a, b)
+        out = np.empty((14, 12), dtype=a.dtype, order="F")
+        res = blas3.gemm(a, b, out=out)
+        assert res is out
+        assert out.tobytes() == ref.tobytes()
+
+    def test_gemm_out_with_alpha_and_trans(self, rng):
+        a = _mat(rng, 10, 14)
+        b = _mat(rng, 10, 12)
+        ref = blas3.gemm(a, b, alpha=2.0, trans_a=True)
+        out = np.empty((14, 12), dtype=a.dtype, order="F")
+        assert blas3.gemm(a, b, alpha=2.0, trans_a=True, out=out) is out
+        assert out.tobytes() == ref.tobytes()
+
+    def test_gemm_alpha_fold_is_bit_identical(self, rng):
+        """alpha rides along after accumulation: scaling inside the BLAS
+        call equals an elementwise post-scale, bit for bit (the fusion
+        pass's alpha-fold contract)."""
+        a = _mat(rng, 16, 16)
+        b = _mat(rng, 16, 16)
+        folded = blas3.gemm(a, b, alpha=2.5)
+        scaled = blas3.gemm(a, b) * a.dtype.type(2.5)
+        assert folded.tobytes() == scaled.tobytes()
+
+    def test_gemm_beta_accumulates(self, rng):
+        a = _mat(rng, 8, 8)
+        b = _mat(rng, 8, 8)
+        c = np.asfortranarray(_mat(rng, 8, 8))
+        expected = blas3.gemm(a, b) + c
+        res = blas3.gemm(a, b, beta=1.0, out=c)
+        assert np.allclose(res, expected, atol=1e-5)
+
+    def test_gemm_out_rejects_bad_buffers(self, rng):
+        a = _mat(rng, 8, 8)
+        b = _mat(rng, 8, 8)
+        with pytest.raises(ShapeError):
+            blas3.gemm(a, b, out=np.empty((4, 4), dtype=a.dtype, order="F"))
+        with pytest.raises(KernelError):
+            blas3.gemm(a, b, out=np.empty((8, 8), dtype=np.float64, order="F"))
+        with pytest.raises(KernelError):
+            blas3.gemm(a, b, out=np.ones((8, 8), dtype=a.dtype))  # C-order
+        with pytest.raises(KernelError):
+            blas3.gemm(a, b, beta=0.5)  # beta without out
+
+    def test_gemv_out(self, rng):
+        a = _mat(rng, 12, 9)
+        x = _vec(rng, 9)
+        ref = blas2.gemv(a, x)
+        out = np.empty(12, dtype=a.dtype)
+        assert blas2.gemv(a, x, out=out) is out
+        assert out.tobytes() == ref.tobytes()
+
+    def test_gemv_out_trans(self, rng):
+        a = _mat(rng, 12, 9)
+        x = _vec(rng, 12)
+        ref = blas2.gemv(a, x, trans=True)
+        out = np.empty(9, dtype=a.dtype)
+        assert blas2.gemv(a, x, trans=True, out=out) is out
+        assert out.tobytes() == ref.tobytes()
+
+    def test_gemv_out_rejects_bad_buffers(self, rng):
+        a = _mat(rng, 12, 9)
+        x = _vec(rng, 9)
+        with pytest.raises(ShapeError):
+            blas2.gemv(a, x, out=np.empty(5, dtype=a.dtype))
+        with pytest.raises(KernelError):
+            blas2.gemv(a, x, out=np.empty(12, dtype=np.float64))

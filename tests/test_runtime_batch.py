@@ -78,3 +78,85 @@ def test_negative_workers_rejected(plan_and_feeds):
     plan, feed_sets = plan_and_feeds
     with pytest.raises(GraphError):
         execute_batch(plan, feed_sets, workers=-1)
+
+
+def test_unknown_arena_mode_rejected(plan_and_feeds):
+    plan, feed_sets = plan_and_feeds
+    with pytest.raises(GraphError):
+        execute_batch(plan, feed_sets, arena="bogus")
+
+
+# -- preallocated-arena batches -----------------------------------------------
+
+
+@pytest.mark.parametrize("workers", [None, 4], ids=["sequential", "threaded"])
+def test_arena_batch_matches_per_call(plan_and_feeds, workers):
+    """One reused arena per worker must not let feeds bleed into each
+    other: every feed's outputs are bit-identical to a standalone run."""
+    plan, feed_sets = plan_and_feeds
+    batch = execute_batch(plan, feed_sets, workers=workers,
+                          arena="preallocated")
+    for feeds, outs in zip(feed_sets, batch.outputs):
+        single, _ = plan.execute(feeds, record=False)
+        assert outs[0].tobytes() == single[0].tobytes()
+    # Outputs are detached copies, not views of shared arena storage.
+    assert batch.outputs[0][0].base is None
+
+
+def test_arena_batch_reports_match(plan_and_feeds):
+    plan, feed_sets = plan_and_feeds
+    ref = execute_batch(plan, feed_sets, record=True)
+    arena = execute_batch(plan, feed_sets, record=True, arena="preallocated")
+    for r, a in zip(ref.reports, arena.reports):
+        assert r.calls == a.calls
+        assert r.peak_bytes == a.peak_bytes
+
+
+# -- failure paths ------------------------------------------------------------
+#
+# A feed set that raises mid-batch must surface the error and leave the
+# system reusable: earlier/other feeds' results untouched, worker arenas
+# uncorrupted (every slot is fully rewritten by the next run).
+
+
+def _bad_feed_sets(feed_sets):
+    bad = list(feed_sets)
+    bad[3] = [random_general(5, seed=9).data, random_general(5, seed=10).data]
+    return bad
+
+
+@pytest.mark.parametrize("workers", [None, 4], ids=["sequential", "threaded"])
+@pytest.mark.parametrize("arena", ["per-call", "preallocated"])
+def test_raising_feed_surfaces_error(plan_and_feeds, workers, arena):
+    plan, feed_sets = plan_and_feeds
+    with pytest.raises(GraphError):
+        execute_batch(plan, _bad_feed_sets(feed_sets), workers=workers,
+                      arena=arena)
+
+
+@pytest.mark.parametrize("workers", [None, 4], ids=["sequential", "threaded"])
+@pytest.mark.parametrize("arena", ["per-call", "preallocated"])
+def test_failed_batch_does_not_corrupt_later_runs(plan_and_feeds, workers,
+                                                  arena):
+    plan, feed_sets = plan_and_feeds
+    expected = [plan.execute(feeds, record=False)[0][0].tobytes()
+                for feeds in feed_sets]
+    with pytest.raises(GraphError):
+        execute_batch(plan, _bad_feed_sets(feed_sets), workers=workers,
+                      arena=arena)
+    # The same call path, rerun with good feeds, yields pristine results.
+    batch = execute_batch(plan, feed_sets, workers=workers, arena=arena)
+    assert [outs[0].tobytes() for outs in batch.outputs] == expected
+
+
+def test_mid_execution_failure_in_threaded_batch(plan_and_feeds):
+    """An error raised *inside* plan execution (not at bind time) also
+    propagates cleanly out of the pool."""
+    plan, feed_sets = plan_and_feeds
+    poisoned = list(feed_sets)
+    poisoned[2] = {"nope": feed_sets[2][0]}
+    with pytest.raises(GraphError):
+        execute_batch(plan, poisoned, workers=3, arena="preallocated")
+    batch = execute_batch(plan, feed_sets, workers=3, arena="preallocated")
+    single, _ = plan.execute(feed_sets[2], record=False)
+    assert batch.outputs[2][0].tobytes() == single[0].tobytes()

@@ -1,0 +1,213 @@
+"""The post-schedule fusion stage (repro.runtime.fusion).
+
+Structure-level checks (what fuses, what must not) plus the fused-call
+report representation.  Bit-parity of fused execution across the full
+workload suite lives in tests/test_runtime_plans.py.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir import Interpreter, trace
+from repro.passes import default_pipeline
+from repro.runtime import compile_plan
+from repro.tensor import random_general
+
+
+def _plan_pair(fn, tensors, *, pipeline=True):
+    graph = trace(fn, tensors)
+    if pipeline:
+        graph = default_pipeline().run(graph)
+    feeds = [t.data for t in tensors]
+    return compile_plan(graph), compile_plan(graph, fusion=True), feeds
+
+
+@pytest.fixture
+def ab():
+    return [random_general(12, seed=1), random_general(12, seed=2)]
+
+
+class TestElementwiseChains:
+    def test_chain_collapses_to_one_instruction(self, ab):
+        plain, fused, feeds = _plan_pair(
+            lambda a, b: 2.0 * a + b - a, ab, pipeline=False
+        )
+        assert len(fused.instructions) < len(plain.instructions)
+        assert fused.fusion_stats.ew_chains == 1
+        assert fused.fusion_stats.ew_ops_fused == 3
+        (inst,) = [i for i in fused.instructions if i.op == "fused"]
+        assert inst.calls[0].kernel == "fused(scale+add+sub)"
+        assert inst.calls[0].node_op == "fused"
+
+    def test_combined_record_sums_member_flops(self, ab):
+        plain, fused, feeds = _plan_pair(
+            lambda a, b: 2.0 * a + b - a, ab, pipeline=False
+        )
+        _, rep_plain = plain.execute(feeds)
+        _, rep_fused = fused.execute(feeds)
+        assert rep_fused.total_flops == rep_plain.total_flops
+        assert rep_fused.peak_bytes == rep_plain.peak_bytes
+        assert len(rep_fused.calls) < len(rep_plain.calls)
+
+    def test_multiuse_value_blocks_fusion(self, ab):
+        # t is consumed twice -> it must be materialized, not fused away.
+        def fn(a, b):
+            t = a + b
+            return t - a, t + b
+
+        plain, fused, feeds = _plan_pair(fn, ab, pipeline=False)
+        assert fused.fusion_stats.ew_chains == 0
+        outs_p, _ = plain.execute(feeds)
+        outs_f, _ = fused.execute(feeds)
+        for p, f in zip(outs_p, outs_f):
+            assert p.tobytes() == f.tobytes()
+
+    def test_single_elementwise_op_stays_unfused(self, ab):
+        _, fused, _ = _plan_pair(lambda a, b: a + b, ab, pipeline=False)
+        assert fused.fusion_stats.ew_chains == 0
+        assert fused.fusion_stats.instructions_after == 1
+
+    def test_describe_shows_fusion_summary(self, ab):
+        _, fused, _ = _plan_pair(lambda a, b: 2.0 * a + b - a, ab,
+                                 pipeline=False)
+        text = fused.describe()
+        assert "fusion:" in text and "fused(" in text
+
+
+class TestGemmAlphaFold:
+    def test_trailing_scale_folds(self, ab):
+        plain, fused, feeds = _plan_pair(lambda a, b: 2.0 * (a @ b), ab,
+                                         pipeline=False)
+        assert fused.fusion_stats.gemm_folds == 1
+        assert len(fused.instructions) == len(plain.instructions) - 1
+        (inst,) = fused.instructions
+        assert inst.calls[0].kernel == "fused(gemm+scale)"
+        # FLOPs: gemm's 2mnk plus the scale's mn, exactly as unfused.
+        _, rp = plain.execute(feeds)
+        _, rf = fused.execute(feeds)
+        assert rf.total_flops == rp.total_flops
+
+    def test_neg_folds_as_minus_alpha(self, ab):
+        plain, fused, feeds = _plan_pair(lambda a, b: -(a @ b), ab,
+                                         pipeline=False)
+        assert fused.fusion_stats.gemm_folds == 1
+        outs_p, _ = plain.execute(feeds)
+        outs_f, _ = fused.execute(feeds)
+        assert outs_p[0].tobytes() == outs_f[0].tobytes()
+
+    def test_only_one_factor_folds_per_gemm(self, ab):
+        """A second trailing scale must NOT cascade into alpha: combining
+        two rounded multiplies into one premultiplied factor drifts a ULP
+        from the interpreter.  The first scale folds; the rest stay
+        elementwise (and chain-fuse among themselves)."""
+        expr = lambda a, b: -(3.0 * (2.0 * (a @ b)))  # noqa: E731
+        _, fused, feeds = _plan_pair(expr, ab, pipeline=False)
+        assert fused.fusion_stats.gemm_folds == 1
+        kernels = [i.calls[0].kernel for i in fused.instructions]
+        assert "fused(gemm+scale)" in kernels
+        graph = trace(expr, ab)
+        outs_i, rep_i = Interpreter(record=True).run(graph, feeds)
+        outs_f, rep_f = fused.execute(feeds)
+        assert outs_i[0].tobytes() == outs_f[0].tobytes()
+        assert rep_i.total_flops == rep_f.total_flops
+        assert rep_i.peak_bytes == rep_f.peak_bytes
+
+    def test_inexact_factor_pair_stays_bit_identical(self, ab):
+        """Regression for the cascade bug: 3.0 * (3.0 * (A@B)) — folding
+        both factors as alpha=9.0 differs from two sequential multiplies
+        by 1 ULP; single-fold keeps bit parity."""
+        expr = lambda a, b: 3.0 * (3.0 * (a @ b))  # noqa: E731
+        graph = trace(expr, ab)
+        feeds = [t.data for t in ab]
+        outs_i, _ = Interpreter(record=True).run(graph, feeds)
+        fused = compile_plan(graph, fusion=True)
+        arena = fused.new_arena()
+        for use in (None, arena, arena):
+            outs_f, _ = fused.execute(feeds, record=False, arena=use)
+            assert outs_i[0].tobytes() == outs_f[0].tobytes()
+
+    def test_multiuse_gemm_result_not_folded(self, ab):
+        def fn(a, b):
+            t = a @ b
+            return 2.0 * t + t
+
+        _, fused, feeds = _plan_pair(fn, ab, pipeline=False)
+        assert fused.fusion_stats.gemm_folds == 0
+
+    def test_gemv_not_folded(self):
+        # Only the dense GEMM path carries a foldable alpha; a
+        # matrix-vector product lowers to GEMV and keeps its scale.
+        a = random_general(12, seed=1)
+        x = random_general(12, seed=3)
+        _, fused, feeds = _plan_pair(
+            lambda p, q: 2.0 * (p @ q[:, 0:1]), [a, x], pipeline=False
+        )
+        assert fused.fusion_stats.gemm_folds == 0
+        outs, rep = fused.execute(feeds)
+        assert "gemv" in {c.kernel for c in rep.calls}
+
+
+class TestArenaAliasing:
+    """Fused sites whose destination slot recycles an operand slot must
+    stage through the scratch buffer, not clobber live operands."""
+
+    def test_recycled_destination_slots_stay_correct(self):
+        ops = [random_general(16, seed=s) for s in (1, 2, 3)]
+
+        def fn(a, b, c):
+            acc = a
+            for _ in range(6):
+                acc = (acc @ b + c - a) @ a.T
+            return 2.0 * acc + b - (-c) * 0.5
+
+        graph = default_pipeline().run(trace(fn, ops))
+        feeds = [t.data for t in ops]
+        outs_i, _ = Interpreter(record=True).run(graph, feeds)
+        plan = compile_plan(graph, fusion=True)
+        assert any(i.scratch is not None for i in plan.instructions)
+        arena = plan.new_arena()
+        for _ in range(3):
+            outs_f, _ = plan.execute(feeds, record=False, arena=arena)
+            assert all(
+                i.tobytes() == f.tobytes() for i, f in zip(outs_i, outs_f)
+            )
+
+    def test_fused_chain_output_can_be_graph_output(self, ab):
+        plain, fused, feeds = _plan_pair(
+            lambda a, b: (2.0 * a + b, a @ b), ab, pipeline=False
+        )
+        outs_p, _ = plain.execute(feeds)
+        outs_f, _ = fused.execute(feeds)
+        for p, f in zip(outs_p, outs_f):
+            assert p.tobytes() == f.tobytes()
+
+
+class TestPlanProperties:
+    def test_plan_flops_matches_report_with_fusion(self, ab):
+        _, fused, feeds = _plan_pair(
+            lambda a, b: 2.0 * (a @ b) + b - a, ab, pipeline=False
+        )
+        _, report = fused.execute(feeds)
+        assert fused.flops == report.total_flops
+
+    def test_fusion_stats_bookkeeping(self, ab):
+        plain, fused, _ = _plan_pair(
+            lambda a, b: 2.0 * a + b - a, ab, pipeline=False
+        )
+        st = fused.fusion_stats
+        assert st.instructions_before == len(plain.instructions)
+        assert st.instructions_after == len(fused.instructions)
+        assert st.sites == st.ew_chains + st.gemm_folds
+        assert plain.fusion_stats is None
+
+    def test_fused_events_replay_matches_interpreter_memory(self, ab):
+        fn = lambda a, b: (a @ b + b - a) @ (2.0 * a)  # noqa: E731
+        graph = trace(fn, ab)
+        feeds = [t.data for t in ab]
+        _, rep_i = Interpreter(record=True).run(graph, feeds)
+        fused = compile_plan(graph, fusion=True)
+        _, rep_f = fused.execute(feeds)
+        assert rep_f.peak_bytes == rep_i.peak_bytes
+        assert rep_f.live_bytes == rep_i.live_bytes

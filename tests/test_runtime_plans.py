@@ -1,10 +1,13 @@
 """Parity and behaviour of the compiled runtime (repro.runtime).
 
 The acceptance contract: ``Plan.execute`` must produce **bit-identical**
-outputs and an **identical** :class:`ExecutionReport` (kernel call list,
-FLOPs, peak bytes) to the reference ``Interpreter`` — on raw traced
-graphs, default-optimized graphs and aware-optimized graphs alike, across
-the expression shapes the existing experiment workloads use.
+outputs to the reference ``Interpreter`` in **all four mode combinations**
+(fusion on/off × arena preallocated/per-call) — on raw traced graphs,
+default-optimized graphs and aware-optimized graphs alike, across the
+expression shapes the existing experiment workloads use.  The report is
+equal field-for-field (kernel call list, FLOPs, peak bytes) with fusion
+off; with fusion on the call list uses the documented combined fused-call
+representation while total FLOPs and peak/live bytes stay equal.
 """
 
 from __future__ import annotations
@@ -66,38 +69,62 @@ def _graphs(case, operands):
     return graph, feeds
 
 
-def assert_parity(graph, feeds):
-    """Interpreter vs compiled plan: bit-identical outputs, equal report."""
+#: The four execution-mode combinations of the acceptance contract.
+MODES = {
+    "plain": (False, False),
+    "fused": (True, False),
+    "arena": (False, True),
+    "fused+arena": (True, True),
+}
+
+
+def assert_parity(graph, feeds, *, fusion=False, use_arena=False):
+    """Interpreter vs compiled plan: bit-identical outputs; report equal
+    field-for-field (fusion off) or FLOP-total/peak-bytes-equal (fusion
+    on, combined fused-call records)."""
     outs_i, rep_i = Interpreter(record=True).run(graph, feeds)
-    plan = compile_plan(graph)
-    outs_p, rep_p = plan.execute(feeds)
+    plan = compile_plan(graph, fusion=fusion)
+    arena = plan.new_arena() if use_arena else None
+    outs_p, rep_p = plan.execute(feeds, arena=arena)
     assert len(outs_i) == len(outs_p)
     for oi, op_ in zip(outs_i, outs_p):
         assert oi.shape == op_.shape
         assert oi.dtype == op_.dtype
         assert oi.tobytes() == op_.tobytes()
-    assert rep_i.calls == rep_p.calls
-    assert rep_i.total_flops == rep_p.total_flops
-    assert rep_i.peak_bytes == rep_p.peak_bytes
-    assert rep_i.live_bytes == rep_p.live_bytes
-    # record=False must not change the numerics.
-    outs_q, rep_q = plan.execute(feeds, record=False)
+    if fusion:
+        # Documented fused representation: combined KernelCall records;
+        # FLOP totals and modelled memory are preserved exactly.
+        assert rep_i.total_flops == rep_p.total_flops
+        assert rep_i.peak_bytes == rep_p.peak_bytes
+        assert rep_i.live_bytes == rep_p.live_bytes
+        assert len(rep_p.calls) <= len(rep_i.calls)
+    else:
+        assert rep_i.calls == rep_p.calls
+        assert rep_i.total_flops == rep_p.total_flops
+        assert rep_i.peak_bytes == rep_p.peak_bytes
+        assert rep_i.live_bytes == rep_p.live_bytes
+    # record=False must not change the numerics; a reused arena must not
+    # change them either (buffers are fully rewritten).
+    outs_q, rep_q = plan.execute(feeds, record=False, arena=arena)
     assert all(a.tobytes() == b.tobytes() for a, b in zip(outs_i, outs_q))
     assert rep_q.calls == [] and rep_q.peak_bytes == 0
     return plan
 
 
+@pytest.mark.parametrize("mode", MODES, ids=list(MODES))
 @pytest.mark.parametrize("pipe", PIPELINES, ids=list(PIPELINES))
 @pytest.mark.parametrize("case", CASES, ids=list(CASES))
-def test_plan_matches_interpreter(case, pipe, operands):
+def test_plan_matches_interpreter(case, pipe, mode, operands):
     graph, feeds = _graphs(case, operands)
     factory = PIPELINES[pipe]
     if factory is not None:
         graph = factory().run(graph)
-    assert_parity(graph, feeds)
+    fusion, use_arena = MODES[mode]
+    assert_parity(graph, feeds, fusion=fusion, use_arena=use_arena)
 
 
-def test_loop_parity(operands):
+@pytest.mark.parametrize("mode", MODES, ids=list(MODES))
+def test_loop_parity(mode, operands):
     """fori_loop compiles into a nested sub-plan with identical accounting."""
     a, b = operands["A"], operands["B"]
 
@@ -109,9 +136,10 @@ def test_loop_parity(operands):
 
     graph = trace(fn, [a, b])
     feeds = [a.data, b.data]
+    fusion, use_arena = MODES[mode]
     for factory in (None, default_pipeline, aware_pipeline):
         g = graph if factory is None else factory().run(graph)
-        assert_parity(g, feeds)
+        assert_parity(g, feeds, fusion=fusion, use_arena=use_arena)
 
 
 # -- plan structure -----------------------------------------------------------
