@@ -1,0 +1,106 @@
+"""Compare a freshly recorded ``BENCH_runtime.json`` against the committed one.
+
+The CI bench-smoke job runs the benchmark suite, then calls this script
+with the repository's committed JSON as the baseline: a regression beyond
+the tolerance in either the fused+arena execution time or its allocation
+peak fails the job.  Timings are only comparable on the same workload, so
+the check is skipped (with a notice, exit 0) when the workload shape
+differs — e.g. when ``REPRO_BENCH_LOOPS`` shrank the graph.
+
+The committed baseline is recorded on a developer machine while CI runs
+on whatever runner it gets, so absolute seconds are not directly
+comparable.  Both JSONs carry ``machine_ref_sgemm_out_seconds`` — a raw
+BLAS-call probe at the bench operand size — and timing limits are scaled
+by the fresh/baseline ratio of that probe (clamped to [0.2, 5]×): a
+runner half as fast gets a limit twice as high.  Byte-count metrics are
+machine-independent and compared unscaled.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py baseline.json fresh.json \
+        [--tolerance 0.20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Metrics gated against the committed baseline (higher = worse).
+GATED_KEYS = (
+    "plan_exec_fused_arena_seconds",
+    "alloc_peak_bytes_fused_arena",
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_runtime.json")
+    parser.add_argument("fresh", help="freshly recorded BENCH_runtime.json")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed relative regression (default 0.20)")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.fresh) as fh:
+        fresh = json.load(fh)
+
+    base_wl = baseline.get("workload", {})
+    fresh_wl = fresh.get("workload", {})
+    if base_wl.get("nodes") != fresh_wl.get("nodes") or \
+            base_wl.get("operand_n") != fresh_wl.get("operand_n"):
+        print(
+            f"bench-regression: workload differs (baseline {base_wl}, "
+            f"fresh {fresh_wl}) — timings not comparable, skipping check"
+        )
+        return 0
+
+    # Machine-speed normalization for wall-clock metrics.
+    base_ref = baseline.get("machine_ref_sgemm_out_seconds")
+    fresh_ref = fresh.get("machine_ref_sgemm_out_seconds")
+    if base_ref and fresh_ref:
+        scale = min(5.0, max(0.2, fresh_ref / base_ref))
+        print(
+            f"bench-regression: machine ref {base_ref:.3g}s -> "
+            f"{fresh_ref:.3g}s; timing limits scaled by {scale:.3g}"
+        )
+    else:
+        scale = 1.0
+        print("bench-regression: no machine reference in one of the "
+              "JSONs; comparing timings unscaled")
+
+    failures = []
+    for key in GATED_KEYS:
+        base = baseline.get(key)
+        new = fresh.get(key)
+        if base is None:
+            print(f"bench-regression: {key} absent from baseline, skipping")
+            continue
+        if new is None:
+            failures.append(f"{key}: missing from fresh results")
+            continue
+        limit = base * (1.0 + args.tolerance)
+        if key.endswith("_seconds"):
+            limit *= scale
+        verdict = "OK" if new <= limit else "REGRESSED"
+        print(
+            f"bench-regression: {key}: baseline={base:.6g} fresh={new:.6g} "
+            f"(limit {limit:.6g}) {verdict}"
+        )
+        if new > limit:
+            failures.append(
+                f"{key} regressed: {new:.6g} > {base:.6g} "
+                f"(+{(new / base - 1.0):.1%}, tolerance {args.tolerance:.0%})"
+            )
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("bench-regression: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

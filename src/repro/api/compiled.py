@@ -61,6 +61,11 @@ class Concrete:
     #: reach the caller, so user-visible results never alias arena
     #: storage.
     arena: "object | None" = None
+    #: Feed-donation mode resolved from the session options (``False``,
+    #: ``True`` or ``"fallback"``): passed through to ``plan.execute`` so
+    #: already-F-ordered feeds alias arena input slots instead of being
+    #: memcpy'd.
+    donate: "bool | str" = False
     #: Guards the arena: one buffer set supports one execution at a time,
     #: so concurrent calls in arena mode serialize (per-call mode stays
     #: lock-free and fully concurrent).
@@ -180,7 +185,8 @@ class Compiled:
         else:
             with concrete.arena_lock:
                 outputs, report = concrete.plan.execute(
-                    [a.data for a in args], arena=concrete.arena
+                    [a.data for a in args], arena=concrete.arena,
+                    donate=concrete.donate,
                 )
                 # Detach results from arena storage: the next call
                 # rewrites the buffers these outputs alias.

@@ -67,6 +67,14 @@ class Options:
         ``"preallocated"`` executes every compiled function through a
         per-``Concrete`` :class:`~repro.runtime.PlanArena` — repeated
         calls perform zero intermediate allocations after warmup.
+    donate_feeds:
+        Zero-copy feed binding (requires ``arena="preallocated"``).
+        ``True`` declares every fed array already Fortran-ordered and
+        the runtime's to alias for the duration of the call — the last
+        per-call feed memcpys disappear; a feed failing the layout check
+        raises ``ValueError`` naming the input (softened to a silent
+        copy under ``validation="full"``).  ``"fallback"`` is the
+        best-effort mode: alias what qualifies, copy the rest.
     """
 
     backend: str = "tfsim"
@@ -77,6 +85,7 @@ class Options:
     fold_constants: bool = False
     fusion: bool = False
     arena: str = "per-call"
+    donate_feeds: "bool | str" = False
 
     def validate(self) -> None:
         """Raise :class:`ConfigError` if any field is out of range."""
@@ -104,6 +113,16 @@ class Options:
         if self.arena not in ARENA_MODES:
             raise ConfigError(
                 f"arena must be one of {ARENA_MODES}, got {self.arena!r}"
+            )
+        if self.donate_feeds not in (False, True, "fallback"):
+            raise ConfigError(
+                "donate_feeds must be False, True or 'fallback', got "
+                f"{self.donate_feeds!r}"
+            )
+        if self.donate_feeds and self.arena != "preallocated":
+            raise ConfigError(
+                "donate_feeds requires arena='preallocated' — per-call "
+                "execution never copies feeds, so there is nothing to donate"
             )
 
     def replace(self, **overrides: object) -> "Options":

@@ -94,6 +94,7 @@ class SessionStats:
     #: renders them next to the counters they explain.
     fusion: bool = False
     arena: str = "per-call"
+    donate_feeds: "bool | str" = False
 
     @property
     def fused_sites(self) -> int:
@@ -119,11 +120,15 @@ class SessionStats:
         fusion = (
             f"on ({self.fused_sites} fused sites)" if self.fusion else "off"
         )
+        arena = self.arena
+        if self.donate_feeds:
+            mode = "fallback" if self.donate_feeds == "fallback" else "strict"
+            arena += f" | donated feeds ({mode})"
         lines = [
             f"plan cache: {self.entries}/{self.capacity} plans | "
             f"{self.hits} hits / {self.misses} misses / "
             f"{self.evictions} evictions (hit rate {self.hit_rate:.1%})",
-            f"execution: fusion {fusion} | arena {self.arena}",
+            f"execution: fusion {fusion} | arena {arena}",
         ]
         if self.plans:
             lw = max(12, max(len(p.label) for p in self.plans))
@@ -284,6 +289,7 @@ class Session:
             workers=workers,
             record=record,
             arena=session.options.arena,
+            donate_feeds=session._donate_mode(),
         )
         self._record_exec(
             concrete.plan, time.perf_counter() - start, count=len(feed_sets)
@@ -308,9 +314,24 @@ class Session:
             plans=plans,
             fusion=self.options.fusion,
             arena=self.options.arena,
+            # Report the mode executions actually run with (strict may
+            # soften to fallback under validation="full").
+            donate_feeds=self._donate_mode(),
         )
 
     # -- internals ---------------------------------------------------------------
+
+    def _donate_mode(self) -> "bool | str":
+        """The feed-donation mode executions actually run with.
+
+        ``validation="full"`` softens strict donation to ``"fallback"``
+        (copy feeds the layout check would reject) — the documented
+        escape hatch for callers who want the checks, not the crashes.
+        """
+        donate = self.options.donate_feeds
+        if donate is True and self.options.validation == "full":
+            return "fallback"
+        return donate
 
     def _build(
         self,
@@ -375,6 +396,7 @@ class Session:
             arena=plan.new_arena()
             if self.options.arena == "preallocated"
             else None,
+            donate=self._donate_mode(),
         )
 
     def _record_exec(self, plan: Plan, seconds: float, *, count: int = 1) -> None:

@@ -94,6 +94,13 @@ def _add_mode_flags(parser: argparse.ArgumentParser) -> None:
         help="execution buffers: 'preallocated' reuses per-slot arena "
              "storage (allocation-free after warmup)",
     )
+    parser.add_argument(
+        "--donate-feeds",
+        action="store_true",
+        help="alias Fortran-ordered feeds straight into arena input slots "
+             "instead of copying (zero-copy binding; feeds another layout "
+             "check rejects are copied).  Requires --arena preallocated.",
+    )
 
 
 def _cmd_list() -> int:
@@ -149,9 +156,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     quiet = getattr(args, "quiet_tables", False)
     # Session-level knobs reach every decorated function without touching
     # a single experiment: the decorators compile into the ambient session.
+    if getattr(args, "donate_feeds", False) and \
+            getattr(args, "arena", "per-call") != "preallocated":
+        print("error: --donate-feeds requires --arena preallocated",
+              file=sys.stderr)
+        return 2
     with Session(
         fusion=getattr(args, "fusion", False),
         arena=getattr(args, "arena", "per-call"),
+        # The CLI's experiment tensors are whatever the generators built
+        # (usually C-ordered), so the flag maps to best-effort donation:
+        # alias what qualifies, copy the rest — never crash a run.
+        donate_feeds="fallback" if getattr(args, "donate_feeds", False)
+        else False,
     ) as session:
         for name in names:
             info = get_experiment(name)
@@ -197,6 +214,7 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
         quiet_tables=True,
         fusion=args.fusion,
         arena=args.arena,
+        donate_feeds=args.donate_feeds,
     ))
 
 

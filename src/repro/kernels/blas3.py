@@ -33,6 +33,49 @@ def _routine(table: dict, dtype: np.dtype, name: str):
         raise KernelError(f"no {name} kernel for dtype {dtype}") from None
 
 
+def _check_out(
+    out: np.ndarray, shape: tuple[int, int], dtype: np.dtype, name: str
+) -> None:
+    """Validate a caller-provided destination buffer.
+
+    Every destination-aware kernel has the same contract: exact result
+    shape, operand dtype, Fortran order (the layout BLAS writes — any
+    other layout would force a hidden f2py copy, silently defeating the
+    zero-allocation point).
+    """
+    if out.shape != shape:
+        raise ShapeError(f"{name}: out has shape {out.shape}, result is {shape}")
+    if out.dtype != dtype:
+        raise KernelError(
+            f"{name}: out dtype {out.dtype} does not match operands ({dtype})"
+        )
+    if not out.flags.f_contiguous:
+        raise KernelError(
+            f"{name}: out must be Fortran-contiguous (use np.empty(..., "
+            "order='F')) — any other layout forces a hidden copy"
+        )
+
+
+def _mirror_triangle(c: np.ndarray, *, lower: bool) -> np.ndarray:
+    """Fill the missing triangle of ``c`` with the computed one, in place.
+
+    Row/column slice assignments only — no temporary matrices — so the
+    arena path stays free of ndarray-data allocations.  The mirrored
+    entries are bit-copies of the computed triangle, which is also what
+    the historical ``c + np.tril(c, -1).T`` fill produced (adding a
+    strictly-triangular transpose to exact zeros), minus its two
+    full-matrix temporaries.
+    """
+    n = c.shape[0]
+    if lower:
+        for i in range(1, n):
+            c[:i, i] = c[i, :i]
+    else:
+        for i in range(1, n):
+            c[i, :i] = c[:i, i]
+    return c
+
+
 def gemm(
     a: np.ndarray,
     b: np.ndarray,
@@ -114,12 +157,20 @@ def trmm(
     lower: bool = True,
     trans_a: bool = False,
     unit_diag: bool = False,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """TRMM: triangular matrix product ``alpha * op(A) B`` (or ``B op(A)``).
 
     Cost: ~n²m FLOPs — half of the 2n²m a GEMM would spend, because the zero
     triangle is never touched.  This is the kernel the paper's SciPy
     reference uses for the ``LB`` row of Table IV.
+
+    ``out`` is the destination-aware mode.  BLAS TRMM has no separate
+    ``C`` argument — it overwrites ``B`` in place — so the out mode
+    stages ``B`` into ``out`` (one memcpy, no allocation) and runs the
+    routine there with ``overwrite_b=1``.  Same routine, same bits as the
+    allocating path, which f2py realizes as exactly this copy-then-
+    overwrite sequence on a hidden fresh buffer.
     """
     a = require_square(as_ndarray(a, "a"), "a")
     b = require_matrix(as_ndarray(b, "b"), "b")
@@ -130,15 +181,20 @@ def trmm(
     if not side_left and b.shape[1] != n:
         raise ShapeError(f"trmm: A is {a.shape}, B is {b.shape} (right multiply)")
     fn = _routine(_TRMM, a.dtype, "trmm")
-    return fn(
-        a.dtype.type(alpha),
-        a,
-        b,
+    kwargs = dict(
         side=0 if side_left else 1,
         lower=1 if lower else 0,
         trans_a=1 if trans_a else 0,
         diag=1 if unit_diag else 0,
     )
+    if out is None:
+        return fn(a.dtype.type(alpha), a, b, **kwargs)
+    _check_out(out, b.shape, a.dtype, "trmm")
+    np.copyto(out, b)
+    result = fn(a.dtype.type(alpha), a, out, overwrite_b=1, **kwargs)
+    if result is not out:  # pragma: no cover - overwrite honored for F out
+        np.copyto(out, result)
+    return out
 
 
 def syrk(
@@ -148,6 +204,7 @@ def syrk(
     trans: bool = False,
     lower: bool = True,
     fill: bool = True,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """SYRK: symmetric rank-k update ``alpha * A Aᵀ`` (or ``Aᵀ A`` when ``trans``).
 
@@ -156,17 +213,35 @@ def syrk(
     in afterwards (an O(n²) copy) so the return value is a full dense
     matrix, comparable with ``gemm(a, a.T)``; pass ``fill=False`` to get the
     raw one-triangle BLAS output.
+
+    ``out`` is the destination-aware mode: BLAS writes the computed
+    triangle straight into the caller's buffer (``c=out``, ``beta=0``,
+    ``overwrite_c=1``) and the mirror fill runs in place — no allocation,
+    and the untouched triangle of a dirty buffer is fully overwritten by
+    the fill (``out`` therefore requires ``fill=True``).
     """
     a = require_matrix(as_ndarray(a, "a"), "a")
     fn = _routine(_SYRK, a.dtype, "syrk")
-    c = fn(a.dtype.type(alpha), a, trans=1 if trans else 0, lower=1 if lower else 0)
-    if fill:
-        # Mirror the computed triangle into the other half.
-        if lower:
-            c = c + np.tril(c, -1).T
-        else:
-            c = c + np.triu(c, 1).T
-    return c
+    if out is None:
+        c = fn(
+            a.dtype.type(alpha), a, trans=1 if trans else 0,
+            lower=1 if lower else 0,
+        )
+        return _mirror_triangle(c, lower=lower) if fill else c
+    if not fill:
+        # BLAS leaves the unreferenced triangle of C untouched; without
+        # the fill pass a reused destination would leak stale garbage.
+        raise KernelError("syrk: out= requires fill=True")
+    n = a.shape[1] if trans else a.shape[0]
+    _check_out(out, (n, n), a.dtype, "syrk")
+    c = fn(
+        a.dtype.type(alpha), a, beta=a.dtype.type(0.0), c=out, overwrite_c=1,
+        trans=1 if trans else 0, lower=1 if lower else 0,
+    )
+    if c is not out:  # pragma: no cover - overwrite honored for F out
+        np.copyto(out, c)
+        c = out
+    return _mirror_triangle(c, lower=lower)
 
 
 def symm(
@@ -176,9 +251,16 @@ def symm(
     alpha: float = 1.0,
     side_left: bool = True,
     lower: bool = True,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """SYMM: ``alpha * A B`` with symmetric ``A`` (2n²m FLOPs; same count as
-    GEMM but only one triangle of ``A`` is read, halving its memory traffic)."""
+    GEMM but only one triangle of ``A`` is read, halving its memory traffic).
+
+    ``out`` is the destination-aware mode: the result is written into the
+    caller's buffer (BLAS's own ``C`` argument with ``beta=0``,
+    ``overwrite_c=1``) and that buffer is returned — no allocation, same
+    bits as the allocating path.
+    """
     a = require_square(as_ndarray(a, "a"), "a")
     b = require_matrix(as_ndarray(b, "b"), "b")
     require_same_dtype((a, "a"), (b, "b"))
@@ -188,13 +270,18 @@ def symm(
     if not side_left and b.shape[1] != n:
         raise ShapeError(f"symm: A is {a.shape}, B is {b.shape} (right multiply)")
     fn = _routine(_SYMM, a.dtype, "symm")
-    return fn(
-        a.dtype.type(alpha),
-        a,
-        b,
-        side=0 if side_left else 1,
-        lower=1 if lower else 0,
+    kwargs = dict(side=0 if side_left else 1, lower=1 if lower else 0)
+    if out is None:
+        return fn(a.dtype.type(alpha), a, b, **kwargs)
+    _check_out(out, b.shape if side_left else (b.shape[0], n), a.dtype, "symm")
+    result = fn(
+        a.dtype.type(alpha), a, b, beta=a.dtype.type(0.0), c=out,
+        overwrite_c=1, **kwargs,
     )
+    if result is not out:  # pragma: no cover - overwrite honored for F out
+        np.copyto(out, result)
+        return out
+    return result
 
 
 def trsm(

@@ -13,11 +13,52 @@ in two flavours where relevant:
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 from ..errors import ShapeError
 from . import blas3
 from .validation import as_ndarray, require_matrix, require_same_dtype, require_square
+
+
+@functools.lru_cache(maxsize=64)
+def _band_indices(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """The ``(arange(n), arange(n-1))`` index pair band extraction uses.
+
+    Building these per invocation was three ``np.arange`` slices per
+    tridiagonal product; the triple depends only on ``n`` (static at
+    kernel-selection time), so it is computed once and shared.
+    """
+    idx = np.arange(n)
+    return idx, idx[:-1]
+
+
+def tridiag_band_views(
+    t: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+    """``(dl, d, du)`` as zero-copy strided views of a contiguous square ``t``.
+
+    The three diagonals of a contiguous matrix are arithmetic stride
+    patterns over its flat storage (stride ``n + 1``, starting at offsets
+    ``n``/``0``/``1`` for C order; the off-diagonals swap for F order),
+    so no gather and no allocation is needed.  Returns ``None`` when
+    ``t`` is neither C- nor F-contiguous — callers fall back to the
+    index-based gather.
+    """
+    n = t.shape[0]
+    if t.flags.c_contiguous:
+        swap = False
+    elif t.flags.f_contiguous:
+        t = t.T  # C-contiguous view; its sub/super diagonals are swapped
+        swap = True
+    else:
+        return None
+    flat = t.reshape(-1)
+    d = flat[:: n + 1]
+    dl = flat[n :: n + 1]
+    du = flat[1 :: n + 1]
+    return (du, d, dl) if swap else (dl, d, du)
 
 
 def tridiag_from_bands(
@@ -44,38 +85,91 @@ def tridiag_from_bands(
     return out
 
 
-def bands_from_tridiag(t: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Extract ``(dl, d, du)`` bands from a dense tridiagonal matrix."""
+def bands_from_tridiag(
+    t: np.ndarray,
+    *,
+    out: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Extract ``(dl, d, du)`` bands from a dense tridiagonal matrix.
+
+    Contiguous inputs extract through zero-copy strided views
+    (:func:`tridiag_band_views`); other layouts gather through the cached
+    index triple.  The result is always freshly owned — pass ``out``
+    (a ``(dl, d, du)`` triple of preallocated vectors) to write the bands
+    in place instead of allocating.
+    """
     t = require_square(as_ndarray(t, "t"), "t")
     n = t.shape[0]
-    idx = np.arange(n)
-    return t[idx[1:], idx[:-1]].copy(), t[idx, idx].copy(), t[idx[:-1], idx[1:]].copy()
+    bands = tridiag_band_views(t)
+    if bands is None:
+        idx, short = _band_indices(n)
+        bands = (t[idx[1:], short], t[idx, idx], t[short, idx[1:]])
+    if out is None:
+        return tuple(np.array(b) for b in bands)
+    for dst, src, name in zip(out, bands, ("dl", "d", "du")):
+        if dst.shape != src.shape:
+            raise ShapeError(
+                f"bands_from_tridiag: out[{name}] has shape {dst.shape}, "
+                f"band is {src.shape}"
+            )
+        np.copyto(dst, src)
+    return out
 
 
 def tridiagonal_matmul(
     t_or_bands: np.ndarray | tuple[np.ndarray, np.ndarray, np.ndarray],
     b: np.ndarray,
+    *,
+    out: np.ndarray | None = None,
+    scratch: np.ndarray | None = None,
 ) -> np.ndarray:
     """Vectorized tridiagonal product ``T @ B`` in 6n·m FLOPs.
 
-    Accepts either a dense tridiagonal ``T`` (the bands are extracted in
-    O(n)) or the ``(dl, d, du)`` band triple directly.  Row ``i`` of the
-    result is ``dl[i-1]·B[i-1] + d[i]·B[i] + du[i]·B[i+1]``; all three
-    scalings are evaluated as whole-array operations, which is exactly the
-    parallelization the paper credits for TF's ``tridiagonal_matmul``
-    beating the sequential SciPy SCAL loop.
+    Accepts either a dense tridiagonal ``T`` (the bands are extracted as
+    zero-copy strided views when ``T`` is contiguous, O(n) gathers
+    otherwise) or the ``(dl, d, du)`` band triple directly.  Row ``i`` of
+    the result is ``dl[i-1]·B[i-1] + d[i]·B[i] + du[i]·B[i+1]``; all
+    three scalings are evaluated as whole-array operations, which is
+    exactly the parallelization the paper credits for TF's
+    ``tridiagonal_matmul`` beating the sequential SciPy SCAL loop.
+
+    ``out`` is the destination-aware mode: the result lands in the
+    caller's buffer (which must not alias ``b`` — rows of ``b`` are
+    re-read after the corresponding ``out`` rows are written).  The two
+    off-diagonal row-scalings need one
+    result-shaped workspace for their products; pass ``scratch`` (same
+    shape/dtype as ``out``, disjoint from every operand) to make the call
+    allocation-free — it is allocated internally otherwise.  Ufunc order
+    is identical with and without ``out``, so results are bit-identical.
     """
     if isinstance(t_or_bands, tuple):
         dl, d, du = (as_ndarray(v, name) for v, name in zip(t_or_bands, "ldu"))
     else:
-        dl, d, du = bands_from_tridiag(t_or_bands)
+        t = require_square(as_ndarray(t_or_bands, "t"), "t")
+        bands = tridiag_band_views(t)
+        dl, d, du = bands if bands is not None else bands_from_tridiag(t)
     b = require_matrix(as_ndarray(b, "b"), "b")
     n = d.shape[0]
     if b.shape[0] != n:
         raise ShapeError(f"tridiagonal_matmul: T is {n}x{n}, B is {b.shape}")
-    out = d[:, None] * b
-    out[1:] += dl[:, None] * b[:-1]
-    out[:-1] += du[:, None] * b[1:]
+    if out is None:
+        out = d[:, None] * b
+        out[1:] += dl[:, None] * b[:-1]
+        out[:-1] += du[:, None] * b[1:]
+        return out
+    if out.shape != b.shape:
+        raise ShapeError(
+            f"tridiagonal_matmul: out has shape {out.shape}, result is {b.shape}"
+        )
+    np.multiply(d[:, None], b, out=out)
+    if n > 1:
+        if scratch is None:
+            scratch = np.empty_like(out)
+        band_rows = scratch[: n - 1]
+        np.multiply(dl[:, None], b[:-1], out=band_rows)
+        out[1:] += band_rows
+        np.multiply(du[:, None], b[1:], out=band_rows)
+        out[:-1] += band_rows
     return out
 
 
@@ -103,21 +197,31 @@ def tridiagonal_matmul_scal_loop(t: np.ndarray, b: np.ndarray) -> np.ndarray:
     return out
 
 
-def diag_matmul(d: np.ndarray, b: np.ndarray) -> np.ndarray:
+def diag_matmul(
+    d: np.ndarray, b: np.ndarray, *, out: np.ndarray | None = None
+) -> np.ndarray:
     """Diagonal product ``D @ B`` in n·m FLOPs.
 
     ``d`` may be the diagonal vector or a dense diagonal matrix (the
-    diagonal is extracted in O(n)).  Each row of ``B`` is scaled by one
-    diagonal entry — a broadcast multiply, no GEMM.
+    diagonal is read as a zero-copy strided view).  Each row of ``B`` is
+    scaled by one diagonal entry — a broadcast multiply, no GEMM.  With
+    ``out`` the product is written into the caller's buffer (one ufunc
+    call, no allocation, bit-identical to the allocating path).
     """
     d = as_ndarray(d, "d")
     if d.ndim == 2:
         require_square(d, "d")
-        d = np.diagonal(d).copy()
+        d = np.diagonal(d)
     b = require_matrix(as_ndarray(b, "b"), "b")
     if b.shape[0] != d.shape[0]:
         raise ShapeError(f"diag_matmul: D is {d.shape[0]} long, B is {b.shape}")
-    return d[:, None] * b
+    if out is None:
+        return d[:, None] * b
+    if out.shape != b.shape:
+        raise ShapeError(
+            f"diag_matmul: out has shape {out.shape}, result is {b.shape}"
+        )
+    return np.multiply(d[:, None], b, out=out)
 
 
 def block_diag_matmul(

@@ -70,6 +70,7 @@ def execute_batch(
     workers: int | None = None,
     record: bool = False,
     arena: str = "per-call",
+    donate_feeds: "bool | str" = False,
 ) -> BatchResult:
     """Run ``plan`` over every feed set in ``feed_sets``.
 
@@ -79,12 +80,21 @@ def execute_batch(
     on for parity checks and experiments.  ``arena="preallocated"``
     executes through one reused :class:`~repro.runtime.plan.PlanArena` per
     worker (outputs are copied out, so results match per-call mode
-    bit-for-bit).
+    bit-for-bit).  ``donate_feeds`` (arena mode only) aliases
+    already-F-ordered feed arrays into the arena instead of staging them
+    — ``True`` raises ``ValueError`` on a feed failing the layout check,
+    ``"fallback"`` copies it; the feeds of a batch are typically caller-
+    built once and streamed, exactly the buffers worth donating.
     """
     if workers is not None and workers < 0:
         raise GraphError(f"workers must be >= 0, got {workers}")
     if arena not in ARENA_MODES:
         raise GraphError(f"arena must be one of {ARENA_MODES}, got {arena!r}")
+    if donate_feeds and arena != "preallocated":
+        raise GraphError(
+            "donate_feeds requires arena='preallocated' — per-call "
+            "execution never copies feeds"
+        )
     feed_sets = list(feed_sets)
 
     if arena == "preallocated":
@@ -94,7 +104,8 @@ def execute_batch(
             worker_arena = getattr(worker_state, "arena", None)
             if worker_arena is None:
                 worker_arena = worker_state.arena = plan.new_arena()
-            outs, rep = plan.execute(feeds, record=record, arena=worker_arena)
+            outs, rep = plan.execute(feeds, record=record, arena=worker_arena,
+                                     donate=donate_feeds)
             # Detach from arena storage: the next feed through this worker
             # rewrites the buffers the outputs alias.
             return [out.copy() for out in outs], rep

@@ -53,7 +53,7 @@ from ..ir.interpreter import KernelCall
 from ..ir.node import Node
 from ..kernels import blas1, blas2, blas3, special
 from ..kernels.flops import kernel_flops
-from .plan import ExecFn, Instruction, OutFn, Plan, PlanInput
+from .plan import ExecFn, Instruction, LoopFn, OutFn, Plan, PlanInput
 from .signature import graph_signature
 
 
@@ -74,6 +74,12 @@ class _Op:
     fn_out: OutFn | None = None
     kind: str | None = None
     params: tuple = ()
+    #: Arena-aware loop executor + its compiled body (``loop`` ops only).
+    fn_loop: "LoopFn | None" = None
+    sub_plan: "Plan | None" = None
+    #: The destination-aware kernel needs a result-shaped workspace; the
+    #: scheduler assigns a shared per-shape scratch slot.
+    needs_scratch: bool = False
 
 
 # -- per-op compilation -------------------------------------------------------
@@ -234,7 +240,17 @@ def _compile_tridiagonal_matmul(node: Node) -> _Op:
     def run(args, report, record):
         return special.tridiagonal_matmul(args[0], args[1])
 
-    return _Op(run, (_call("tridiagonal_matmul", (t.shape[0], b.shape[1]), node.op),))
+    def run_out(args, out, scratch):
+        return special.tridiagonal_matmul(
+            args[0], args[1], out=out, scratch=scratch
+        )
+
+    return _Op(
+        run,
+        (_call("tridiagonal_matmul", (t.shape[0], b.shape[1]), node.op),),
+        run_out,
+        needs_scratch=True,
+    )
 
 
 def _compile_loop(node: Node, fusion: bool) -> _Op:
@@ -253,7 +269,44 @@ def _compile_loop(node: Node, fusion: bool) -> _Op:
             carried = outs[0]
         return carried
 
-    return _Op(run, ())
+    def run_loop(args, out, state, report, record):
+        # Arena mode: iterations ping-pong between the LoopState's two
+        # child arenas, so the carried value (living in the *other*
+        # arena's buffers, or the outer arena's for iteration 0) and the
+        # loop-invariant captures (outer-arena buffers, F-ordered) are
+        # donated — aliased, never copied — into each iteration's feeds.
+        # "fallback" keeps odd layouts (e.g. a promoted-dtype carried
+        # value from the general path) correct by copying them.  After
+        # both child arenas warm, a trip is allocation- and copy-free.
+        carried = args[0]
+        captured = args[1:]
+        arenas = state.arenas
+        for i in range(trip):
+            # Re-resolved per iteration: per-call mode builds idx with the
+            # *current* carried dtype, so a mid-loop promotion must be
+            # mirrored here to keep body-side promotion bit-identical.
+            idx = state.idx(carried.dtype)
+            idx[0, 0] = i
+            outs, _ = sub_plan.execute(
+                [idx, carried, *captured], report=report, record=record,
+                arena=arenas[i & 1], donate="fallback",
+            )
+            carried = outs[0]
+            if carried is idx:
+                # Degenerate body (returns the index input): detach before
+                # the next iteration overwrites the shared idx buffer.
+                np.copyto(out, idx)
+                carried = out
+        if carried.dtype != out.dtype:
+            # The body promoted the carried dtype (e.g. a float64 const
+            # against float32 feeds): hand the promoted value through
+            # as-is instead of silently casting it into the buffer.
+            return carried
+        if carried is not out:
+            np.copyto(out, carried)
+        return out
+
+    return _Op(run, (), fn_loop=run_loop, sub_plan=sub_plan)
 
 
 def make_gemm_fns(
@@ -280,17 +333,115 @@ def make_gemm_fns(
 
     def run_out(args, out):
         a, b = args
-        dtype = a.dtype
-        routine = routines.get(dtype)
+        routine = routines.get(a.dtype)
         if routine is None:
             # Non-BLAS dtype (e.g. integer feeds): take the validating
             # wrapper, which coerces or raises exactly like per-call
             # mode.  The result bypasses the (wrong-dtype) arena buffer —
             # the executor stores whatever fn_out returns.
             return run(args, None, False)
+        # alpha passes as a python float: f2py casts it to the routine's
+        # scalar type in C — same value, same bits as pre-building a
+        # numpy scalar, without allocating one per call.
         return routine(
-            dtype.type(alpha), a, b, beta=0.0, c=out, overwrite_c=1,
+            alpha, a, b, beta=0.0, c=out, overwrite_c=1,
             trans_a=ta, trans_b=tb,
+        )
+
+    return run, run_out
+
+
+def _gemv_fns(mat: int, vec: int, trans: bool) -> tuple[ExecFn, OutFn]:
+    """Executor pair for a matrix-vector product (``args[mat] @ args[vec]``
+    modulo ``trans``).  The destination-aware closure calls the
+    dtype-dispatched f2py routine directly — shapes and flags were
+    validated at compile time, exactly like the GEMM closures.
+    """
+    t = 1 if trans else 0
+    routines = blas2._GEMV
+    reshape = (-1, 1) if vec == 1 else (1, -1)
+
+    def run(args, report, record):
+        x = np.ascontiguousarray(args[vec]).ravel()
+        return blas2.gemv(args[mat], x, trans=trans).reshape(reshape)
+
+    def run_out(args, out):
+        a = args[mat]
+        routine = routines.get(a.dtype)
+        x = np.ascontiguousarray(args[vec]).ravel()
+        if routine is None:
+            # Non-BLAS dtype: the validating wrapper raises the same
+            # KernelError per-call mode would.
+            blas2.gemv(a, x, trans=trans, out=out.reshape(-1))
+            return out
+        routine(1.0, a, x, beta=0.0, y=out.reshape(-1), overwrite_y=1, trans=t)
+        return out
+
+    return run, run_out
+
+
+def make_gemm_beta_fns(
+    trans_a: bool, trans_b: bool, alpha: float, beta: float, g_first: bool,
+    ew_op: str,
+) -> tuple[ExecFn, OutFn]:
+    """Executor pair for a GEMM with a folded trailing ``add``/``sub``.
+
+    Built by the fusion pass when a single-consumer elementwise combine
+    of the product with a *dead* addend merges into the BLAS call's
+    C-accumulate: ``C := alpha·op(A)op(B) + beta·C`` with the addend as
+    ``C``.  ``alpha``/``beta`` are restricted to ±1 by the caller —
+    sign flips are exact in IEEE arithmetic (and exact under FMA
+    contraction too), so every variant is bit-identical to the separate
+    GEMM-then-ufunc sequence:
+
+    * ``add``:            ``alpha=1,  beta=1``   (either operand order)
+    * ``sub``, ``G - C``: ``alpha=1,  beta=-1``
+    * ``sub``, ``C - G``: ``alpha=-1, beta=1``
+
+    ``args`` is ``[a, b, addend]``.  The per-call closure lets f2py copy
+    the addend into the accumulate destination (``overwrite_c=0``):
+    slot-level liveness is not object-level ownership — an upstream op
+    can pass an *input array* through unchanged (e.g. a ``fori_loop``
+    identity body), so writing into the addend object in place could
+    corrupt a caller-owned feed.  The destination-aware closure stages
+    the addend into the arena destination (arena-owned by construction)
+    and accumulates there, allocation-free.  A non-BLAS dtype, a
+    mixed-dtype operand pair, or a promoted addend falls back to the
+    validating wrapper plus the original ufunc — raising or promoting
+    exactly like the unfused plan.
+    """
+    ta = 1 if trans_a else 0
+    tb = 1 if trans_b else 0
+    routines = blas3._GEMM
+    ufunc = np.add if ew_op == "add" else np.subtract
+
+    def _fallback(args):
+        a, b, c = args
+        g = blas3.gemm(a, b, trans_a=trans_a, trans_b=trans_b)
+        return ufunc(g, c) if g_first else ufunc(c, g)
+
+    def run(args, report, record):
+        a, b, c = args
+        routine = routines.get(a.dtype)
+        if routine is None or b.dtype != a.dtype or c.dtype != a.dtype:
+            return _fallback(args)
+        return routine(
+            alpha, a, b, beta=beta, c=c,
+            overwrite_c=0, trans_a=ta, trans_b=tb,
+        )
+
+    def run_out(args, out):
+        a, b, c = args
+        routine = routines.get(a.dtype)
+        if routine is None or b.dtype != a.dtype or c.dtype != a.dtype:
+            return _fallback(args)
+        if c is not out:
+            np.copyto(out, c)
+        # alpha/beta (±1) pass as python floats: f2py's C-side cast is
+        # exact, and no per-call numpy scalar is allocated.
+        return routine(
+            alpha, a, b, beta=beta, c=out,
+            overwrite_c=1, trans_a=ta, trans_b=tb,
         )
 
     return run, run_out
@@ -313,33 +464,13 @@ def _compile_matmul(node: Node) -> _Op:
         run, run_out = _dot_fns(k)
         return _Op(run, (_call("dot", (k,), node.op),), run_out)
     if n == 1 and m > 1:
-        def run(args, report, record):
-            a, b = args
-            x = np.ascontiguousarray(b).ravel()
-            return blas2.gemv(a, x, trans=trans_a).reshape(-1, 1)
-
-        def run_out(args, out):
-            a, b = args
-            x = np.ascontiguousarray(b).ravel()
-            blas2.gemv(a, x, trans=trans_a, out=out.reshape(-1))
-            return out
-
+        run, run_out = _gemv_fns(0, 1, trans_a)
         return _Op(
             run, (_call("gemv", (a_node.shape[0], a_node.shape[1]), node.op),),
             run_out,
         )
     if m == 1 and n > 1:
-        def run(args, report, record):
-            a, b = args
-            x = np.ascontiguousarray(a).ravel()
-            return blas2.gemv(b, x, trans=not trans_b).reshape(1, -1)
-
-        def run_out(args, out):
-            a, b = args
-            x = np.ascontiguousarray(a).ravel()
-            blas2.gemv(b, x, trans=not trans_b, out=out.reshape(-1))
-            return out
-
+        run, run_out = _gemv_fns(1, 0, not trans_b)
         return _Op(
             run, (_call("gemv", (b_node.shape[0], b_node.shape[1]), node.op),),
             run_out,
@@ -399,16 +530,35 @@ def _compile_structured_matmul(
             return out
 
         return _Op(run, (_call_free("identity", node.op),), run_out)
+    # Destination-aware variants exist for the untransposed operand
+    # forms; a transposed operand would have to be materialized first
+    # (``eff`` allocates), so those stay on the compute-then-copy path.
+    plain = not trans_a and not trans_b
     if hint == "diag_matmul":
         def run(args, report, record):
             return special.diag_matmul(*eff(args))
 
-        return _Op(run, (_call("diag_matmul", (k, n), node.op),))
+        def run_out(args, out):
+            return special.diag_matmul(args[0], args[1], out=out)
+
+        return _Op(
+            run, (_call("diag_matmul", (k, n), node.op),),
+            run_out if plain else None,
+        )
     if hint == "tridiagonal_matmul":
         def run(args, report, record):
             return special.tridiagonal_matmul(*eff(args))
 
-        return _Op(run, (_call("tridiagonal_matmul", (k, n), node.op),))
+        def run_out(args, out, scratch):
+            return special.tridiagonal_matmul(
+                args[0], args[1], out=out, scratch=scratch
+            )
+
+        return _Op(
+            run, (_call("tridiagonal_matmul", (k, n), node.op),),
+            run_out if plain else None,
+            needs_scratch=plain,
+        )
     if hint == "trmm":
         lower = opts.get("lower", True)
 
@@ -416,7 +566,13 @@ def _compile_structured_matmul(
             a_eff, b_eff = eff(args)
             return blas3.trmm(a_eff, b_eff, lower=lower)
 
-        return _Op(run, (_call("trmm", (m, n), node.op),))
+        def run_out(args, out):
+            return blas3.trmm(args[0], args[1], lower=lower, out=out)
+
+        return _Op(
+            run, (_call("trmm", (m, n), node.op),),
+            run_out if plain else None,
+        )
     if hint == "trmm_right":
         lower = opts.get("lower", True)
 
@@ -424,12 +580,26 @@ def _compile_structured_matmul(
             a_eff, b_eff = eff(args)
             return blas3.trmm(b_eff, a_eff, side_left=False, lower=lower)
 
-        return _Op(run, (_call("trmm", (n, m), node.op),))
+        def run_out(args, out):
+            return blas3.trmm(
+                args[1], args[0], side_left=False, lower=lower, out=out
+            )
+
+        return _Op(
+            run, (_call("trmm", (n, m), node.op),),
+            run_out if plain else None,
+        )
     if hint == "symm":
         def run(args, report, record):
             return blas3.symm(*eff(args))
 
-        return _Op(run, (_call("symm", (m, n), node.op),))
+        def run_out(args, out):
+            return blas3.symm(args[0], args[1], out=out)
+
+        return _Op(
+            run, (_call("symm", (m, n), node.op),),
+            run_out if plain else None,
+        )
     if hint == "syrk":
         if trans_b == trans_a:
             raise KernelError("syrk hint requires exactly one transpose flag")
@@ -438,7 +608,10 @@ def _compile_structured_matmul(
         def run(args, report, record):
             return blas3.syrk(args[0], trans=trans)
 
-        return _Op(run, (_call("syrk", (m, k), node.op),))
+        def run_out(args, out):
+            return blas3.syrk(args[0], trans=trans, out=out)
+
+        return _Op(run, (_call("syrk", (m, k), node.op),), run_out)
     raise KernelError(f"unknown matmul kernel hint {hint!r}")
 
 
@@ -495,6 +668,12 @@ def compile_plan(
         inputs.append(PlanInput(node.name, node.shape, i))
     num_slots = len(inputs)
     free_pool: dict[tuple, list[int]] = {}
+    # Workspace slots for destination-aware kernels that need one
+    # (tridiagonal row scalings).  Shared per shape: a scratch is only
+    # live *within* one instruction, so every same-shaped site can reuse
+    # one buffer.  Never fed from (or released into) the value pool —
+    # a pooled slot could alias a live operand.
+    scratch_pool: dict[tuple, int] = {}
 
     instructions: list[Instruction] = []
     for idx, node in enumerate(order):
@@ -525,6 +704,12 @@ def compile_plan(
             if last_use.get(id(inp)) == idx and inp.op not in ("input", "const"):
                 frees.append(slot_of[id(inp)])
                 free_pool.setdefault(inp.shape, []).append(slot_of[id(inp)])
+        scratch = None
+        if op.needs_scratch:
+            scratch = scratch_pool.get(node.shape)
+            if scratch is None:
+                scratch = scratch_pool[node.shape] = num_slots
+                num_slots += 1
         instructions.append(
             Instruction(
                 out_slot=out_slot,
@@ -538,6 +723,9 @@ def compile_plan(
                 fn_out=op.fn_out,
                 kind=op.kind,
                 params=op.params,
+                scratch=scratch,
+                fn_loop=op.fn_loop,
+                sub_plan=op.sub_plan,
             )
         )
 

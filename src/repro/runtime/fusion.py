@@ -15,6 +15,21 @@ list (slots, liveness and kernel selection already resolved):
    one premultiplied ``alpha`` would replace two rounded multiplies with
    one and drift a ULP.  Further trailing scales stay elementwise (and
    may still fuse with each other via rewrite 2).
+1b. **GEMM beta folding** — an ``add``/``sub`` combining the immediately
+   preceding unfolded GEMM's result (its only consumer) with an addend
+   whose value liveness proves **dead** at that very instruction folds
+   into the GEMM's C-accumulate: ``C := alpha·op(A)op(B) + beta·C`` with
+   the addend as ``C`` and ``alpha, beta ∈ {±1}``.  The restriction to
+   ±1 (no stacking on an alpha fold) is what keeps it bit-identical:
+   sign flips are exact — even under FMA contraction — so BLAS's
+   accumulate produces the same bits as the separate ufunc, while a
+   general ``alpha`` FMA'd against ``C`` could contract two roundings
+   into one.  The dead-addend requirement guarantees no later
+   instruction reads the addend value again (the fused site consumes it
+   as the accumulate seed) and excludes inputs/constants by
+   construction; the executors still never write *through* the addend
+   object itself, since slot liveness cannot prove the object isn't an
+   alias of a caller-owned feed.
 2. **Elementwise chain fusion** — a maximal run of adjacent
    add/sub/neg/scale instructions, each the single consumer of its
    predecessor's value, collapses into one fused closure: the first step
@@ -57,16 +72,19 @@ class FusionStats:
     gemm_folds: int
     instructions_before: int
     instructions_after: int
+    #: ``add``/``sub`` instructions folded into a GEMM's C-accumulate.
+    gemm_beta_folds: int = 0
 
     @property
     def sites(self) -> int:
-        """Fused sites in the plan (chains + alpha folds)."""
-        return self.ew_chains + self.gemm_folds
+        """Fused sites in the plan (chains + alpha folds + beta folds)."""
+        return self.ew_chains + self.gemm_folds + self.gemm_beta_folds
 
     def describe(self) -> str:
         return (
             f"fusion: {self.ew_chains} ew chains ({self.ew_ops_fused} ops), "
-            f"{self.gemm_folds} gemm alpha-folds"
+            f"{self.gemm_folds} gemm alpha-folds, "
+            f"{self.gemm_beta_folds} beta-folds"
         )
 
 
@@ -138,6 +156,102 @@ def _fold_gemm(
         kind="gemm",
         params=(trans_a, trans_b, new_alpha),
         fused_events=events,
+        scratch=scratch,
+    )
+
+
+def _beta_foldable(gemm: Instruction, ew: Instruction) -> bool:
+    """Can ``ew`` (an add/sub) fold into ``gemm``'s C-accumulate?
+
+    Requirements beyond adjacency:
+
+    * the GEMM is unfolded with ``alpha == 1`` (±1-only bit-identity —
+      see the module docstring) and not already a fused site;
+    * the GEMM result feeds exactly one of the ew's two operands and
+      dies there (single consumer);
+    * the *addend* also dies at the ew (liveness-proved dead: the fused
+      site consumes it as the accumulate seed and nothing reads it
+      afterwards; inputs/constants — never freed — are excluded by
+      construction);
+    * the addend is not one of the GEMM's own operands (BLAS forbids
+      ``C`` aliasing ``A``/``B``) and not the GEMM result itself
+      (``G + G`` is a scale, not an accumulate).
+    """
+    if gemm.kind != "gemm" or gemm.fused_events is not None:
+        return False
+    if ew.kind != "ew" or ew.params[0] not in ("add", "sub"):
+        return False
+    if gemm.params[2] != 1.0:
+        return False
+    g = gemm.out_slot
+    if len(ew.arg_slots) != 2 or ew.arg_slots.count(g) != 1:
+        return False
+    if g not in ew.free_slots:
+        return False
+    addend = ew.arg_slots[1] if ew.arg_slots[0] == g else ew.arg_slots[0]
+    return addend in ew.free_slots and addend not in gemm.arg_slots
+
+
+def _fold_gemm_beta(
+    gemm: Instruction, ew: Instruction, shape_of
+) -> Instruction:
+    """Merge an (unfolded) ``gemm`` and the trailing ``add``/``sub``
+    ``ew`` into one GEMM instruction accumulating into the dead addend."""
+    from .compiler import make_gemm_beta_fns  # deferred: compiler imports this module
+
+    trans_a, trans_b, _ = gemm.params
+    op = ew.params[0]
+    g_first = ew.arg_slots[0] == gemm.out_slot
+    addend = ew.arg_slots[1] if g_first else ew.arg_slots[0]
+    if op == "add":
+        alpha, beta = 1.0, 1.0
+    elif g_first:  # G - C
+        alpha, beta = 1.0, -1.0
+    else:  # C - G
+        alpha, beta = -1.0, 1.0
+    fn, fn_out = make_gemm_beta_fns(trans_a, trans_b, alpha, beta, g_first, op)
+    scratch = None
+    if ew.out_slot in gemm.arg_slots:
+        # The ew result reuses a GEMM operand's slot; accumulating there
+        # would alias C with A/B.  Stage in the GEMM's own (now dead)
+        # intermediate slot — disjoint from every operand — and copy the
+        # result home.  Still allocation-free under an arena.
+        scratch = gemm.out_slot
+        direct = fn_out
+
+        def fn_out(args, out, staging):
+            np.copyto(out, direct(args, staging))
+            return out
+
+    # Replay the members' original accounting: the GEMM's alloc/frees,
+    # then the ew's — resolving the (never materialized) GEMM result's
+    # shape locally.
+    ev = list(_default_events(gemm, shape_of))
+    ev.append(_elems(ew.out_shape))
+    for s in ew.free_slots:
+        shape = gemm.out_shape if s == gemm.out_slot else shape_of(s)
+        ev.append(-_elems(shape))
+    flops = gemm.calls[0].flops + ew.calls[0].flops
+    members = f"{gemm.calls[0].kernel}+{ew.calls[0].kernel}"
+    return Instruction(
+        out_slot=ew.out_slot,
+        arg_slots=gemm.arg_slots + (addend,),
+        fn=fn,
+        calls=(_combined_call(members, ew.out_shape, flops),),
+        # The merged site frees what both members freed — except the GEMM
+        # result (never materialized) and any slot the ew result recycled
+        # (clearing it after the write would null the result).
+        free_slots=tuple(
+            s for s in gemm.free_slots + ew.free_slots
+            if s != gemm.out_slot and s != ew.out_slot
+        ),
+        op=gemm.op,
+        label=ew.label,
+        out_shape=ew.out_shape,
+        fn_out=fn_out,
+        kind="gemm",
+        params=(trans_a, trans_b, alpha, beta),
+        fused_events=tuple(ev),
         scratch=scratch,
     )
 
@@ -302,12 +416,14 @@ def fuse_instructions(
     def shape_of(slot: int) -> tuple[int, ...]:
         return slot_shape[slot]
 
-    # Pass 1 — GEMM alpha folds.  One fold per GEMM, never a cascade:
-    # a second factor premultiplied into alpha would merge two rounded
-    # multiplies into one and break bit-identity with the interpreter
-    # (the ``fused_events is None`` guard is what stops re-folding).
+    # Pass 1 — GEMM alpha and beta folds.  One fold per GEMM, never a
+    # cascade: a second factor premultiplied into alpha would merge two
+    # rounded multiplies into one, and an alpha-scaled accumulate could
+    # FMA-contract against C — either breaks bit-identity with the
+    # interpreter (the ``fused_events is None`` guard stops re-folding).
     insts = list(instructions)
     gemm_folds = 0
+    gemm_beta_folds = 0
     idx = 0
     while idx < len(insts):
         inst = insts[idx]
@@ -323,6 +439,10 @@ def fuse_instructions(
         ):
             insts[idx:idx + 2] = [_fold_gemm(inst, nxt, shape_of)]
             gemm_folds += 1
+            continue  # re-examine: the guard stops a second fold
+        if nxt is not None and _beta_foldable(inst, nxt):
+            insts[idx:idx + 2] = [_fold_gemm_beta(inst, nxt, shape_of)]
+            gemm_beta_folds += 1
             continue  # re-examine: the guard stops a second fold
         slot_shape[inst.out_slot] = inst.out_shape
         idx += 1
@@ -372,5 +492,6 @@ def fuse_instructions(
         gemm_folds=gemm_folds,
         instructions_before=before,
         instructions_after=len(fused),
+        gemm_beta_folds=gemm_beta_folds,
     )
     return tuple(fused), stats

@@ -34,6 +34,22 @@ materialized (preallocated per-slot storage, written through the
 the arena's buffers — the next execution through the same arena
 overwrites them; copy what you need to keep (``execute_batch`` and the
 Session layer do this for you).
+
+Donated feeds
+-------------
+``execute(..., donate=True)`` is the caller's declaration that the fed
+arrays are already Fortran-ordered and theirs to hand over for the call:
+instead of staging each feed into an arena input slot with a memcpy, the
+plan aliases the arrays into the slot table directly.  Input slots are
+never written by instructions (inputs stay live for the whole run), so
+the arrays are read, never mutated — "donation" buys the zero-copy
+aliasing, and in exchange the caller must not mutate the arrays during
+the call and must not assume outputs are independent of later reuse of
+the arena.  A feed that is not Fortran-contiguous would silently put
+downstream kernels back on numpy's mixed-layout buffering paths, so
+strict donation *raises* ``ValueError`` naming the offending input;
+``donate="fallback"`` copies such feeds instead (the mode the Session
+layer uses under ``validation="full"``).
 """
 
 from __future__ import annotations
@@ -55,6 +71,13 @@ ExecFn = Callable[[list, ExecutionReport, bool], np.ndarray]
 #: without an in-place kernel leave this ``None`` and the executor falls
 #: back to compute-then-copy.
 OutFn = Callable[[list, np.ndarray], np.ndarray]
+
+#: A loop-body executor for arena mode:
+#: ``fn(args, out, state, report, record) -> ndarray``.  Drives the
+#: nested sub-plan through the persistent per-:class:`PlanArena`
+#: ``state`` (ping-pong child arenas + index buffer) so iterative
+#: workloads stay allocation-free after warmup.
+LoopFn = Callable[[list, np.ndarray, "LoopState", ExecutionReport, bool], np.ndarray]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -100,8 +123,16 @@ class Instruction:
     #: — used by fused sites whose destination slot recycles one of their
     #: own operand slots (the fused site's dead intermediate slot is
     #: repurposed: provably disjoint from every operand, so compute lands
-    #: there and one copy moves it home).
+    #: there and one copy moves it home), and by destination-aware
+    #: kernels that need a result-shaped workspace (the tridiagonal
+    #: row-scaling products).
     scratch: int | None = None
+    #: Arena-aware loop executor (``loop`` ops only); per-call mode and
+    #: cold arenas keep using ``fn``.
+    fn_loop: LoopFn | None = None
+    #: The compiled loop-body plan (``loop`` ops only) — what a
+    #: :class:`LoopState` builds its child arenas from.
+    sub_plan: "Plan | None" = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -111,6 +142,34 @@ class PlanInput:
     name: str
     shape: tuple[int, int]
     slot: int
+
+
+class LoopState:
+    """Persistent per-arena execution state of one ``loop`` instruction.
+
+    Two child arenas, used ping-pong (iteration *i* executes through
+    ``arenas[i & 1]``): the carried value coming out of one iteration
+    lives in one arena's buffers and can therefore be *donated* — aliased,
+    not copied — into the next iteration's feeds, because that iteration
+    writes only the other arena's (disjoint) buffers.  After both child
+    arenas warm up, the loop performs zero ndarray allocations and zero
+    carried-value copies per trip.  ``idx`` is the persistent ``(1, 1)``
+    iteration-counter buffer the sub-plan's first input aliases.
+    """
+
+    __slots__ = ("inst", "arenas", "_idx")
+
+    def __init__(self, inst: Instruction, sub_plan: "Plan") -> None:
+        # Pins the instruction: the owning dict is keyed by ``id(inst)``.
+        self.inst = inst
+        self.arenas = (sub_plan.new_arena(), sub_plan.new_arena())
+        self._idx: np.ndarray | None = None
+
+    def idx(self, dtype: np.dtype) -> np.ndarray:
+        buf = self._idx
+        if buf is None or buf.dtype != dtype:
+            buf = self._idx = np.empty((1, 1), dtype=dtype, order="F")
+        return buf
 
 
 class PlanArena:
@@ -140,7 +199,8 @@ class PlanArena:
     worker, as :func:`repro.runtime.batch.execute_batch` does).
     """
 
-    __slots__ = ("buffers", "allocations")
+    __slots__ = ("buffers", "allocations", "bytes_copied", "loops",
+                 "_turbo_sig", "_mixed")
 
     def __init__(self, plan: "Plan") -> None:
         #: Per-slot storage; ``None`` until the slot's first write.
@@ -148,6 +208,21 @@ class PlanArena:
         #: Buffers allocated so far — stops growing once the arena is
         #: warm (asserted by the allocation-free regression test).
         self.allocations = 0
+        #: Bytes memcpy'd into arena storage so far (feed staging, const
+        #: staging, compute-then-copy landings).  Donated feeds skip the
+        #: staging copies, which is what the ``bytes_copied_per_call``
+        #: benchmark metric measures.
+        self.bytes_copied = 0
+        #: ``id(instruction)`` → :class:`LoopState` for the plan's loop
+        #: instructions (the state pins the instruction, keeping the id
+        #: stable).
+        self.loops: dict[int, LoopState] = {}
+        # Turbo-eligibility: the input-dtype tuple of the last completed
+        # execution that needed no mixed-dtype fallback.  A later call
+        # whose bound feeds match it can skip every per-instruction
+        # dtype/warmth check (see Plan.execute).
+        self._turbo_sig: tuple | None = None
+        self._mixed = False
 
     def buffer(
         self, slot: int, shape: tuple[int, ...], dtype: np.dtype
@@ -182,6 +257,7 @@ class Plan:
         "fusion_stats",
         "_by_name",
         "_by_pos",
+        "_turbo_ops",
         # Weakly referenceable so per-plan accounting (Session._plan_stats)
         # can key on plans without pinning evicted ones in memory.
         "__weakref__",
@@ -210,6 +286,25 @@ class Plan:
         # of rebuilding two dicts on every mapping-feed call.
         self._by_name = {p.name: p for p in inputs}
         self._by_pos = dict(enumerate(inputs))
+        # The warm-arena fast-dispatch table: per instruction, the
+        # destination-aware executor when it can be called with zero
+        # per-call checks (no scratch staging, no const/loop special
+        # casing), else None → the general ``_exec_into`` path.  Purely
+        # structural, so resolved once here instead of per instruction
+        # per execution.
+        self._turbo_ops = tuple(
+            (
+                inst.fn_out
+                if inst.fn_out is not None
+                and inst.scratch is None
+                and inst.kind != "const"
+                else None,
+                inst.out_slot,
+                inst.arg_slots,
+                inst,
+            )
+            for inst in instructions
+        )
 
     def new_arena(self) -> PlanArena:
         """A fresh preallocated-buffer arena for this plan."""
@@ -282,8 +377,17 @@ class Plan:
             if buf is None or buf.shape != value.shape or buf.dtype != value.dtype:
                 buf = arena.buffer(inst.out_slot, value.shape, value.dtype)
                 np.copyto(buf, value)
+                arena.bytes_copied += value.nbytes
             return buf
         dtype = args[0].dtype if args else np.dtype(np.float64)
+        if inst.fn_loop is not None:
+            # Loops thread a persistent LoopState (ping-pong child arenas
+            # + index buffer) so the body executes arena'd too.
+            state = arena.loops.get(id(inst))
+            if state is None:
+                state = arena.loops[id(inst)] = LoopState(inst, inst.sub_plan)
+            buf = arena.buffer(inst.out_slot, inst.out_shape, dtype)
+            return inst.fn_loop(args, buf, state, report, record)
         mixed = any(a.dtype != dtype for a in args)
         if inst.fn_out is not None and not mixed:
             buf = arena.buffer(inst.out_slot, inst.out_shape, dtype)
@@ -291,13 +395,17 @@ class Plan:
                 return inst.fn_out(args, buf)
             staging = arena.buffer(inst.scratch, inst.out_shape, dtype)
             return inst.fn_out(args, buf, staging)
-        # No in-place kernel (loop, structured matmuls), or mixed operand
-        # dtypes (whose ufunc promotion an in-place destination would
-        # override): compute as per-call mode does, then land the result
-        # in the slot's stable storage when it fits.
+        if mixed:
+            # Ufunc promotion must win over in-place destinations; also
+            # bars the turbo path until a uniform-dtype pass completes.
+            arena._mixed = True
+        # No in-place kernel, or mixed operand dtypes: compute as
+        # per-call mode does, then land the result in the slot's stable
+        # storage when it fits.
         result = inst.fn(args, report, record)
         buf = arena.buffer(inst.out_slot, result.shape, result.dtype)
         np.copyto(buf, result)
+        arena.bytes_copied += result.nbytes
         return buf
 
     def execute(
@@ -307,29 +415,68 @@ class Plan:
         report: ExecutionReport | None = None,
         record: bool = True,
         arena: PlanArena | None = None,
+        donate: "bool | str" = False,
     ) -> tuple[list[np.ndarray], ExecutionReport]:
         """Run the plan; returns ``(outputs, report)`` like Interpreter.run.
 
         ``arena`` switches execution onto preallocated per-slot buffers
         (see :class:`PlanArena`); outputs then alias arena storage and are
         only valid until the next execution through the same arena.
+
+        ``donate`` (arena mode only) aliases already-Fortran-ordered
+        feeds straight into the slot table instead of memcpy'ing them
+        into arena input buffers — see *Donated feeds* in the module
+        docstring.  ``True`` raises :class:`ValueError` on a feed whose
+        layout would defeat the aliasing; ``"fallback"`` copies such
+        feeds instead.
         """
         report = report if report is not None else ExecutionReport()
         slots: list = [None] * self.num_slots
         self._bind(feeds, slots)
         if arena is not None:
-            # Stage feeds into the arena's F-ordered input buffers: one
-            # memcpy per input that (a) keeps every downstream ufunc on
-            # the single-layout no-buffering path and (b) hands BLAS
-            # F-contiguous operands it can use without f2py's hidden
-            # copies.  Values are unchanged, so outputs stay bit-identical.
-            for spec in self.inputs:
-                src = slots[spec.slot]
-                buf = arena.buffer(spec.slot, src.shape, src.dtype)
-                np.copyto(buf, src)
-                slots[spec.slot] = buf
+            if donate:
+                for spec in self.inputs:
+                    src = slots[spec.slot]
+                    if src.flags.f_contiguous:
+                        continue  # aliased in place — the zero-copy path
+                    if donate != "fallback":
+                        raise ValueError(
+                            f"donate=True: feed for input {spec.name!r} is "
+                            "not Fortran-contiguous — pass "
+                            "np.asfortranarray(...) (or donate='fallback' "
+                            "to copy feeds the layout check rejects)"
+                        )
+                    buf = arena.buffer(spec.slot, src.shape, src.dtype)
+                    np.copyto(buf, src)
+                    arena.bytes_copied += src.nbytes
+                    slots[spec.slot] = buf
+            else:
+                # Stage feeds into the arena's F-ordered input buffers:
+                # one memcpy per input that (a) keeps every downstream
+                # ufunc on the single-layout no-buffering path and (b)
+                # hands BLAS F-contiguous operands it can use without
+                # f2py's hidden copies.  Values are unchanged, so outputs
+                # stay bit-identical.
+                for spec in self.inputs:
+                    src = slots[spec.slot]
+                    buf = arena.buffer(spec.slot, src.shape, src.dtype)
+                    np.copyto(buf, src)
+                    arena.bytes_copied += src.nbytes
+                    slots[spec.slot] = buf
+        elif donate:
+            raise GraphError(
+                "donate= only applies to arena execution; pass arena= "
+                "(per-call mode never copies feeds)"
+            )
         bufs = arena.buffers if arena is not None else None
         if record:
+            if bufs is not None:
+                # A recording pass can still (re)warm buffers, so it must
+                # take part in the turbo certification protocol (see the
+                # serving branch below): invalidate first, certify after.
+                sig = tuple(slots[spec.slot].dtype for spec in self.inputs)
+                arena._turbo_sig = None
+                arena._mixed = False
             calls = report.calls
             for inst in self.instructions:
                 args = [slots[s] for s in inst.arg_slots]
@@ -357,17 +504,48 @@ class Plan:
                             report.free(-e * isz)
                     for s in inst.free_slots:
                         slots[s] = None
-        else:
+            if bufs is not None and not arena._mixed:
+                arena._turbo_sig = sig
+        elif bufs is None:
             for inst in self.instructions:
                 args = [slots[s] for s in inst.arg_slots]
-                if bufs is None:
-                    slots[inst.out_slot] = inst.fn(args, report, record)
-                else:
+                slots[inst.out_slot] = inst.fn(args, report, record)
+                for s in inst.free_slots:
+                    slots[s] = None
+        else:
+            # Serving path (arena, no accounting).  Once a full pass has
+            # completed with no mixed-dtype fallback, every buffer's
+            # shape/dtype is a pure function of the input dtypes — so a
+            # call whose bound feeds match that signature can run the
+            # *turbo* loop: precompiled fast dispatch, no per-instruction
+            # dtype/warmth checks, no slot clearing (arena buffers
+            # persist regardless).
+            sig = tuple(slots[spec.slot].dtype for spec in self.inputs)
+            if sig == arena._turbo_sig:
+                for fast, out_slot, arg_slots, inst in self._turbo_ops:
+                    args = [slots[s] for s in arg_slots]
+                    if fast is not None:
+                        slots[out_slot] = fast(args, bufs[out_slot])
+                    else:
+                        slots[out_slot] = self._exec_into(
+                            inst, args, arena, report, record
+                        )
+            else:
+                # General pass: per-instruction checks, and (re)warming
+                # as needed.  Invalidate the turbo signature first so an
+                # exception mid-pass can't leave a stale one pointing at
+                # half-rewarmed buffers; certify at the end.
+                arena._turbo_sig = None
+                arena._mixed = False
+                for inst in self.instructions:
+                    args = [slots[s] for s in inst.arg_slots]
                     slots[inst.out_slot] = self._run_arena(
                         inst, args, arena, bufs, report, record
                     )
-                for s in inst.free_slots:
-                    slots[s] = None
+                    for s in inst.free_slots:
+                        slots[s] = None
+                if not arena._mixed:
+                    arena._turbo_sig = sig
         return [slots[s] for s in self.output_slots], report
 
     def _run_arena(self, inst, args, arena, bufs, report, record):

@@ -348,3 +348,70 @@ class TestDestinationAware:
             blas2.gemv(a, x, out=np.empty(5, dtype=a.dtype))
         with pytest.raises(KernelError):
             blas2.gemv(a, x, out=np.empty(12, dtype=np.float64))
+
+
+class TestStructuredDestinationAware:
+    """``out=`` on TRMM/SYMM/SYRK: bit-identical to the allocating path,
+    written into the caller's Fortran buffer (the contract arena mode's
+    structured kernels rely on)."""
+
+    def test_trmm_out(self, rng):
+        a = np.tril(_mat(rng, 10, 10))
+        b = _mat(rng, 10, 7)
+        ref = blas3.trmm(a, b)
+        out = np.empty((10, 7), dtype=a.dtype, order="F")
+        assert blas3.trmm(a, b, out=out) is out
+        assert out.tobytes() == ref.tobytes()
+
+    def test_trmm_out_right_side(self, rng):
+        a = np.tril(_mat(rng, 7, 7))
+        b = _mat(rng, 10, 7)
+        ref = blas3.trmm(a, b, side_left=False)
+        out = np.empty((10, 7), dtype=a.dtype, order="F")
+        assert blas3.trmm(a, b, side_left=False, out=out) is out
+        assert out.tobytes() == ref.tobytes()
+
+    def test_symm_out(self, rng):
+        s = _mat(rng, 9, 9)
+        s = s + s.T
+        b = _mat(rng, 9, 6)
+        ref = blas3.symm(s, b)
+        out = np.asfortranarray(np.full((9, 6), np.nan, dtype=s.dtype))
+        assert blas3.symm(s, b, out=out) is out
+        assert out.tobytes() == ref.tobytes()
+
+    @pytest.mark.parametrize("lower", [True, False], ids=["lower", "upper"])
+    @pytest.mark.parametrize("trans", [False, True], ids=["a_at", "at_a"])
+    def test_syrk_out_overwrites_dirty_buffer(self, rng, lower, trans):
+        a = _mat(rng, 8, 5)
+        ref = blas3.syrk(a, trans=trans, lower=lower)
+        n = ref.shape[0]
+        # A dirty destination must be fully overwritten: BLAS only
+        # touches one triangle, the in-place mirror fill covers the rest.
+        out = np.asfortranarray(np.full((n, n), 123.0, dtype=a.dtype))
+        assert blas3.syrk(a, trans=trans, lower=lower, out=out) is out
+        assert out.tobytes() == ref.tobytes()
+
+    def test_syrk_fill_is_exact_mirror(self, rng):
+        a = _mat(rng, 9, 4)
+        c = blas3.syrk(a)
+        assert c.tobytes() == np.ascontiguousarray(c.T).tobytes()
+
+    def test_syrk_out_requires_fill(self, rng):
+        a = _mat(rng, 6, 4)
+        out = np.empty((6, 6), dtype=a.dtype, order="F")
+        with pytest.raises(KernelError, match="fill"):
+            blas3.syrk(a, fill=False, out=out)
+
+    def test_structured_out_rejects_bad_buffers(self, rng):
+        a = np.tril(_mat(rng, 8, 8))
+        b = _mat(rng, 8, 5)
+        with pytest.raises(ShapeError):
+            blas3.trmm(a, b, out=np.empty((5, 5), dtype=a.dtype, order="F"))
+        with pytest.raises(KernelError, match="dtype"):
+            blas3.trmm(a, b, out=np.empty((8, 5), dtype=np.float64, order="F"))
+        with pytest.raises(KernelError, match="Fortran"):
+            blas3.trmm(a, b, out=np.empty((8, 5), dtype=a.dtype))
+        s = a + a.T
+        with pytest.raises(KernelError, match="Fortran"):
+            blas3.symm(s, b, out=np.empty((8, 5), dtype=a.dtype))

@@ -172,3 +172,83 @@ class TestLapack:
         a = self._spd(rng, 6, np.float64)
         with pytest.raises(ShapeError):
             lapack.cholesky_solve(a, rng.random(7))
+
+
+class TestBandViews:
+    """Zero-copy band extraction and the destination-aware specials."""
+
+    def _t(self, rng, n=9):
+        dl = (rng.random(n - 1) - 0.5).astype(np.float32)
+        d = (rng.random(n) - 0.5).astype(np.float32)
+        du = (rng.random(n - 1) - 0.5).astype(np.float32)
+        return special.tridiag_from_bands(dl, d, du)
+
+    @pytest.mark.parametrize("order", ["C", "F"])
+    def test_views_match_diagonals_without_copying(self, rng, order):
+        t = np.asarray(self._t(rng), order=order)
+        dl, d, du = special.tridiag_band_views(t)
+        assert np.array_equal(dl, np.diag(t, -1))
+        assert np.array_equal(d, np.diag(t))
+        assert np.array_equal(du, np.diag(t, 1))
+        for band in (dl, d, du):
+            assert np.shares_memory(band, t)
+
+    def test_non_contiguous_returns_none_and_gather_works(self, rng):
+        big = np.zeros((14, 14), dtype=np.float32)
+        t = self._t(rng, 7)
+        big[:7, :7] = t
+        view = big[:7, :7]  # row-sliced: neither C- nor F-contiguous
+        assert not view.flags.c_contiguous and not view.flags.f_contiguous
+        assert special.tridiag_band_views(view) is None
+        dl, d, du = special.bands_from_tridiag(view)
+        assert np.array_equal(d, np.diag(t))
+        assert np.array_equal(dl, np.diag(t, -1))
+
+    def test_bands_from_tridiag_returns_owned_copies(self, rng):
+        t = self._t(rng)
+        dl, d, du = special.bands_from_tridiag(t)
+        d[0] = 999.0
+        assert t[0, 0] != 999.0
+
+    def test_bands_from_tridiag_out(self, rng):
+        t = self._t(rng)
+        out = (np.empty(8, np.float32), np.empty(9, np.float32),
+               np.empty(8, np.float32))
+        assert special.bands_from_tridiag(t, out=out) is out
+        assert np.array_equal(out[1], np.diag(t))
+        with pytest.raises(ShapeError):
+            special.bands_from_tridiag(
+                t, out=(np.empty(3, np.float32),) * 3)
+
+    def test_tridiagonal_matmul_out_bit_identical(self, rng):
+        t = self._t(rng)
+        b = _mat(rng, 9, 5)
+        ref = special.tridiagonal_matmul(t, b)
+        out = np.empty((9, 5), dtype=b.dtype, order="F")
+        scratch = np.empty((9, 5), dtype=b.dtype, order="F")
+        assert special.tridiagonal_matmul(t, b, out=out,
+                                          scratch=scratch) is out
+        assert out.tobytes() == ref.tobytes()
+        # scratch is optional (allocated internally when omitted)
+        out2 = np.empty((9, 5), dtype=b.dtype)
+        special.tridiagonal_matmul(t, b, out=out2)
+        assert out2.tobytes() == ref.tobytes()
+        with pytest.raises(ShapeError):
+            special.tridiagonal_matmul(t, b, out=np.empty((3, 3), b.dtype))
+
+    def test_tridiagonal_matmul_out_one_by_one(self, rng):
+        t = np.array([[3.0]], dtype=np.float32)
+        b = np.array([[2.0, -1.0]], dtype=np.float32)
+        out = np.empty((1, 2), dtype=np.float32)
+        special.tridiagonal_matmul(t, b, out=out)
+        assert np.array_equal(out, [[6.0, -3.0]])
+
+    def test_diag_matmul_out_bit_identical(self, rng):
+        d = np.diag((rng.random(8) - 0.5).astype(np.float32))
+        b = _mat(rng, 8, 6)
+        ref = special.diag_matmul(d, b)
+        out = np.empty((8, 6), dtype=b.dtype, order="F")
+        assert special.diag_matmul(d, b, out=out) is out
+        assert out.tobytes() == ref.tobytes()
+        with pytest.raises(ShapeError):
+            special.diag_matmul(d, b, out=np.empty((2, 2), b.dtype))

@@ -14,10 +14,17 @@ import tracemalloc
 import numpy as np
 import pytest
 
+from repro.frameworks import tfsim
 from repro.ir import Interpreter, trace
-from repro.passes import default_pipeline
+from repro.passes import aware_pipeline, default_pipeline
 from repro.runtime import compile_plan
-from repro.tensor import random_general
+from repro.tensor import (
+    random_general,
+    random_lower_triangular,
+    random_symmetric,
+    random_tridiagonal,
+    random_vector,
+)
 
 N = 64  # one float32 matrix = N*N*4 = 16 KiB; python-object noise ~1 KiB
 
@@ -92,6 +99,112 @@ class TestAllocationFree:
         assert sum(s.size for s in snap.statistics("lineno")) == 0
 
 
+class TestLoopBodies:
+    """``fori_loop`` sub-plans execute through persistent ping-pong child
+    arenas: iterative workloads are allocation-free after warmup too."""
+
+    def _power_iteration(self):
+        a = random_general(N, seed=1)
+        v = random_vector(N, seed=2)
+
+        def body(i, x, aa):
+            return 0.05 * (aa @ x)
+
+        def fn(p, q):
+            return tfsim.fori_loop(10, body, q, [p])
+
+        graph = default_pipeline().run(trace(fn, [a, v]))
+        return graph, [a.data, v.data]
+
+    @pytest.mark.parametrize("fusion", [False, True], ids=["plain", "fused"])
+    def test_loop_zero_ndarray_allocations_after_warmup(self, fusion):
+        graph, feeds = self._power_iteration()
+        plan = compile_plan(graph, fusion=fusion)
+        arena = plan.new_arena()
+        ref, _ = plan.execute(feeds, record=False)
+        for _ in range(3):  # both ping-pong child arenas must warm
+            outs, _ = plan.execute(feeds, record=False, arena=arena)
+            assert outs[0].tobytes() == ref[0].tobytes()
+        tracemalloc.start()
+        for _ in range(10):
+            plan.execute(feeds, record=False, arena=arena)
+        snap = tracemalloc.take_snapshot().filter_traces(
+            [tracemalloc.DomainFilter(
+                inclusive=True, domain=np.lib.tracemalloc_domain)]
+        )
+        tracemalloc.stop()
+        assert sum(s.size for s in snap.statistics("lineno")) == 0
+
+    def test_loop_carried_value_is_donated_not_copied(self):
+        """After warmup an iteration stages nothing: the carried value and
+        the captures alias arena buffers across the loop boundary."""
+        graph, feeds = self._power_iteration()
+        plan = compile_plan(graph)
+        arena = plan.new_arena()
+        for _ in range(3):
+            plan.execute(feeds, record=False, arena=arena)
+        (state,) = arena.loops.values()
+        copied = [child.bytes_copied for child in state.arenas]
+        plan.execute(feeds, record=False, arena=arena)
+        assert [c.bytes_copied for c in state.arenas] == copied
+
+    def test_loop_report_parity_through_arena(self):
+        graph, feeds = self._power_iteration()
+        outs_i, rep_i = Interpreter(record=True).run(graph, feeds)
+        plan = compile_plan(graph)
+        arena = plan.new_arena()
+        for _ in range(2):
+            outs_p, rep_p = plan.execute(feeds, arena=arena)
+            assert outs_p[0].tobytes() == outs_i[0].tobytes()
+            assert rep_p.calls == rep_i.calls
+            assert rep_p.peak_bytes == rep_i.peak_bytes
+
+
+class TestStructuredKernels:
+    """TRMM/SYMM/SYRK and the diagonal/tridiagonal specials write arena
+    destinations directly — no compute-then-copy, no allocations."""
+
+    CASES = {
+        "trmm": (lambda l, b: l @ b, ["L", "B"]),
+        "trmm_right": (lambda b, l: b @ l, ["B", "L"]),
+        "symm": (lambda s, b: s @ b, ["S", "B"]),
+        "syrk": (lambda a: a @ a.T, ["A"]),
+        "tridiag": (lambda t, b: t @ b, ["T", "B"]),
+    }
+
+    @pytest.mark.parametrize("case", CASES, ids=list(CASES))
+    def test_structured_arena_zero_data_allocations(self, case):
+        fn, keys = self.CASES[case]
+        pool = {
+            "A": random_general(N, seed=1),
+            "B": random_general(N, seed=2),
+            "L": random_lower_triangular(N, seed=5),
+            "S": random_symmetric(N, seed=6),
+            "T": random_tridiagonal(N, seed=9),
+        }
+        args = [pool[k] for k in keys]
+        graph = aware_pipeline().run(trace(fn, args))
+        feeds = [t.data for t in args]
+        outs_i, rep_i = Interpreter(record=True).run(graph, feeds)
+        plan = compile_plan(graph)
+        arena = plan.new_arena()
+        plan.execute(feeds, record=False, arena=arena)
+        staged = arena.bytes_copied  # feed staging only
+        tracemalloc.start()
+        for _ in range(5):
+            outs, _ = plan.execute(feeds, record=False, arena=arena)
+            assert outs[0].tobytes() == outs_i[0].tobytes()
+        snap = tracemalloc.take_snapshot().filter_traces(
+            [tracemalloc.DomainFilter(
+                inclusive=True, domain=np.lib.tracemalloc_domain)]
+        )
+        tracemalloc.stop()
+        assert sum(s.size for s in snap.statistics("lineno")) == 0
+        # No compute-then-copy landings: the only copies are feed staging.
+        per_call = sum(f.nbytes for f in feeds)
+        assert arena.bytes_copied == staged + 5 * per_call
+
+
 class TestArenaSemantics:
     def test_outputs_alias_arena_and_are_overwritten(self, workload):
         graph, feeds = workload
@@ -152,12 +265,9 @@ class TestArenaSemantics:
             assert rep.peak_bytes == rep_i.peak_bytes
             assert rep.live_bytes == rep_i.live_bytes
 
-    def test_structured_kernels_fall_back_to_copy(self):
-        """Ops without an ``out=`` kernel (TRMM here) still execute
-        correctly in arena mode via compute-then-copy."""
-        from repro.tensor import random_lower_triangular
-        from repro.passes import aware_pipeline
-
+    def test_structured_kernels_write_destinations(self):
+        """TRMM executes destination-aware in arena mode (compute-then-
+        copy fell away this PR); outputs stay bit-identical either way."""
         l_mat = random_lower_triangular(16, seed=5)
         b = random_general(16, seed=2)
         graph = aware_pipeline().run(trace(lambda l, p: l @ p, [l_mat, b]))

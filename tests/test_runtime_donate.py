@@ -1,0 +1,205 @@
+"""Zero-copy feed donation (Plan.execute(donate=...) / Options(donate_feeds=)).
+
+The contract under test: donating already-Fortran-ordered feeds aliases
+them into the arena's input slots — no staging memcpys, no allocations,
+bit-identical outputs — while a feed that fails the layout check raises
+a clear ``ValueError`` naming the input (strict mode) or is copied
+(``"fallback"`` mode).
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.errors import ConfigError, GraphError
+from repro.ir import trace
+from repro.passes import default_pipeline
+from repro.runtime import compile_plan, execute_batch
+from repro.tensor import Tensor, random_general
+
+N = 64
+
+
+def _workload():
+    ops = [random_general(N, seed=s) for s in (1, 2, 3)]
+
+    def fn(a, b, c):
+        acc = a
+        for _ in range(4):
+            acc = (acc @ b + c - a) @ a.T
+        return 2.0 * acc + b - (-c) * 0.5
+
+    graph = default_pipeline().run(trace(fn, ops))
+    return graph, [t.data for t in ops]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return _workload()
+
+
+def _alloc_peak(fn, reps=30):
+    fn()
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    for _ in range(reps):
+        fn()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak
+
+
+class TestPlanDonation:
+    @pytest.mark.parametrize("fusion", [False, True], ids=["plain", "fused"])
+    def test_donated_feeds_are_aliased_not_copied(self, workload, fusion):
+        graph, feeds = workload
+        plan = compile_plan(graph, fusion=fusion)
+        arena = plan.new_arena()
+        ref, _ = plan.execute(feeds, record=False)
+        feeds_f = [np.asfortranarray(f) for f in feeds]
+        for _ in range(3):
+            outs, _ = plan.execute(feeds_f, record=False, arena=arena,
+                                   donate=True)
+            assert outs[0].tobytes() == ref[0].tobytes()
+        # The aliasing is real: no bytes were staged, and no arena buffer
+        # was ever materialized for the input slots.
+        assert arena.bytes_copied == 0
+        for spec in plan.inputs:
+            assert arena.buffers[spec.slot] is None
+
+    def test_donation_is_zero_allocation_after_warmup(self, workload):
+        graph, feeds = workload
+        plan = compile_plan(graph, fusion=True)
+        arena = plan.new_arena()
+        feeds_f = [np.asfortranarray(f) for f in feeds]
+        for _ in range(3):
+            plan.execute(feeds_f, record=False, arena=arena, donate=True)
+        warm = arena.allocations
+        peak = _alloc_peak(
+            lambda: plan.execute(feeds_f, record=False, arena=arena,
+                                 donate=True)
+        )
+        assert peak < feeds[0].nbytes, f"donated execution allocated: {peak}"
+        assert arena.allocations == warm
+        # ...and strictly: zero ndarray *data* allocations survive.
+        tracemalloc.start()
+        for _ in range(10):
+            plan.execute(feeds_f, record=False, arena=arena, donate=True)
+        snap = tracemalloc.take_snapshot().filter_traces(
+            [tracemalloc.DomainFilter(
+                inclusive=True, domain=np.lib.tracemalloc_domain)]
+        )
+        tracemalloc.stop()
+        assert sum(s.size for s in snap.statistics("lineno")) == 0
+
+    def test_c_ordered_feed_raises_naming_the_input(self, workload):
+        graph, feeds = workload
+        plan = compile_plan(graph)
+        arena = plan.new_arena()
+        bad = [np.asfortranarray(f) for f in feeds]
+        bad[1] = np.ascontiguousarray(feeds[1])  # C-ordered: fails the check
+        with pytest.raises(ValueError, match=plan.inputs[1].name):
+            plan.execute(bad, record=False, arena=arena, donate=True)
+        with pytest.raises(ValueError, match="Fortran-contiguous"):
+            plan.execute(bad, record=False, arena=arena, donate=True)
+
+    def test_fallback_copies_rejected_layouts(self, workload):
+        graph, feeds = workload
+        plan = compile_plan(graph, fusion=True)
+        arena = plan.new_arena()
+        ref, _ = plan.execute(feeds, record=False)
+        mixed = [np.asfortranarray(feeds[0]), feeds[1], feeds[2]]
+        outs, _ = plan.execute(mixed, record=False, arena=arena,
+                               donate="fallback")
+        assert outs[0].tobytes() == ref[0].tobytes()
+        # Exactly the two C-ordered feeds were staged; the F one aliased.
+        assert arena.bytes_copied == feeds[1].nbytes + feeds[2].nbytes
+        assert arena.buffers[plan.inputs[0].slot] is None
+
+    def test_donate_requires_arena(self, workload):
+        graph, feeds = workload
+        plan = compile_plan(graph)
+        with pytest.raises(GraphError, match="arena"):
+            plan.execute(feeds, donate=True)
+
+    def test_donated_record_mode_keeps_report_parity(self, workload):
+        graph, feeds = workload
+        plan = compile_plan(graph)
+        _, rep_ref = plan.execute(feeds)
+        arena = plan.new_arena()
+        feeds_f = [np.asfortranarray(f) for f in feeds]
+        _, rep = plan.execute(feeds_f, arena=arena, donate=True)
+        assert rep.calls == rep_ref.calls
+        assert rep.peak_bytes == rep_ref.peak_bytes
+
+    def test_donated_feeds_are_read_not_mutated(self, workload):
+        graph, feeds = workload
+        plan = compile_plan(graph, fusion=True)
+        arena = plan.new_arena()
+        feeds_f = [np.asfortranarray(f) for f in feeds]
+        before = [f.copy() for f in feeds_f]
+        for _ in range(2):
+            plan.execute(feeds_f, record=False, arena=arena, donate=True)
+        for f, b in zip(feeds_f, before):
+            assert f.tobytes() == b.tobytes()
+
+
+class TestBatchDonation:
+    def test_batch_donated_matches_per_call(self, workload):
+        graph, feeds = workload
+        plan = compile_plan(graph, fusion=True)
+        feeds_f = [np.asfortranarray(f) for f in feeds]
+        ref = execute_batch(plan, [feeds] * 4)
+        res = execute_batch(plan, [feeds_f] * 4, arena="preallocated",
+                            donate_feeds=True)
+        for a, b in zip(ref.outputs, res.outputs):
+            assert a[0].tobytes() == b[0].tobytes()
+
+    def test_batch_donation_requires_arena(self, workload):
+        graph, feeds = workload
+        plan = compile_plan(graph)
+        with pytest.raises(GraphError, match="preallocated"):
+            execute_batch(plan, [feeds], donate_feeds=True)
+
+
+class TestSessionDonation:
+    def test_options_gate(self):
+        with pytest.raises(ConfigError, match="preallocated"):
+            api.Options(donate_feeds=True).validate()
+        with pytest.raises(ConfigError, match="donate_feeds"):
+            api.Options(arena="preallocated", donate_feeds="bogus").validate()
+        api.Options(arena="preallocated", donate_feeds="fallback").validate()
+
+    def test_session_donated_run_matches_plain(self):
+        a = Tensor(np.asfortranarray(random_general(16, seed=1).data))
+        b = Tensor(np.asfortranarray(random_general(16, seed=2).data))
+        fn = lambda p, q: (p @ q + p).T @ q  # noqa: E731
+        with api.Session() as plain:
+            ref = plain.run(fn, a, b)
+        with api.Session(fusion=True, arena="preallocated",
+                         donate_feeds=True) as s:
+            for _ in range(3):
+                out = s.run(fn, a, b)
+                assert out.data.tobytes() == ref.data.tobytes()
+            assert "donated feeds (strict)" in s.stats().render()
+
+    def test_session_strict_donation_rejects_c_ordered(self):
+        a = random_general(16, seed=1)  # C-ordered tensor data
+        b = random_general(16, seed=2)
+        with api.Session(arena="preallocated", donate_feeds=True) as s:
+            with pytest.raises(ValueError, match="Fortran-contiguous"):
+                s.run(lambda p, q: p @ q, a, b)
+
+    def test_validation_full_softens_to_fallback(self):
+        a = random_general(16, seed=1)
+        b = random_general(16, seed=2)
+        with api.Session() as plain:
+            ref = plain.run(lambda p, q: p @ q, a, b)
+        with api.Session(arena="preallocated", donate_feeds=True,
+                         validation="full") as s:
+            out = s.run(lambda p, q: p @ q, a, b)
+            assert out.data.tobytes() == ref.data.tobytes()

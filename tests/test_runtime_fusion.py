@@ -149,6 +149,151 @@ class TestGemmAlphaFold:
         assert "gemv" in {c.kernel for c in rep.calls}
 
 
+class TestGemmBetaFold:
+    """A single-consumer ``add``/``sub`` of a GEMM result with a *dead*
+    addend folds into the BLAS call's C-accumulate (``beta=±1``).  The
+    contract: bit-identical to the interpreter in every fusion × arena
+    combination, FLOP totals and modelled memory preserved."""
+
+    EXPRS = {
+        "add": lambda a, b: a @ b + b @ a,
+        "add_flipped": lambda a, b: (a + a) + (a @ b),
+        "sub_g_minus_c": lambda a, b: a @ b - b @ a,
+        "sub_c_minus_g": lambda a, b: (a + b) - (a @ b),
+    }
+
+    @pytest.mark.parametrize("name", EXPRS, ids=list(EXPRS))
+    def test_folds_and_stays_bit_identical(self, name, ab):
+        expr = self.EXPRS[name]
+        graph = trace(expr, ab)
+        feeds = [t.data for t in ab]
+        outs_i, rep_i = Interpreter(record=True).run(graph, feeds)
+        fused = compile_plan(graph, fusion=True)
+        assert fused.fusion_stats.gemm_beta_folds == 1
+        arena = fused.new_arena()
+        for use in (None, arena, arena):  # per-call, warming, warm
+            outs_f, rep_f = fused.execute(feeds, arena=use)
+            assert outs_i[0].tobytes() == outs_f[0].tobytes()
+            assert rep_f.total_flops == rep_i.total_flops
+            assert rep_f.peak_bytes == rep_i.peak_bytes
+            assert rep_f.live_bytes == rep_i.live_bytes
+
+    def test_combined_call_record(self, ab):
+        fused = _plan_pair(lambda a, b: a @ b + b @ a, ab, pipeline=False)[1]
+        (inst,) = [i for i in fused.instructions if i.fused_events is not None]
+        assert inst.calls[0].kernel == "fused(gemm+add)"
+        assert inst.calls[0].node_op == "fused"
+
+    def test_live_addend_blocks_fold(self, ab):
+        # The addend is an input — never dead, so the in-place accumulate
+        # would overwrite a caller-visible value.  Must not fold.
+        _, fused, _ = _plan_pair(lambda a, b: a @ b + a, ab, pipeline=False)
+        assert fused.fusion_stats.gemm_beta_folds == 0
+
+    def test_multiuse_addend_blocks_fold(self, ab):
+        def fn(a, b):
+            t = a + b
+            return a @ b + t, t
+
+        _, fused, _ = _plan_pair(fn, ab, pipeline=False)
+        assert fused.fusion_stats.gemm_beta_folds == 0
+
+    def test_alpha_folded_gemm_not_beta_folded(self, ab):
+        # alpha != 1 would let BLAS FMA-contract alpha·acc against C —
+        # one rounding where the interpreter has two.  The alpha fold
+        # wins (adjacent scale); the add stays elementwise.
+        def fn(a, b):
+            return 2.0 * (a @ b) + (b @ a)
+
+        graph = trace(fn, ab)
+        feeds = [t.data for t in ab]
+        fused = compile_plan(graph, fusion=True)
+        assert fused.fusion_stats.gemm_folds == 1
+        # The second gemm (b@a) has a live single-consumer... its result
+        # feeds the add whose other operand is the alpha-folded site's
+        # result; whichever way it resolved, outputs stay bit-identical.
+        outs_i, _ = Interpreter(record=True).run(graph, feeds)
+        for use in (None, fused.new_arena()):
+            outs_f, _ = fused.execute(feeds, arena=use)
+            assert outs_i[0].tobytes() == outs_f[0].tobytes()
+
+    def test_gemm_result_plus_itself_not_beta_folded(self, ab):
+        def fn(a, b):
+            t = a @ b
+            return t + t
+
+        _, fused, _ = _plan_pair(fn, ab, pipeline=False)
+        assert fused.fusion_stats.gemm_beta_folds == 0
+
+    def test_fold_never_mutates_a_passed_through_feed(self, ab):
+        """Slot liveness is not object ownership: an op can hand an
+        *input array* through unchanged (here a fori_loop identity
+        body), so the accumulate must never write through the addend
+        object.  Regression: overwrite_c=1 in per-call mode corrupted
+        the caller's feed and made repeat calls disagree."""
+        from repro.frameworks import tfsim
+
+        def fn(p, q):
+            return tfsim.fori_loop(3, lambda i, x, pp: x, q, [p]) + p @ p
+
+        graph = trace(fn, ab)
+        feeds = [np.asfortranarray(t.data) for t in ab]
+        kept = [f.copy() for f in feeds]
+        fused = compile_plan(graph, fusion=True)
+        assert fused.fusion_stats.gemm_beta_folds == 1
+        first, _ = fused.execute(feeds, record=False)
+        first = [o.copy() for o in first]
+        for f, k in zip(feeds, kept):
+            assert f.tobytes() == k.tobytes(), "caller feed was mutated"
+        again, _ = fused.execute(feeds, record=False)
+        assert first[0].tobytes() == again[0].tobytes()
+        outs_i, _ = Interpreter(record=True).run(graph, feeds)
+        assert outs_i[0].tobytes() == again[0].tobytes()
+
+    def test_mixed_operand_dtypes_raise_like_unfused(self, ab):
+        """A beta-folded GEMM must not silently downcast a mismatched B
+        operand: the unfused plan raises DTypeError, so the fused one
+        must too (regression: only the addend dtype was checked)."""
+        from repro.errors import DTypeError
+        from repro.frameworks import tfsim
+        from repro.tensor import Tensor
+
+        k64 = np.ones((12, 12), dtype=np.float64)
+
+        def fn(a, b):
+            return b @ a + a @ tfsim.constant(k64)
+
+        # Trace uniformly in float64 (tracing rejects mixed dtypes)...
+        a64 = [Tensor(t.data.astype(np.float64)) for t in ab]
+        graph = trace(fn, a64)
+        fused = compile_plan(graph, fusion=True)
+        assert fused.fusion_stats.gemm_beta_folds == 1
+        plain = compile_plan(graph)
+        # ...then feed float32: the float64 const makes `a @ K` mixed at
+        # execution time.
+        feeds32 = [t.data for t in ab]
+        with pytest.raises(DTypeError):
+            plain.execute(feeds32, record=False)
+        with pytest.raises(DTypeError):
+            fused.execute(feeds32, record=False)
+        with pytest.raises(DTypeError):
+            fused.execute(feeds32, record=False, arena=fused.new_arena())
+
+    def test_integer_feeds_fall_back(self, ab):
+        graph = trace(lambda a, b: a @ b + b @ a, ab)
+        fused = compile_plan(graph, fusion=True)
+        assert fused.fusion_stats.gemm_beta_folds == 1
+        feeds = [np.arange(144, dtype=np.int64).reshape(12, 12),
+                 np.ones((12, 12), dtype=np.int64)]
+        ref, _ = fused.execute(feeds, record=False)
+        plain = compile_plan(graph)
+        exp, _ = plain.execute(feeds, record=False)
+        assert ref[0].dtype == exp[0].dtype
+        assert ref[0].tobytes() == exp[0].tobytes()
+        outs, _ = fused.execute(feeds, record=False, arena=fused.new_arena())
+        assert outs[0].tobytes() == exp[0].tobytes()
+
+
 class TestArenaAliasing:
     """Fused sites whose destination slot recycles an operand slot must
     stage through the scratch buffer, not clobber live operands."""
