@@ -31,6 +31,22 @@ import sys
 GATED_KEYS = (
     "plan_exec_fused_arena_seconds",
     "alloc_peak_bytes_fused_arena",
+    "pinned_exec_seconds",
+    "batch_64_feeds_sharded_seconds",
+)
+
+#: Keys a runner may legitimately not produce (sharding disabled via
+#: ``REPRO_BENCH_SHARDS=0``, or recorded as ``null``): absence from the
+#: *fresh* results skips the key with a notice instead of failing —
+#: mirroring the workload-mismatch skip.  Absence from an older
+#: *baseline* is already tolerated for every key.
+OPTIONAL_KEYS = (
+    "batch_64_feeds_sharded_seconds",
+)
+
+#: Keys only comparable when both runs used the same shard count.
+SHARD_KEYS = (
+    "batch_64_feeds_sharded_seconds",
 )
 
 
@@ -56,6 +72,18 @@ def main(argv: list[str] | None = None) -> int:
             f"fresh {fresh_wl}) — timings not comparable, skipping check"
         )
         return 0
+    # Shard timings are only comparable at the same worker count (a
+    # 1-shard run is legitimately ~2x a 2-shard baseline) — mirror the
+    # workload-mismatch skip for the shard-dependent keys.
+    shard_comparable = (
+        baseline.get("shard_workers") == fresh.get("shard_workers")
+    )
+    if not shard_comparable:
+        print(
+            f"bench-regression: shard_workers differ (baseline "
+            f"{baseline.get('shard_workers')}, fresh "
+            f"{fresh.get('shard_workers')}) — skipping shard metrics"
+        )
 
     # Machine-speed normalization for wall-clock metrics.
     base_ref = baseline.get("machine_ref_sgemm_out_seconds")
@@ -73,12 +101,21 @@ def main(argv: list[str] | None = None) -> int:
 
     failures = []
     for key in GATED_KEYS:
+        if key in SHARD_KEYS and not shard_comparable:
+            continue
         base = baseline.get(key)
         new = fresh.get(key)
         if base is None:
             print(f"bench-regression: {key} absent from baseline, skipping")
             continue
         if new is None:
+            if key in OPTIONAL_KEYS:
+                print(
+                    f"bench-regression: {key} absent from fresh results "
+                    "(optional metric — e.g. sharding disabled on this "
+                    "runner), skipping"
+                )
+                continue
             failures.append(f"{key}: missing from fresh results")
             continue
         limit = base * (1.0 + args.tolerance)

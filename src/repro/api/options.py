@@ -75,6 +75,21 @@ class Options:
         raises ``ValueError`` naming the input (softened to a silent
         copy under ``validation="full"``).  ``"fallback"`` is the
         best-effort mode: alias what qualifies, copy the rest.
+    shards:
+        Multi-process sharded batching.  ``N >= 1`` routes
+        ``session.run_batch`` through a per-plan
+        :class:`~repro.runtime.ShardPool` of N worker processes
+        (shared-memory feed rings, GIL-free dispatch; pools are cached
+        on the session and torn down when it exits).  ``None`` keeps
+        the in-process executors.
+    pin:
+        Pinned steady-state execution (requires
+        ``arena="preallocated"``).  Calls whose feed arrays are
+        *identical objects* to the previous call's — the
+        ``Session.pin`` usage pattern: allocate once, rewrite contents
+        in place — skip feed binding and donation layout checks
+        entirely and replay a cached
+        :class:`~repro.runtime.PinnedBinding`.
     """
 
     backend: str = "tfsim"
@@ -86,6 +101,8 @@ class Options:
     fusion: bool = False
     arena: str = "per-call"
     donate_feeds: "bool | str" = False
+    shards: int | None = None
+    pin: bool = False
 
     def validate(self) -> None:
         """Raise :class:`ConfigError` if any field is out of range."""
@@ -123,6 +140,21 @@ class Options:
             raise ConfigError(
                 "donate_feeds requires arena='preallocated' — per-call "
                 "execution never copies feeds, so there is nothing to donate"
+            )
+        if self.shards is not None and (
+            not isinstance(self.shards, int)
+            or isinstance(self.shards, bool)
+            or self.shards < 1
+        ):
+            raise ConfigError(
+                f"shards must be an int >= 1 or None, got {self.shards!r}"
+            )
+        if not isinstance(self.pin, bool):
+            raise ConfigError(f"pin must be a bool, got {self.pin!r}")
+        if self.pin and self.arena != "preallocated":
+            raise ConfigError(
+                "pin requires arena='preallocated' — pinned bindings alias "
+                "feeds into arena slot storage"
             )
 
     def replace(self, **overrides: object) -> "Options":

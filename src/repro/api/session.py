@@ -30,16 +30,23 @@ import weakref
 from collections import OrderedDict
 from collections.abc import Callable, Sequence
 
+import numpy as np
+
 from ..errors import ConfigError
 from ..ir.tracing import trace
 from ..ir.validate import validate_graph
-from ..runtime import BatchResult, PlanCache, execute_batch
+from ..runtime import BatchResult, PlanCache, ShardPool, execute_batch
 from ..runtime import cache as _cache_module
 from ..runtime.plan import Plan
 from ..tensor.tensor import Tensor
 from .compiled import Compiled, Concrete
 from .options import Options
 from .registry import FrameworkProfile, backend as resolve_backend
+
+#: Live ShardPools cached per session: each pool owns worker processes
+#: and shared-memory segments, so the cache is a small LRU, not a map
+#: that grows with plan churn.
+_MAX_SHARD_POOLS = 4
 
 
 @dataclasses.dataclass
@@ -95,6 +102,8 @@ class SessionStats:
     fusion: bool = False
     arena: str = "per-call"
     donate_feeds: "bool | str" = False
+    shards: int | None = None
+    pin: bool = False
 
     @property
     def fused_sites(self) -> int:
@@ -124,11 +133,16 @@ class SessionStats:
         if self.donate_feeds:
             mode = "fallback" if self.donate_feeds == "fallback" else "strict"
             arena += f" | donated feeds ({mode})"
+        if self.pin:
+            arena += " | pinned"
+        exec_line = f"execution: fusion {fusion} | arena {arena}"
+        if self.shards is not None:
+            exec_line += f" | {self.shards} shard processes"
         lines = [
             f"plan cache: {self.entries}/{self.capacity} plans | "
             f"{self.hits} hits / {self.misses} misses / "
             f"{self.evictions} evictions (hit rate {self.hit_rate:.1%})",
-            f"execution: fusion {fusion} | arena {arena}",
+            exec_line,
         ]
         if self.plans:
             lw = max(12, max(len(p.label) for p in self.plans))
@@ -190,6 +204,17 @@ class Session:
         #: call.  LRU-bounded like the plan cache: callers passing a fresh
         #: lambda per call must not grow the session without bound.
         self._run_memo: "OrderedDict[tuple, Compiled]" = OrderedDict()
+        #: (plan id, shards, dtype) → ShardPool, reused across
+        #: ``run_sharded`` calls so worker startup is paid once per plan.
+        #: LRU-bounded like ``_run_memo`` — pools own worker processes
+        #: and /dev/shm segments, so plan churn (cache eviction, fresh
+        #: lambdas) must evict-and-close old pools, not accrete them.
+        #: Closed when the session exits its context (or on GC via each
+        #: pool's own finalizer).
+        self._shard_pools: "OrderedDict[tuple, ShardPool]" = OrderedDict()
+        #: name → pinned Tensor handed out by :meth:`pin` (kept alive for
+        #: the session's lifetime — that is the pinning contract).
+        self._pinned: dict[str, Tensor] = {}
         self._lock = threading.Lock()
 
     # -- the one compile surface -----------------------------------------------
@@ -268,13 +293,21 @@ class Session:
 
         The first feed set fixes the trace signature; every set must bind
         to the same plan (shape-checked by the plan itself).  ``workers``
-        defaults to ``options.batch_workers``.
+        defaults to ``options.batch_workers``.  With ``Options(shards=N)``
+        un-recorded batches route to :meth:`run_sharded` instead — the
+        multi-process path — unless the call names an explicit
+        ``workers=`` (a per-call ask for the in-process thread pool
+        always wins over the session default); ``record=True`` also
+        keeps the in-process executors, which are the only ones that
+        can account.
         """
         if not isinstance(fn, Compiled):
             raise TypeError(
                 f"run_batch needs a Compiled (from session.compile), got "
                 f"{type(fn).__name__}"
             )
+        if self.options.shards is not None and not record and workers is None:
+            return self.run_sharded(fn, feed_sets)
         feed_sets = [list(feeds) for feeds in feed_sets]
         if not feed_sets:
             return BatchResult(outputs=[], reports=[])
@@ -295,6 +328,127 @@ class Session:
             concrete.plan, time.perf_counter() - start, count=len(feed_sets)
         )
         return result
+
+    # -- sharded + pinned serving ------------------------------------------------
+
+    def pin(
+        self, name: str, shape: tuple[int, int], dtype: object = None
+    ) -> Tensor:
+        """A Tensor whose buffer is session-pinned input storage.
+
+        The returned tensor owns a Fortran-ordered zeroed buffer that
+        lives for the session's lifetime; rewrite its ``.data`` in place
+        between calls and pass the *same tensor* each time.  Under
+        ``Options(pin=True)`` the runtime recognizes the repeated
+        identity, binds the buffer into the plan's arena slot once, and
+        steady-state calls skip feed binding and donation layout checks
+        entirely (the ``PinnedBinding`` fast path).  Re-pinning an
+        existing ``name`` returns the existing tensor when shape/dtype
+        agree and raises otherwise — two owners of one pin slot is
+        always a bug.
+
+        Pins are Fortran-ordered (the layout of every BLAS-fed input
+        slot).  The rare plan whose input slot is *C*-ordered — an
+        input consumed only by the tridiagonal row-scaling kernel —
+        cannot alias an F pin; such calls stay correct through the
+        fallback-donation path but keep paying a per-call copy rather
+        than engaging the pinned fast path.
+        """
+        if dtype is None:
+            from ..config import config
+
+            dtype = config.default_dtype
+        dtype = np.dtype(dtype)
+        with self._lock:
+            existing = self._pinned.get(name)
+            if existing is not None:
+                if existing.shape != tuple(shape) or existing.dtype != dtype:
+                    raise ConfigError(
+                        f"pin {name!r} already exists with shape "
+                        f"{existing.shape} {existing.dtype}; asked for "
+                        f"{tuple(shape)} {dtype}"
+                    )
+                return existing
+            buf = np.zeros(tuple(shape), dtype=dtype, order="F")
+            tensor = Tensor(buf, dtype=dtype)
+            assert tensor.data is buf  # pinning relies on zero-copy wrap
+            self._pinned[name] = tensor
+            return tensor
+
+    def run_sharded(
+        self,
+        fn: Compiled,
+        feed_sets: Sequence[Sequence[Tensor]],
+        *,
+        shards: int | None = None,
+    ) -> BatchResult:
+        """``run_batch`` across worker *processes* — the GIL-free path.
+
+        The plan behind ``fn`` is shipped to ``shards`` workers (default
+        ``options.shards``, else :func:`repro.runtime.default_shards`)
+        through a session-cached :class:`~repro.runtime.ShardPool`;
+        feeds stream through shared-memory rings, so workers execute
+        copy-free regardless of the session's donation settings.
+        Reports are empty (serving path): use ``run_batch`` for
+        recorded, in-process batches.
+        """
+        if not isinstance(fn, Compiled):
+            raise TypeError(
+                f"run_sharded needs a Compiled (from session.compile), got "
+                f"{type(fn).__name__}"
+            )
+        feed_sets = [list(feeds) for feeds in feed_sets]
+        if not feed_sets:
+            return BatchResult(outputs=[], reports=[])
+        session = fn._session_for(self)
+        concrete = fn._concrete_in(session, feed_sets[0])
+        if shards is None:
+            shards = self.options.shards
+        dtype = feed_sets[0][0].dtype
+        pool = self._shard_pool(concrete.plan, shards, dtype)
+        start = time.perf_counter()
+        result = pool.run(
+            [[t.data for t in feeds] for feeds in feed_sets]
+        )
+        self._record_exec(
+            concrete.plan, time.perf_counter() - start, count=len(feed_sets)
+        )
+        return result
+
+    def _shard_pool(
+        self, plan: Plan, shards: int | None, dtype: np.dtype
+    ) -> ShardPool:
+        key = (id(plan), shards, str(dtype))
+        evicted: list[ShardPool] = []
+        with self._lock:
+            pool = self._shard_pools.get(key)
+            if pool is not None:
+                if not pool._closed and not pool._broken:
+                    self._shard_pools.move_to_end(key)
+                    return pool
+                # A broken pool still owns its surviving workers and
+                # shared memory: reclaim them now, not at some GC.
+                evicted.append(self._shard_pools.pop(key))
+            pool = ShardPool(plan, shards=shards, dtype=dtype)
+            self._shard_pools[key] = pool
+            while len(self._shard_pools) > _MAX_SHARD_POOLS:
+                evicted.append(self._shard_pools.popitem(last=False)[1])
+        for old in evicted:  # close outside the lock — joins processes
+            old.close()
+        return pool
+
+    def close_shard_pools(self) -> None:
+        """Stop all cached shard workers and unlink their shared memory.
+
+        Runs automatically when the session exits its ``with`` block;
+        pools built outside any block are reclaimed by their own GC
+        finalizers.
+        """
+        with self._lock:
+            pools = list(self._shard_pools.values())
+            self._shard_pools.clear()
+        for pool in pools:
+            pool.close()
 
     # -- stats -------------------------------------------------------------------
 
@@ -317,6 +471,8 @@ class Session:
             # Report the mode executions actually run with (strict may
             # soften to fallback under validation="full").
             donate_feeds=self._donate_mode(),
+            shards=self.options.shards,
+            pin=self.options.pin,
         )
 
     # -- internals ---------------------------------------------------------------
@@ -397,6 +553,7 @@ class Session:
             if self.options.arena == "preallocated"
             else None,
             donate=self._donate_mode(),
+            pin=self.options.pin,
         )
 
     def _record_exec(self, plan: Plan, seconds: float, *, count: int = 1) -> None:
@@ -423,6 +580,9 @@ class Session:
             if stack[i] is self:
                 _ambient_stack.set(stack[:i] + stack[i + 1:])
                 break
+        # Shard workers hold OS resources (processes, /dev/shm segments):
+        # reclaim them deterministically at block exit rather than at GC.
+        self.close_shard_pools()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         s = self.plan_cache.stats

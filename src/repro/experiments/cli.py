@@ -66,6 +66,21 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="timed repetitions")
     cache.add_argument("--threads", type=int, default=1,
                        help="BLAS threads (paper: 1)")
+    cache.add_argument(
+        "--save",
+        metavar="FILE",
+        default=None,
+        help="after the run, merge this session's plan signatures and "
+             "compile times into FILE (JSON accumulator across runs) and "
+             "print the cross-run dedup report",
+    )
+    cache.add_argument(
+        "--load",
+        metavar="FILE",
+        default=None,
+        help="print the cross-run dedup report accumulated in FILE "
+             "without running anything",
+    )
     _add_mode_flags(cache)
 
     sub.add_parser("list", help="list experiments")
@@ -100,6 +115,15 @@ def _add_mode_flags(parser: argparse.ArgumentParser) -> None:
         help="alias Fortran-ordered feeds straight into arena input slots "
              "instead of copying (zero-copy binding; feeds another layout "
              "check rejects are copied).  Requires --arena preallocated.",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="route batched execution through N worker processes with "
+             "shared-memory feed rings (the GIL-free dispatch path); the "
+             "session caches one ShardPool per plan",
     )
 
 
@@ -169,6 +193,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # alias what qualifies, copy the rest — never crash a run.
         donate_feeds="fallback" if getattr(args, "donate_feeds", False)
         else False,
+        shards=getattr(args, "shards", None),
     ) as session:
         for name in names:
             info = get_experiment(name)
@@ -185,6 +210,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if getattr(args, "cache_stats", False):
             print("\n== plan-cache statistics ==")
             print(session.stats().render())
+        save_path = getattr(args, "save_stats_path", None)
+        if save_path:
+            from ..runtime.persist import render_stats, save_stats
+
+            merged = save_stats(save_path, session.plan_cache.snapshot())
+            print(f"\n== cross-run plan-cache persistence ({save_path}) ==")
+            print(render_stats(merged))
     if args.json:
         import json
 
@@ -202,6 +234,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_cache_stats(args: argparse.Namespace) -> int:
     """``laab cache-stats`` ≡ ``laab run --cache-stats`` with result
     tables suppressed — one code path, no drift between the two."""
+    if args.load:
+        # Pure report over the accumulated file: no run, no numpy spin-up.
+        from ..runtime.persist import load_stats, render_stats
+
+        print(render_stats(load_stats(args.load)))
+        return 0
     return _cmd_run(argparse.Namespace(
         experiment=args.experiment,
         n=args.n,
@@ -215,6 +253,8 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
         fusion=args.fusion,
         arena=args.arena,
         donate_feeds=args.donate_feeds,
+        shards=args.shards,
+        save_stats_path=args.save,
     ))
 
 

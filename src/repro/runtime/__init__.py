@@ -37,14 +37,29 @@ This package is that compile-once / execute-many layer:
                it via ``default_plan_cache`` is deprecated).
 ``batch``      One plan over many feed sets, sequentially or via a
                thread pool (BLAS kernels release the GIL), optionally
-               through one reused arena per worker.
+               through one reused arena per worker, or — ``shards=N`` —
+               through a multi-process :class:`ShardPool`.
+``shard``      :class:`ShardPool` — N worker processes, each compiling
+               the plan once (plans pickle *by reconstruction* via
+               ``serialize``) and serving feed waves through
+               shared-memory ring buffers with pinned bindings: the
+               parent writes feeds straight into the shard's input
+               slots, workers execute copy-free, outputs land in shared
+               memory.  The GIL-free dispatch path.
+``serialize``  Structural graph payloads — what crosses the process
+               boundary (and what ``Plan.__reduce__`` pickles).
+``persist``    On-disk accumulation of plan-cache signatures + compile
+               times across runs (``laab cache-stats --save/--load``) —
+               the real-world trace-dedup observability layer.
 """
 
 from .batch import ARENA_MODES, BatchResult, execute_batch
 from .cache import CacheStats, PlanCache, default_plan_cache
 from .compiler import compile_plan
 from .fusion import FusionStats, fuse_instructions
-from .plan import Instruction, Plan, PlanArena
+from .plan import Instruction, PinnedBinding, Plan, PlanArena, SlotDescriptor
+from .serialize import graph_from_payload, graph_to_payload
+from .shard import ShardPool, ShardWorkerError, default_shards
 from .signature import graph_signature
 
 __all__ = [
@@ -53,12 +68,19 @@ __all__ = [
     "CacheStats",
     "FusionStats",
     "Instruction",
+    "PinnedBinding",
     "Plan",
     "PlanArena",
     "PlanCache",
+    "ShardPool",
+    "ShardWorkerError",
+    "SlotDescriptor",
     "compile_plan",
     "default_plan_cache",
+    "default_shards",
     "execute_batch",
     "fuse_instructions",
+    "graph_from_payload",
     "graph_signature",
+    "graph_to_payload",
 ]

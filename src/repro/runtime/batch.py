@@ -71,6 +71,7 @@ def execute_batch(
     record: bool = False,
     arena: str = "per-call",
     donate_feeds: "bool | str" = False,
+    shards: int | None = None,
 ) -> BatchResult:
     """Run ``plan`` over every feed set in ``feed_sets``.
 
@@ -85,11 +86,46 @@ def execute_batch(
     — ``True`` raises ``ValueError`` on a feed failing the layout check,
     ``"fallback"`` copies it; the feeds of a batch are typically caller-
     built once and streamed, exactly the buffers worth donating.
+
+    ``shards=N`` leaves the thread pool behind entirely: the batch runs
+    through a transient N-process :class:`~repro.runtime.shard.ShardPool`
+    (shared-memory rings, donated feeds, ``record`` unsupported — the
+    shard path is the serving path).  It is mutually exclusive with the
+    in-process knobs — ``workers``, a non-default ``arena``,
+    ``donate_feeds`` — rather than silently overriding them: the shard
+    workers always execute arena'd with feeds aliased from shared
+    memory.  A fresh pool per call pays worker startup every time; for
+    repeated batches hold a ``ShardPool`` (or use
+    ``Session.run_sharded``, which caches one per plan).
     """
     if workers is not None and workers < 0:
         raise GraphError(f"workers must be >= 0, got {workers}")
     if arena not in ARENA_MODES:
         raise GraphError(f"arena must be one of {ARENA_MODES}, got {arena!r}")
+    if shards is not None:
+        if record:
+            raise GraphError(
+                "shards= is the serving path and cannot record reports; "
+                "use workers= for recorded batches"
+            )
+        if workers is not None or arena != "per-call" or donate_feeds:
+            raise GraphError(
+                "shards= is mutually exclusive with workers=/arena=/"
+                "donate_feeds= — shard workers always execute arena'd "
+                "with feeds donated from shared memory"
+            )
+        from .shard import ShardPool  # deferred: multiprocessing import
+
+        feed_sets = list(feed_sets)
+        first = feed_sets[0] if feed_sets else None
+        dtype = None
+        if first is not None and not isinstance(first, Mapping):
+            probe = next(iter(first), None)
+            if probe is not None:
+                probe = getattr(probe, "data", probe)
+                dtype = np.asarray(probe).dtype
+        with ShardPool(plan, shards=shards, dtype=dtype) as pool:
+            return pool.run(feed_sets)
     if donate_feeds and arena != "preallocated":
         raise GraphError(
             "donate_feeds requires arena='preallocated' — per-call "

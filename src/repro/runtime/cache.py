@@ -61,6 +61,10 @@ class PlanCache:
         self.maxsize = maxsize
         self.stats = CacheStats()
         self._plans: OrderedDict[tuple, Plan] = OrderedDict()
+        #: Per-key lookup accounting that *survives eviction* — what the
+        #: cross-run persistence layer (``laab cache-stats --save``)
+        #: snapshots: key → [hits, compiles, total compile seconds].
+        self._key_stats: dict[tuple, list] = {}
         self._lock = threading.Lock()
         #: Single-flights concurrent compiles of one key (shares _lock so
         #: its callbacks mutate the LRU/stats in the election's critical
@@ -112,6 +116,9 @@ class PlanCache:
             plan = self._plans.get(key)
             if plan is not None:
                 self.stats.hits += 1
+                rec = self._key_stats.get(key)
+                if rec is not None:
+                    rec[0] += 1
                 self._plans.move_to_end(key)
             return plan
 
@@ -130,11 +137,40 @@ class PlanCache:
             if self._epoch != leader_epoch[0]:
                 return  # clear() happened mid-compile — don't repopulate
             self._plans[key] = plan
+            rec = self._key_stats.setdefault(key, [0, 0, 0.0])
+            rec[1] += 1
+            rec[2] += plan.compile_seconds
             while len(self._plans) > self.maxsize:
                 self._plans.popitem(last=False)
                 self.stats.evictions += 1
 
         return self._flight.run(key, probe, build, publish, on_leader)
+
+    def snapshot(self) -> list[dict]:
+        """Per-signature accounting rows for the persistence layer.
+
+        One row per plan key ever compiled through this cache (evicted
+        keys included — eviction is a capacity event, not a statistics
+        reset): a stable hex digest of the structural signature, the
+        fold/fusion knobs, cumulative hits/compiles, and compile
+        seconds.  Digests — not raw signatures — cross the process
+        boundary, so saved files stay compact and diff-able.
+        """
+        from .persist import signature_digest
+
+        with self._lock:
+            items = list(self._key_stats.items())
+        rows = []
+        for (sig, fold_constants, fusion), (hits, compiles, secs) in items:
+            rows.append({
+                "signature": signature_digest(sig),
+                "fold_constants": fold_constants,
+                "fusion": fusion,
+                "hits": hits,
+                "compiles": compiles,
+                "compile_seconds": secs,
+            })
+        return rows
 
     def contains(
         self,
@@ -157,6 +193,7 @@ class PlanCache:
         with self._lock:
             self._plans.clear()
             self.stats = CacheStats()
+            self._key_stats.clear()
             self._epoch += 1
             self._flight.abandon_all_locked()
 

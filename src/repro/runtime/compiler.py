@@ -80,6 +80,16 @@ class _Op:
     #: The destination-aware kernel needs a result-shaped workspace; the
     #: scheduler assigns a shared per-shape scratch slot.
     needs_scratch: bool = False
+    #: Preferred memory order of the destination (and scratch) buffer.
+    #: "F" is BLAS's layout; the tridiagonal row-scaling kernel declares
+    #: "C" — its offset row slices degenerate into strided inner loops
+    #: against an F destination (measured ~2x slower than allocating).
+    out_order: str = "F"
+    #: Per-operand layout preference used to pick *input-slot* staging
+    #: order: "F"/"C" votes, ``None`` abstains.  ``None`` for the whole
+    #: tuple means "vote F for every operand" (the safe default — mixed
+    #: layouts put ufuncs on buffering paths).
+    arg_orders: tuple | None = None
 
 
 # -- per-op compilation -------------------------------------------------------
@@ -250,6 +260,8 @@ def _compile_tridiagonal_matmul(node: Node) -> _Op:
         (_call("tridiagonal_matmul", (t.shape[0], b.shape[1]), node.op),),
         run_out,
         needs_scratch=True,
+        out_order="C",
+        arg_orders=("C", "C"),
     )
 
 
@@ -558,6 +570,8 @@ def _compile_structured_matmul(
             run, (_call("tridiagonal_matmul", (k, n), node.op),),
             run_out if plain else None,
             needs_scratch=plain,
+            out_order="C" if plain else "F",
+            arg_orders=("C", "C") if plain else None,
         )
     if hint == "trmm":
         lower = opts.get("lower", True)
@@ -669,11 +683,20 @@ def compile_plan(
     num_slots = len(inputs)
     free_pool: dict[tuple, list[int]] = {}
     # Workspace slots for destination-aware kernels that need one
-    # (tridiagonal row scalings).  Shared per shape: a scratch is only
-    # live *within* one instruction, so every same-shaped site can reuse
-    # one buffer.  Never fed from (or released into) the value pool —
-    # a pooled slot could alias a live operand.
+    # (tridiagonal row scalings).  Shared per (shape, order): a scratch
+    # is only live *within* one instruction, so every same-shaped site
+    # can reuse one buffer.  Never fed from (or released into) the value
+    # pool — a pooled slot could alias a live operand.
     scratch_pool: dict[tuple, int] = {}
+    # Per-slot layout votes (see _Op.out_order/arg_orders).  A slot's
+    # arena buffer is C-ordered only when the preference is unanimous:
+    # every writer votes "C" (value slots), or every consumer votes "C"
+    # (input slots, which have no writer) — any "F" vote wins, because a
+    # mixed-layout operand pair costs more (ufunc buffering, hidden f2py
+    # copies) than a C-preferring kernel reading an F buffer.
+    writer_votes: dict[int, set] = {}
+    consumer_votes: dict[int, set] = {}
+    scratch_orders: dict[int, str] = {}
 
     instructions: list[Instruction] = []
     for idx, node in enumerate(order):
@@ -706,10 +729,17 @@ def compile_plan(
                 free_pool.setdefault(inp.shape, []).append(slot_of[id(inp)])
         scratch = None
         if op.needs_scratch:
-            scratch = scratch_pool.get(node.shape)
+            scratch_key = (node.shape, op.out_order)
+            scratch = scratch_pool.get(scratch_key)
             if scratch is None:
-                scratch = scratch_pool[node.shape] = num_slots
+                scratch = scratch_pool[scratch_key] = num_slots
+                scratch_orders[scratch] = op.out_order
                 num_slots += 1
+        writer_votes.setdefault(out_slot, set()).add(op.out_order)
+        arg_orders = op.arg_orders or (("F",) * len(node.inputs))
+        for inp, pref in zip(node.inputs, arg_orders):
+            if pref is not None:
+                consumer_votes.setdefault(slot_of[id(inp)], set()).add(pref)
         instructions.append(
             Instruction(
                 out_slot=out_slot,
@@ -736,6 +766,16 @@ def compile_plan(
         instructions, fusion_stats = fuse_instructions(tuple(instructions), inputs)
         instructions = list(instructions)
 
+    slot_orders = ["F"] * num_slots
+    for slot, votes in writer_votes.items():
+        if votes == {"C"}:
+            slot_orders[slot] = "C"
+    for slot in range(len(inputs)):  # input slots: consumer-decided
+        if consumer_votes.get(slot) == {"C"}:
+            slot_orders[slot] = "C"
+    for slot, order in scratch_orders.items():
+        slot_orders[slot] = order
+
     return Plan(
         instructions=tuple(instructions),
         inputs=tuple(inputs),
@@ -744,4 +784,6 @@ def compile_plan(
         signature=signature,
         compile_seconds=time.perf_counter() - start,
         fusion_stats=fusion_stats,
+        slot_orders=tuple(slot_orders),
+        source=(graph, fold_constants, fusion),
     )

@@ -74,6 +74,10 @@ class FusionStats:
     instructions_after: int
     #: ``add``/``sub`` instructions folded into a GEMM's C-accumulate.
     gemm_beta_folds: int = 0
+    #: Instructions the fold-aware scheduler hoisted above a GEMM to
+    #: make a non-adjacent gemm→add/sub pair adjacent (each hoisted
+    #: group enables one beta fold that adjacency alone would miss).
+    fold_sinks: int = 0
 
     @property
     def sites(self) -> int:
@@ -81,10 +85,11 @@ class FusionStats:
         return self.ew_chains + self.gemm_folds + self.gemm_beta_folds
 
     def describe(self) -> str:
+        sinks = f" ({self.fold_sinks} scheduled)" if self.fold_sinks else ""
         return (
             f"fusion: {self.ew_chains} ew chains ({self.ew_ops_fused} ops), "
             f"{self.gemm_folds} gemm alpha-folds, "
-            f"{self.gemm_beta_folds} beta-folds"
+            f"{self.gemm_beta_folds} beta-folds{sinks}"
         )
 
 
@@ -402,6 +407,82 @@ def _fuse_chain(group: list[Instruction], shape_of) -> Instruction:
     )
 
 
+# -- fold-aware scheduling ----------------------------------------------------
+
+
+def _hoist_legal(x: Instruction, y: Instruction) -> bool:
+    """Can ``x`` (scheduled after ``y``) move above ``y`` without changing
+    any value or nulling any live slot?
+
+    Slot-table reasoning (``free_slots ⊆ arg_slots`` by construction —
+    an instruction only frees its own dying operands):
+
+    * ``x`` must not read anything ``y`` writes (``y``'s result or
+      scratch), else the hoist reads a stale value;
+    * ``x`` must not write (result or scratch) any slot ``y`` reads or
+      writes — that covers clobbering ``y``'s operands, racing its
+      destination, and the recycling hazard where ``y`` frees (clears)
+      a slot ``x``'s hoisted result now occupies;
+    * ``x`` must not free (clear) a slot ``y`` still reads.
+    """
+    y_writes = {y.out_slot} | ({y.scratch} if y.scratch is not None else set())
+    if y_writes & set(x.arg_slots):
+        return False
+    x_writes = {x.out_slot} | ({x.scratch} if x.scratch is not None else set())
+    if x_writes & (set(y.arg_slots) | y_writes):
+        return False
+    return not set(x.free_slots) & set(y.arg_slots)
+
+
+def _sink_for_beta_folds(
+    insts: list[Instruction],
+) -> tuple[list[Instruction], int]:
+    """Reorder so beta-foldable gemm→add/sub pairs become *adjacent*.
+
+    The beta fold (pass 1b) only fires when the combining ``add``/``sub``
+    immediately follows its GEMM, but schedules routinely interleave the
+    dead addend's producer (or other independent work) between the two.
+    For each GEMM whose result's single consumer is a beta-foldable
+    ``ew`` further down, this pass hoists every intervening instruction
+    above the GEMM — legality checked per instruction against the GEMM
+    alone, since the interveners keep their relative order — which sinks
+    the GEMM to just above its consumer.  Values are untouched (only
+    independent work moves); the report's alloc/free *order* shifts with
+    the schedule, exactly as if the trace had been written in the sunk
+    order.
+    """
+    sinks = 0
+    i = 0
+    while i < len(insts):
+        gemm = insts[i]
+        if gemm.kind != "gemm" or gemm.fused_events is not None \
+                or len(gemm.params) < 3 or gemm.params[2] != 1.0:
+            i += 1
+            continue
+        # First consumer of the GEMM result decides everything: it must
+        # be a beta-foldable ew, and every instruction before it must be
+        # independent of the GEMM.
+        g = gemm.out_slot
+        j = i + 1
+        while j < len(insts) and g not in insts[j].arg_slots:
+            j += 1
+        if j >= len(insts) or j == i + 1:
+            i += 1
+            continue  # no consumer, or already adjacent
+        ew = insts[j]
+        if not _beta_foldable(gemm, ew):
+            i += 1
+            continue
+        between = insts[i + 1:j]
+        if all(_hoist_legal(x, gemm) for x in between):
+            insts[i:j] = between + [gemm]
+            sinks += 1
+            i = j - 1  # the GEMM's new position; pass 1 folds it next
+            continue
+        i += 1
+    return insts, sinks
+
+
 # -- the pass -----------------------------------------------------------------
 
 
@@ -416,12 +497,15 @@ def fuse_instructions(
     def shape_of(slot: int) -> tuple[int, ...]:
         return slot_shape[slot]
 
+    # Pass 0 — fold-aware scheduling: sink each GEMM adjacent to its
+    # beta-foldable consumer so pass 1b catches non-adjacent pairs too.
+    insts, fold_sinks = _sink_for_beta_folds(list(instructions))
+
     # Pass 1 — GEMM alpha and beta folds.  One fold per GEMM, never a
     # cascade: a second factor premultiplied into alpha would merge two
     # rounded multiplies into one, and an alpha-scaled accumulate could
     # FMA-contract against C — either breaks bit-identity with the
     # interpreter (the ``fused_events is None`` guard stops re-folding).
-    insts = list(instructions)
     gemm_folds = 0
     gemm_beta_folds = 0
     idx = 0
@@ -493,5 +577,6 @@ def fuse_instructions(
         instructions_before=before,
         instructions_after=len(fused),
         gemm_beta_folds=gemm_beta_folds,
+        fold_sinks=fold_sinks,
     )
     return tuple(fused), stats

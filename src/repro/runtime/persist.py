@@ -1,0 +1,156 @@
+"""Cross-run persistence of plan-cache signatures and compile times.
+
+The in-process :class:`~repro.runtime.cache.PlanCache` already proves
+*within-run* trace deduplication (hits vs misses).  The ROADMAP's open
+observability question is the **cross-run** rate: when the experiment
+suite runs day after day, how many of its traces land on signatures that
+were already compiled yesterday — i.e. how much compile time would a
+persistent/compiled-artifact cache actually save?
+
+This module answers it with a plain JSON accumulator:
+
+* :func:`save_stats` merges one run's :meth:`PlanCache.snapshot` rows
+  into a stats file — per signature digest it accumulates hits,
+  compiles, compile seconds and the number of distinct *runs* that saw
+  the signature;
+* :func:`load_stats` reads the file back;
+* :func:`render_stats` prints the dedup report: recurring signatures,
+  their recurrence rate, and the recompile seconds a cross-run cache
+  would have avoided (every compile of an already-seen signature).
+
+Wired into the CLI as ``laab cache-stats --save FILE`` (run, then merge
+and report) and ``laab cache-stats --load FILE`` (report the accumulated
+file without running anything).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any
+
+#: Stats-file schema version.
+FORMAT_VERSION = 1
+
+
+def _canonical(value: Any) -> Any:
+    """Process-independent form of one signature component.
+
+    Signatures are nested tuples of primitives — except the property-
+    annotation *frozensets*, whose iteration (and hence ``repr``) order
+    follows per-process hash randomization.  Sorting their elements by
+    canonical repr makes the digest identical across runs, which is the
+    whole point of persisting it.
+    """
+    if isinstance(value, tuple):
+        return tuple(_canonical(v) for v in value)
+    if isinstance(value, frozenset):
+        return ("frozenset",) + tuple(
+            sorted(repr(_canonical(v)) for v in value)
+        )
+    return value
+
+
+def signature_digest(signature: tuple) -> str:
+    """Stable hex digest of a structural plan signature.
+
+    ndarray payloads are already reduced to content digests inside the
+    signature (see :mod:`repro.runtime.signature`) and set-valued attrs
+    are canonicalized here, so equal signatures digest equally in every
+    process and across runs.
+    """
+    return hashlib.sha1(repr(_canonical(signature)).encode()).hexdigest()
+
+
+def _empty() -> dict:
+    return {"version": FORMAT_VERSION, "runs": 0, "plans": {}}
+
+
+def load_stats(path: str) -> dict:
+    """The accumulated stats file at ``path`` (empty structure if absent)."""
+    if not os.path.exists(path):
+        return _empty()
+    with open(path) as fh:
+        data = json.load(fh)
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"cache-stats file {path!r} has format version {version!r}; "
+            f"this runtime writes {FORMAT_VERSION} — delete or migrate it"
+        )
+    return data
+
+
+def save_stats(path: str, rows: list[dict[str, Any]]) -> dict:
+    """Merge one run's snapshot ``rows`` into ``path``; returns the merged
+    structure.  Each row is keyed by ``(signature, fold_constants,
+    fusion)`` — the same triple the in-memory cache keys on — and
+    accumulates across runs; ``runs_seen`` counts distinct runs, which is
+    what the dedup rate is measured against.
+    """
+    data = load_stats(path)
+    data["runs"] += 1
+    plans = data["plans"]
+    for row in rows:
+        key = (
+            f"{row['signature']}:"
+            f"{int(bool(row['fold_constants']))}{int(bool(row['fusion']))}"
+        )
+        rec = plans.setdefault(key, {
+            "signature": row["signature"],
+            "fold_constants": bool(row["fold_constants"]),
+            "fusion": bool(row["fusion"]),
+            "hits": 0,
+            "compiles": 0,
+            "compile_seconds": 0.0,
+            "runs_seen": 0,
+        })
+        rec["hits"] += int(row["hits"])
+        rec["compiles"] += int(row["compiles"])
+        rec["compile_seconds"] += float(row["compile_seconds"])
+        rec["runs_seen"] += 1
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+    os.replace(tmp, path)
+    return data
+
+
+def render_stats(data: dict) -> str:
+    """Human-readable cross-run dedup report for a stats structure."""
+    plans = list(data["plans"].values())
+    runs = data["runs"]
+    if not plans:
+        return f"cache persistence: {runs} runs recorded, no plans yet"
+    recurring = [p for p in plans if p["runs_seen"] > 1]
+    # A cross-run cache would compile each signature once; every further
+    # compile of a known signature is the saving this report quantifies.
+    redundant = sum(max(0, p["compiles"] - 1) for p in plans)
+    redundant_secs = sum(
+        p["compile_seconds"] * max(0, p["compiles"] - 1) / p["compiles"]
+        for p in plans
+        if p["compiles"] > 0
+    )
+    lines = [
+        f"cache persistence: {runs} runs, {len(plans)} distinct plan "
+        f"signatures ({len(recurring)} recur across runs)",
+        f"  cross-run dedup rate: {len(recurring) / len(plans):.1%} of "
+        f"signatures, {redundant} redundant compiles "
+        f"(~{redundant_secs:.4f}s recompile time a persistent cache "
+        "would save)",
+        f"  {'signature':<12} fold fuse  runs  hits  compiles  compile(s)",
+    ]
+    ordered = sorted(
+        plans, key=lambda p: (-p["runs_seen"], -p["compiles"], p["signature"])
+    )
+    for p in ordered[:20]:
+        lines.append(
+            f"  {p['signature'][:12]} {str(p['fold_constants'])[:1]:>4} "
+            f"{str(p['fusion'])[:1]:>4}  {p['runs_seen']:>4}  "
+            f"{p['hits']:>4}  {p['compiles']:>8}  "
+            f"{p['compile_seconds']:>10.4f}"
+        )
+    if len(ordered) > 20:
+        lines.append(f"  ... {len(ordered) - 20} more signatures")
+    return "\n".join(lines)

@@ -50,6 +50,30 @@ downstream kernels back on numpy's mixed-layout buffering paths, so
 strict donation *raises* ``ValueError`` naming the offending input;
 ``donate="fallback"`` copies such feeds instead (the mode the Session
 layer uses under ``validation="full"``).
+
+Slot layouts
+------------
+Arena buffers are Fortran-ordered by default (BLAS's native layout — see
+:class:`PlanArena`), but the compiler may mark individual slots
+C-ordered when every instruction writing them measurably prefers a
+C destination: the tridiagonal row-scaling kernel updates *row slices*
+of its result, which against an F-ordered buffer degenerate into
+strided inner loops roughly twice as slow as the allocating path.  The
+per-slot order lives in :attr:`Plan.slot_orders`; donation checks feeds
+against the slot's declared order (a C-ordered input slot accepts —
+and aliases — the C-contiguous arrays tensors carry by default).
+
+Pinned bindings
+---------------
+Donation still pays per-call feed binding: the dict/positional walk of
+``_bind``, a layout flag check per input, and a fresh ``num_slots``-long
+slot list.  :meth:`Plan.bind_pinned` moves all of that to a one-time
+step: the caller's (already layout-correct) arrays are aliased into a
+*persistent* slot table and the resulting :class:`PinnedBinding` replays
+the serving loop with zero per-call binding work — the steady-state
+shape of a server that owns its input buffers and rewrites them in
+place between calls.  Used by ``Session.pin`` / ``Options(pin=True)``
+and by the shard workers' shared-memory input slots.
 """
 
 from __future__ import annotations
@@ -144,6 +168,25 @@ class PlanInput:
     slot: int
 
 
+@dataclasses.dataclass(frozen=True)
+class SlotDescriptor:
+    """Layout of one externally-backable plan buffer.
+
+    What an external allocator (a shard's shared-memory segment, a
+    pinned Tensor) needs to build storage an arena can adopt verbatim:
+    the slot index, its static shape, the memory order the kernels
+    writing/reading it expect, and the byte size at a given dtype.
+    """
+
+    role: str  #: ``"input"`` or ``"output"``
+    name: str  #: input name, or ``"output[i]"`` for outputs
+    slot: int
+    shape: tuple[int, ...]
+    order: str  #: ``"C"`` or ``"F"``
+    dtype: np.dtype
+    nbytes: int
+
+
 class LoopState:
     """Persistent per-arena execution state of one ``loop`` instruction.
 
@@ -185,14 +228,17 @@ class PlanArena:
     zero/identity hints), and compute-then-copy for the rest.
 
     Every buffer — including the staged copies of feeds and constants —
-    is **Fortran-ordered**.  This is deliberate, not cosmetic: GEMM's
-    in-place ``C`` argument must be F-contiguous, f2py silently copies
-    any C-ordered operand before calling BLAS, and numpy's ufunc
-    machinery falls back to allocating iteration buffers the moment
-    operand layouts mix.  A uniformly-F arena keeps every hot path — the
-    elementwise ufuncs, GEMM/GEMV, the staged feeds — on the
-    no-copy/no-buffering fast path (measured, not assumed: the
-    allocation regression test pins this down).
+    is **Fortran-ordered** unless the compiler marked the slot
+    C-ordered (see *Slot layouts* in the module docstring).  The F
+    default is deliberate, not cosmetic: GEMM's in-place ``C`` argument
+    must be F-contiguous, f2py silently copies any C-ordered operand
+    before calling BLAS, and numpy's ufunc machinery falls back to
+    allocating iteration buffers the moment operand layouts mix.  A
+    uniformly-F arena keeps every hot path — the elementwise ufuncs,
+    GEMM/GEMV, the staged feeds — on the no-copy/no-buffering fast path
+    (measured, not assumed: the allocation regression test pins this
+    down); the C exceptions exist only where a row-structured kernel
+    measurably prefers the opposite layout.
 
     An arena belongs to one execution stream: two threads must not
     execute through the same arena concurrently (use one arena per
@@ -200,11 +246,18 @@ class PlanArena:
     """
 
     __slots__ = ("buffers", "allocations", "bytes_copied", "loops",
-                 "_turbo_sig", "_mixed")
+                 "pinned", "_orders", "_turbo_sig", "_mixed")
 
     def __init__(self, plan: "Plan") -> None:
         #: Per-slot storage; ``None`` until the slot's first write.
         self.buffers: list[np.ndarray | None] = [None] * plan.num_slots
+        #: Slots backed by caller-owned storage (:meth:`install`): never
+        #: silently reallocated — a shape/dtype mismatch raises instead,
+        #: because external owners (shared-memory views, pinned Tensors)
+        #: rely on *their* buffer staying the slot's storage.
+        self.pinned: set[int] = set()
+        # Per-slot memory order, shared with the owning plan.
+        self._orders = plan.slot_orders
         #: Buffers allocated so far — stops growing once the arena is
         #: warm (asserted by the allocation-free regression test).
         self.allocations = 0
@@ -231,10 +284,41 @@ class PlanArena:
         or on a dtype change — shapes never change)."""
         buf = self.buffers[slot]
         if buf is None or buf.shape != shape or buf.dtype != dtype:
-            buf = np.empty(shape, dtype=dtype, order="F")
+            if slot in self.pinned:
+                raise ValueError(
+                    f"arena slot {slot} is pinned to external storage of "
+                    f"shape {None if buf is None else buf.shape} "
+                    f"{None if buf is None else buf.dtype}; execution "
+                    f"needs {shape} {dtype} — unpin or rebuild the "
+                    "backing buffer"
+                )
+            buf = np.empty(shape, dtype=dtype, order=self._orders[slot])
             self.buffers[slot] = buf
             self.allocations += 1
         return buf
+
+    def install(self, slot: int, array: np.ndarray, *, pin: bool = True) -> None:
+        """Back ``slot`` with caller-owned storage.
+
+        The array must be contiguous in the slot's declared order
+        (shape/dtype compatibility with the executing plan is the
+        caller's contract; :meth:`Plan.pin_slot` is the checked front
+        door).  ``pin=True`` marks the slot so a later shape/dtype
+        mismatch raises instead of silently reallocating away from the
+        external buffer.
+        """
+        order = self._orders[slot]
+        contiguous = (
+            array.flags.f_contiguous if order == "F" else array.flags.c_contiguous
+        )
+        if not contiguous:
+            raise ValueError(
+                f"arena slot {slot} expects {order}-contiguous storage; "
+                f"got strides {array.strides} for shape {array.shape}"
+            )
+        self.buffers[slot] = array
+        if pin:
+            self.pinned.add(slot)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         warm = sum(1 for b in self.buffers if b is not None)
@@ -255,6 +339,9 @@ class Plan:
         "signature",
         "compile_seconds",
         "fusion_stats",
+        "slot_orders",
+        "_source",
+        "_slot_shapes",
         "_by_name",
         "_by_pos",
         "_turbo_ops",
@@ -272,6 +359,8 @@ class Plan:
         signature: tuple,
         compile_seconds: float = 0.0,
         fusion_stats: "object | None" = None,
+        slot_orders: tuple[str, ...] | None = None,
+        source: tuple | None = None,
     ) -> None:
         self.instructions = instructions
         self.inputs = inputs
@@ -282,26 +371,42 @@ class Plan:
         #: :class:`~repro.runtime.fusion.FusionStats` when the plan was
         #: compiled with ``fusion=True``, else ``None``.
         self.fusion_stats = fusion_stats
+        #: Per-slot memory order ("F" default; "C" where every writer is
+        #: a row-structured kernel that prefers C destinations).
+        self.slot_orders = slot_orders or ("F",) * num_slots
+        # (graph, fold_constants, fusion) — what pickling reconstructs
+        # the plan from (see __reduce__).  None for hand-built plans.
+        self._source = source
+        # Static per-slot shapes: inputs + instruction outputs + scratch
+        # workspaces (scratch shares the out shape of its requester).
+        shapes: dict[int, tuple[int, ...]] = {p.slot: p.shape for p in inputs}
+        for inst in instructions:
+            shapes.setdefault(inst.out_slot, inst.out_shape)
+            if inst.scratch is not None:
+                shapes.setdefault(inst.scratch, inst.out_shape)
+        self._slot_shapes = shapes
         # Feed-binding lookups are static — build them once here instead
         # of rebuilding two dicts on every mapping-feed call.
         self._by_name = {p.name: p for p in inputs}
         self._by_pos = dict(enumerate(inputs))
         # The warm-arena fast-dispatch table: per instruction, the
         # destination-aware executor when it can be called with zero
-        # per-call checks (no scratch staging, no const/loop special
-        # casing), else None → the general ``_exec_into`` path.  Purely
-        # structural, so resolved once here instead of per instruction
-        # per execution.
+        # per-call checks (no const/loop special casing), else None →
+        # the general ``_exec_into`` path.  Scratch-carrying kernels
+        # (tridiagonal row scalings, fused staging sites) take the fast
+        # path too — their workspace buffer is warm by the time the
+        # arena certifies, so the slot index is all the call needs.
+        # Purely structural, so resolved once here instead of per
+        # instruction per execution.
         self._turbo_ops = tuple(
             (
                 inst.fn_out
-                if inst.fn_out is not None
-                and inst.scratch is None
-                and inst.kind != "const"
+                if inst.fn_out is not None and inst.kind != "const"
                 else None,
                 inst.out_slot,
                 inst.arg_slots,
                 inst,
+                inst.scratch,
             )
             for inst in instructions
         )
@@ -309,6 +414,115 @@ class Plan:
     def new_arena(self) -> PlanArena:
         """A fresh preallocated-buffer arena for this plan."""
         return PlanArena(self)
+
+    # -- pickling -------------------------------------------------------------
+
+    def __reduce__(self):
+        """Plans pickle *by reconstruction*: the instruction closures are
+        unpicklable (and deliberately so — they capture f2py routines),
+        but the source graph serializes structurally and recompiles into
+        an equivalent plan.  This is what lets a shard worker receive a
+        plan under the ``spawn`` start method and compile it once into
+        its own arena."""
+        if self._source is None:
+            raise TypeError(
+                "this Plan was built without a source graph and cannot be "
+                "pickled; compile via compile_plan() to get a picklable plan"
+            )
+        from .serialize import graph_to_payload  # deferred: cycle-free
+
+        graph, fold_constants, fusion = self._source
+        return (
+            _rebuild_plan,
+            (graph_to_payload(graph), fold_constants, fusion),
+        )
+
+    # -- external buffer backing ----------------------------------------------
+
+    def slot_shape(self, slot: int) -> tuple[int, ...]:
+        """The static shape of ``slot``'s value."""
+        return self._slot_shapes[slot]
+
+    def buffer_descriptors(self, dtype: np.dtype) -> list[SlotDescriptor]:
+        """Input and output slot layouts at ``dtype`` — what an external
+        allocator (shared-memory segment, pinned Tensor pool) needs to
+        build storage :meth:`pin_slot` can adopt.  Ordered inputs first
+        (feed order), then outputs; an output that *is* an input appears
+        once per role."""
+        dtype = np.dtype(dtype)
+        descs = [
+            SlotDescriptor(
+                role="input",
+                name=spec.name,
+                slot=spec.slot,
+                shape=spec.shape,
+                order=self.slot_orders[spec.slot],
+                dtype=dtype,
+                nbytes=int(np.prod(spec.shape)) * dtype.itemsize,
+            )
+            for spec in self.inputs
+        ]
+        for i, slot in enumerate(self.output_slots):
+            shape = self._slot_shapes[slot]
+            descs.append(
+                SlotDescriptor(
+                    role="output",
+                    name=f"output[{i}]",
+                    slot=slot,
+                    shape=shape,
+                    order=self.slot_orders[slot],
+                    dtype=dtype,
+                    nbytes=int(np.prod(shape)) * dtype.itemsize,
+                )
+            )
+        return descs
+
+    def pin_slot(self, arena: PlanArena, slot: int, array: np.ndarray) -> None:
+        """Back ``slot`` of ``arena`` with ``array`` for the arena's
+        lifetime (checked: static shape and declared order must match).
+        Instructions then write the slot's value straight into ``array``
+        — the hook shard workers use to land outputs in shared memory."""
+        expected = self._slot_shapes.get(slot)
+        if expected is None or tuple(array.shape) != tuple(expected):
+            raise ValueError(
+                f"slot {slot} holds values of shape {expected}, got buffer "
+                f"of shape {tuple(array.shape)}"
+            )
+        arena.install(slot, array)
+
+    def bind_pinned(
+        self, feeds: Sequence[np.ndarray], arena: PlanArena
+    ) -> "PinnedBinding":
+        """Bind ``feeds`` into a persistent slot table (see *Pinned
+        bindings* in the module docstring).  Validates length, shapes
+        and per-slot layout once; the returned binding executes with no
+        per-call binding work.  The caller keeps ownership of the arrays
+        and may rewrite their *contents* between calls — identity and
+        layout are fixed for the binding's lifetime."""
+        # Same normalization as every other feed path (Tensor unwrap,
+        # 0-d/1-D promotion via reshape *views* — aliasing is preserved).
+        feeds = [_normalize_feed(f) for f in feeds]
+        if len(feeds) != len(self.inputs):
+            raise GraphError(
+                f"plan has {len(self.inputs)} inputs, got {len(feeds)} feeds"
+            )
+        for spec, arr in zip(self.inputs, feeds):
+            if tuple(arr.shape) != spec.shape:
+                raise GraphError(
+                    f"feed for {spec.name!r} has shape {arr.shape}, "
+                    f"input declares {spec.shape}"
+                )
+            order = self.slot_orders[spec.slot]
+            contiguous = (
+                arr.flags.f_contiguous if order == "F" else arr.flags.c_contiguous
+            )
+            if not contiguous:
+                raise ValueError(
+                    f"pinned feed for input {spec.name!r} must be "
+                    f"{order}-contiguous — allocate it with "
+                    f"np.empty(..., order={order!r}) (Session.pin does)"
+                )
+        return PinnedBinding(self, arena, feeds)
 
     # -- feed binding ---------------------------------------------------------
 
@@ -435,16 +649,24 @@ class Plan:
         self._bind(feeds, slots)
         if arena is not None:
             if donate:
+                orders = self.slot_orders
                 for spec in self.inputs:
                     src = slots[spec.slot]
-                    if src.flags.f_contiguous:
+                    order = orders[spec.slot]
+                    if (src.flags.f_contiguous if order == "F"
+                            else src.flags.c_contiguous):
                         continue  # aliased in place — the zero-copy path
                     if donate != "fallback":
+                        kind, hint = (
+                            ("Fortran", "np.asfortranarray(...)")
+                            if order == "F"
+                            else ("C", "np.ascontiguousarray(...)")
+                        )
                         raise ValueError(
                             f"donate=True: feed for input {spec.name!r} is "
-                            "not Fortran-contiguous — pass "
-                            "np.asfortranarray(...) (or donate='fallback' "
-                            "to copy feeds the layout check rejects)"
+                            f"not {kind}-contiguous — pass {hint} (or "
+                            "donate='fallback' to copy feeds the layout "
+                            "check rejects)"
                         )
                     buf = arena.buffer(spec.slot, src.shape, src.dtype)
                     np.copyto(buf, src)
@@ -522,10 +744,15 @@ class Plan:
             # persist regardless).
             sig = tuple(slots[spec.slot].dtype for spec in self.inputs)
             if sig == arena._turbo_sig:
-                for fast, out_slot, arg_slots, inst in self._turbo_ops:
+                for fast, out_slot, arg_slots, inst, scratch in self._turbo_ops:
                     args = [slots[s] for s in arg_slots]
                     if fast is not None:
-                        slots[out_slot] = fast(args, bufs[out_slot])
+                        if scratch is None:
+                            slots[out_slot] = fast(args, bufs[out_slot])
+                        else:
+                            slots[out_slot] = fast(
+                                args, bufs[out_slot], bufs[scratch]
+                            )
                     else:
                         slots[out_slot] = self._exec_into(
                             inst, args, arena, report, record
@@ -603,3 +830,81 @@ class Plan:
             f"{self.num_slots} slots, {len(self.inputs)} inputs -> "
             f"{len(self.output_slots)} outputs>"
         )
+
+
+def _rebuild_plan(payload: dict, fold_constants: bool, fusion: bool) -> Plan:
+    """Unpickle hook: reconstruct the graph and recompile (module-level so
+    pickle can address it)."""
+    from .compiler import compile_plan
+    from .serialize import graph_from_payload
+
+    return compile_plan(
+        graph_from_payload(payload),
+        fold_constants=fold_constants,
+        fusion=fusion,
+    )
+
+
+class PinnedBinding:
+    """A plan + arena + permanently bound feed arrays (see *Pinned
+    bindings* in the module docstring).
+
+    The slot table is built once and **reused across calls**: inputs
+    stay aliased at their slots, and every other slot is rewritten by
+    its producing instruction before anything reads it (the schedule
+    guarantees write-before-read within a pass), so no per-call
+    clearing is needed.  Execution is the serving path (``record=False``)
+    — outputs alias arena storage and are valid until the next call.
+    """
+
+    __slots__ = ("plan", "arena", "slots", "_sig", "_report")
+
+    def __init__(
+        self, plan: Plan, arena: PlanArena, feeds: list[np.ndarray]
+    ) -> None:
+        self.plan = plan
+        self.arena = arena
+        self.slots: list = [None] * plan.num_slots
+        for spec, arr in zip(plan.inputs, feeds):
+            self.slots[spec.slot] = arr
+        self._sig = tuple(arr.dtype for arr in feeds)
+        # One reusable report: the serving loop never records into it.
+        self._report = ExecutionReport()
+
+    def execute(self) -> list[np.ndarray]:
+        """One serving pass over the bound feeds; returns the outputs
+        (aliasing arena storage — copy what you keep)."""
+        plan = self.plan
+        arena = self.arena
+        slots = self.slots
+        bufs = arena.buffers
+        if self._sig == arena._turbo_sig:
+            for fast, out_slot, arg_slots, inst, scratch in plan._turbo_ops:
+                args = [slots[s] for s in arg_slots]
+                if fast is not None:
+                    if scratch is None:
+                        slots[out_slot] = fast(args, bufs[out_slot])
+                    else:
+                        slots[out_slot] = fast(
+                            args, bufs[out_slot], bufs[scratch]
+                        )
+                else:
+                    slots[out_slot] = plan._exec_into(
+                        inst, args, arena, self._report, False
+                    )
+        else:
+            # Warming pass: per-instruction checks, turbo certification
+            # protocol (invalidate first so a mid-pass exception can't
+            # certify half-warm buffers).
+            arena._turbo_sig = None
+            arena._mixed = False
+            for inst in plan.instructions:
+                args = [slots[s] for s in inst.arg_slots]
+                slots[inst.out_slot] = plan._run_arena(
+                    inst, args, arena, bufs, self._report, False
+                )
+            if not arena._mixed:
+                arena._turbo_sig = self._sig
+        return [slots[s] for s in plan.output_slots]
+
+    __call__ = execute

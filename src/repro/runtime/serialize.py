@@ -1,0 +1,139 @@
+"""Structural (de)serialization of graphs — the shard-shipping format.
+
+Plans are *picklable by reconstruction* (ROADMAP): the instruction
+closures capture f2py routines and cannot cross a process boundary, but
+the graph they were compiled from is pure structure — ops, shapes,
+dtypes, attrs, wiring — and a worker that receives that structure plus
+the compile knobs rebuilds an equivalent plan with one ``compile_plan``
+call.  This module is that structure: :func:`graph_to_payload` flattens
+a :class:`~repro.ir.graph.Graph` into a picklable dict of primitive
+values (ndarray const payloads ride along verbatim; loop bodies recurse),
+and :func:`graph_from_payload` rebuilds it through the ordinary
+:class:`~repro.ir.node.Node` constructor — so shape/dtype inference and
+attr validation re-run on the receiving side, making a corrupted payload
+fail loudly instead of executing garbage.
+
+Round-trip contract (pinned by tests): the rebuilt graph has the same
+:func:`~repro.runtime.signature.graph_signature` as the original, so
+both sides of a shard boundary agree on plan identity.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..errors import GraphError
+from ..ir.graph import Graph
+from ..ir.node import Node
+
+#: Payload format version — bumped on layout changes so a parent and a
+#: worker built from different checkouts fail fast instead of weirdly.
+PAYLOAD_VERSION = 1
+
+
+def _encode_attr(value: Any) -> Any:
+    if isinstance(value, np.ndarray):
+        return ("ndarray", value)
+    if isinstance(value, Graph):
+        return ("graph", graph_to_payload(value))
+    if isinstance(value, frozenset):
+        return ("frozenset", sorted(value, key=repr))
+    if isinstance(value, tuple):
+        return ("tuple", [_encode_attr(v) for v in value])
+    if isinstance(value, (str, int, float, bool, type(None))):
+        return ("lit", value)
+    raise GraphError(
+        f"cannot serialize graph attr of type {type(value).__name__}: {value!r}"
+    )
+
+
+def _decode_attr(enc: Any) -> Any:
+    tag, value = enc
+    if tag == "ndarray":
+        return value
+    if tag == "graph":
+        return graph_from_payload(value)
+    if tag == "frozenset":
+        return frozenset(value)
+    if tag == "tuple":
+        return tuple(_decode_attr(v) for v in value)
+    if tag == "lit":
+        return value
+    raise GraphError(f"unknown attr tag {tag!r} in graph payload")
+
+
+def graph_to_payload(graph: Graph) -> dict:
+    """Flatten ``graph`` into a picklable dict of primitives (+ ndarrays).
+
+    Nodes are stored in topological order and wired by index; declared
+    inputs and outputs are stored as index lists.  Names are preserved
+    so worker-side error messages match the parent's.
+    """
+    order = graph.topological()
+    index_of = {id(n): i for i, n in enumerate(order)}
+    nodes = [
+        {
+            "op": n.op,
+            "name": n.name,
+            "inputs": [index_of[id(i)] for i in n.inputs],
+            "attrs": {k: _encode_attr(v) for k, v in n.attrs.items()},
+        }
+        for n in order
+    ]
+    return {
+        "version": PAYLOAD_VERSION,
+        "nodes": nodes,
+        "inputs": [index_of.get(id(n), -1) for n in graph.inputs],
+        "outputs": [index_of[id(n)] for n in graph.outputs],
+        # Declared-but-unreachable inputs still consume a feed slot:
+        # carry their spec so positional binding survives the trip.
+        "detached_inputs": [
+            {"name": n.name, "position": pos,
+             "attrs": {k: _encode_attr(v) for k, v in n.attrs.items()}}
+            for pos, n in enumerate(graph.inputs)
+            if id(n) not in index_of
+        ],
+    }
+
+
+def graph_from_payload(payload: dict) -> Graph:
+    """Rebuild a :class:`Graph` from :func:`graph_to_payload` output.
+
+    Every node goes through the normal :class:`Node` constructor, so
+    validation and shape/dtype inference re-run here — a mangled payload
+    raises :class:`~repro.errors.GraphError` instead of mis-executing.
+    """
+    version = payload.get("version")
+    if version != PAYLOAD_VERSION:
+        raise GraphError(
+            f"graph payload version {version!r} does not match this "
+            f"runtime's {PAYLOAD_VERSION} — parent and worker must run "
+            "the same code"
+        )
+    nodes: list[Node] = []
+    for spec in payload["nodes"]:
+        nodes.append(
+            Node(
+                spec["op"],
+                tuple(nodes[i] for i in spec["inputs"]),
+                {k: _decode_attr(v) for k, v in spec["attrs"].items()},
+                name=spec["name"],
+            )
+        )
+    inputs: dict[int, Node] = {
+        pos: nodes[idx] for pos, idx in enumerate(payload["inputs"])
+        if idx >= 0
+    }
+    for spec in payload["detached_inputs"]:
+        inputs[spec["position"]] = Node(
+            "input",
+            (),
+            {k: _decode_attr(v) for k, v in spec["attrs"].items()},
+            name=spec["name"],
+        )
+    ordered_inputs = [inputs[pos] for pos in sorted(inputs)]
+    return Graph(
+        (nodes[i] for i in payload["outputs"]), inputs=ordered_inputs
+    )

@@ -1,0 +1,543 @@
+"""Multi-process sharded plan execution: the GIL-free dispatch path.
+
+The thread-pooled :func:`~repro.runtime.batch.execute_batch` overlaps
+BLAS time (kernels release the GIL) but not *dispatch* time — on the
+dispatch-bound workloads this repo benchmarks, four threads run barely
+better than serial because every instruction step re-acquires the GIL.
+A :class:`ShardPool` removes the interpreter from the contention path
+entirely:
+
+* **N worker processes**, each receiving the plan *by reconstruction*
+  (a structural graph payload plus the compile knobs — see
+  :mod:`repro.runtime.serialize`; under the ``fork`` start method the
+  compiled plan is inherited directly) and executing through its own
+  fused :class:`~repro.runtime.plan.PlanArena`;
+* **shared-memory ring buffers** (:mod:`multiprocessing.shared_memory`)
+  laid out from the plan's own
+  :meth:`~repro.runtime.plan.Plan.buffer_descriptors` — every input and
+  output slot of every ring entry is a contiguous region in the slot's
+  declared memory order, so the parent writes feeds *directly into the
+  shard's input slots* and workers execute with pinned bindings: feeds
+  alias shared memory, outputs land in shared memory, and steady-state
+  calls copy **zero bytes** inside the worker (the per-call
+  ``bytes_copied`` counter, surfaced per run, proves it);
+* **one wake-up per worker per wave**, not per feed: a worker receives
+  ``("run", k)``, serves ``k`` ring entries through per-entry
+  :class:`~repro.runtime.plan.PinnedBinding` s, and replies once — the
+  synchronization cost amortizes over the whole shard.
+
+Failure semantics
+-----------------
+A feed that *raises inside a worker* (kernel error, dtype drift) is
+reported back as :class:`ShardWorkerError`; the worker itself survives
+and the pool stays usable — already-executed feeds of the same run are
+simply discarded with the failed wave.  A worker that *dies* (killed,
+segfaulted) is detected via its closed pipe: by default the pool is
+marked broken and every later :meth:`ShardPool.run` raises immediately
+(``respawn=True`` instead starts a replacement worker and retries the
+wave once).  Shared-memory segments are always unlinked — on
+:meth:`close`, on garbage collection (``weakref.finalize``), and
+worker-side attachments deregister from the resource tracker so
+interpreter shutdown never double-frees them.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import weakref
+from collections.abc import Mapping, Sequence
+
+import multiprocessing
+import numpy as np
+
+from ..errors import GraphError
+from ..ir.interpreter import ExecutionReport, _normalize_feed
+from .batch import BatchResult, FeedSet
+from .plan import Plan
+
+__all__ = ["ShardPool", "ShardWorkerError", "default_shards"]
+
+#: Alignment of every ring entry (and of the per-slot regions inside
+#: it): keeps float64 views aligned and slot starts cache-line-friendly.
+_ALIGN = 64
+
+#: Test seam: when set (before pool creation, under the ``fork`` start
+#: method), workers call it as ``hook(item_index)`` before executing
+#: each ring entry — the only sanctioned way for tests to inject a
+#: deterministic mid-batch failure into a worker process.
+_test_fault_hook = None
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker failed — either an execution error reported by a
+    live worker, or a worker process death."""
+
+
+def default_shards() -> int:
+    """Shard count used when callers pass ``shards=True``-style defaults:
+    ``REPRO_BENCH_SHARDS`` if set, else CPU count capped at 4."""
+    env = os.environ.get("REPRO_BENCH_SHARDS")
+    if env:
+        return max(1, int(env))
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+def _align(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _ring_layout(descs) -> tuple[list[int], int]:
+    """Per-descriptor byte offsets within one ring entry, and the entry
+    stride (both sides build views from this, so layout cannot drift)."""
+    offsets = []
+    off = 0
+    for d in descs:
+        offsets.append(off)
+        off += _align(d.nbytes)
+    return offsets, _align(off)
+
+
+def _entry_views(buf, descs, offsets, base: int):
+    """ndarray views over one ring entry of a shared-memory buffer."""
+    views = []
+    for d, off in zip(descs, offsets):
+        views.append(
+            np.ndarray(d.shape, dtype=d.dtype, buffer=buf,
+                       offset=base + off, order=d.order)
+        )
+    return views
+
+
+def _shard_worker(conn, shm_name: str, plan_blob: bytes, dtype_str: str,
+                  ring_slots: int) -> None:
+    """Worker loop: attach the ring, compile/adopt the plan, serve waves.
+
+    Runs in a child process.  ``plan_blob`` is the pickled plan —
+    unpickling *reconstructs* it (graph payload → ``compile_plan``), so
+    each worker owns its own closures and arena.  Replies per wave with
+    ``("done", k, bytes_copied)`` or ``("error", message)``; the loop
+    only exits on ``("stop",)`` or a closed pipe.
+    """
+    from multiprocessing import shared_memory
+
+    # Attaching re-registers the segment with the resource tracker, but
+    # fork and spawn children both share the *parent's* tracker process,
+    # whose registry is a set — the re-register dedupes to a no-op and
+    # the parent's close()/finalizer unlink stays the single cleanup
+    # point.  (Unregistering here instead would strip the parent's own
+    # registration and break crash cleanup.)
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        plan: Plan = pickle.loads(plan_blob)
+        dtype = np.dtype(dtype_str)
+        descs = plan.buffer_descriptors(dtype)
+        offsets, stride = _ring_layout(descs)
+        n_inputs = len(plan.inputs)
+        input_slots = {spec.slot for spec in plan.inputs}
+        arena = plan.new_arena()
+        bindings = []
+        ring = []
+        pin_lists = []  # per ring entry: (slot, output view) to install
+        out_slots = [d.slot for d in descs[n_inputs:]]
+        for r in range(ring_slots):
+            views = _entry_views(shm.buf, descs, offsets, r * stride)
+            ins, outs = views[:n_inputs], views[n_inputs:]
+            bindings.append(plan.bind_pinned(ins, arena))
+            ring.append((ins, outs))
+            pins = [
+                (slot, view)
+                for slot, view in zip(out_slots, outs)
+                if slot not in input_slots
+            ]
+            # Validate each entry's views once, up front; the serving
+            # loop then swaps the (already vetted) buffers in directly.
+            for slot, view in pins:
+                plan.pin_slot(arena, slot, view)
+            pin_lists.append(pins)
+        bufs = arena.buffers
+        hook = _test_fault_hook
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:
+                break
+            if msg[0] == "stop":
+                break
+            count = msg[1]
+            before = arena.bytes_copied
+            try:
+                for i in range(count):
+                    if hook is not None:
+                        hook(i)
+                    _, outs = ring[i]
+                    for slot, view in pin_lists[i]:
+                        bufs[slot] = view
+                    results = bindings[i].execute()
+                    for view, result in zip(outs, results):
+                        if result is view:
+                            continue
+                        if result.dtype != view.dtype:
+                            raise TypeError(
+                                f"plan produced dtype {result.dtype}, but "
+                                f"the shard pool was sized for {dtype} — "
+                                "build the pool with the dtype the plan "
+                                "actually computes"
+                            )
+                        np.copyto(view, result)
+                conn.send(("done", count, arena.bytes_copied - before))
+            except Exception as exc:  # noqa: BLE001 - reported to parent
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        shm.close()
+        conn.close()
+
+
+class ShardPool:
+    """N worker processes serving one plan through shared-memory rings.
+
+    Parameters
+    ----------
+    plan:
+        A :func:`~repro.runtime.compiler.compile_plan` product (anything
+        else cannot be shipped across the process boundary).  Compile it
+        with ``fusion=True`` for the fused/arena fast path — each worker
+        recompiles the same graph with the same knobs.
+    shards:
+        Worker-process count (``None`` → :func:`default_shards`).
+    ring_slots:
+        Ring entries per worker — the largest chunk a worker serves per
+        wake-up.  Larger rings amortize the per-wave pipe round-trip
+        over more feeds at the cost of shared memory
+        (``ring_slots × (inputs + outputs)`` bytes per worker).
+    dtype:
+        The uniform feed/output dtype the rings are sized for (defaults
+        to the repo-configured default dtype).  Feeds are written into
+        the ring with a casting ``copyto`` — feed float64 into a
+        float32 pool and you asked for float32 results.
+    start_method:
+        ``multiprocessing`` start method; default ``fork`` where
+        available (workers inherit the compiled plan for free), else
+        ``spawn`` (workers unpickle → recompile).
+    respawn:
+        Dead-worker policy: ``False`` marks the pool broken on a worker
+        death; ``True`` starts a replacement and retries the wave once.
+    """
+
+    def __init__(
+        self,
+        plan: Plan,
+        *,
+        shards: int | None = None,
+        ring_slots: int = 32,
+        dtype: object = None,
+        start_method: str | None = None,
+        respawn: bool = False,
+    ) -> None:
+        from multiprocessing import shared_memory
+
+        if shards is None:
+            shards = default_shards()
+        if not isinstance(shards, int) or isinstance(shards, bool) \
+                or shards < 1:
+            raise GraphError(f"shards must be an int >= 1, got {shards!r}")
+        if not isinstance(ring_slots, int) or ring_slots < 1:
+            raise GraphError(
+                f"ring_slots must be an int >= 1, got {ring_slots!r}"
+            )
+        if dtype is None:
+            from ..config import config
+
+            dtype = config.default_dtype
+        self.plan = plan
+        self.shards = shards
+        self.ring_slots = ring_slots
+        self.dtype = np.dtype(dtype)
+        self.respawn = respawn
+        if start_method is None:
+            start_method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        self._ctx = multiprocessing.get_context(start_method)
+        # Pickle once here (also validates the plan is reconstructible
+        # *before* any worker starts); fork workers still inherit the
+        # live plan via the blob's round-trip — one recompile per worker
+        # either way, paid at pool construction, not per batch.
+        self._plan_blob = pickle.dumps(plan)
+        self._descs = plan.buffer_descriptors(self.dtype)
+        self._offsets, self._stride = _ring_layout(self._descs)
+        self._n_inputs = len(plan.inputs)
+        seg_size = self._stride * ring_slots
+        self._shms = []
+        self._conns = []
+        self._procs = []
+        self._rings = []  # parent-side (input_views, output_views) per worker
+        self._broken = False
+        self._closed = False
+        self.bytes_copied_last_run = 0
+        try:
+            for _ in range(shards):
+                shm = shared_memory.SharedMemory(create=True, size=seg_size)
+                self._shms.append(shm)
+                self._rings.append([
+                    (views[:self._n_inputs], views[self._n_inputs:])
+                    for views in (
+                        _entry_views(shm.buf, self._descs, self._offsets,
+                                     r * self._stride)
+                        for r in range(ring_slots)
+                    )
+                ])
+            for w in range(shards):
+                self._start_worker(w)
+        except BaseException:
+            self.close()
+            raise
+        # The lists themselves (not copies): respawns mutate them in
+        # place, so the finalizer always sees the current workers.
+        self._finalizer = weakref.finalize(
+            self, _cleanup, self._shms, self._procs, self._conns
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _start_worker(self, w: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_shard_worker,
+            args=(child_conn, self._shms[w].name, self._plan_blob,
+                  str(self.dtype), self.ring_slots),
+            daemon=True,
+            name=f"repro-shard-{w}",
+        )
+        proc.start()
+        child_conn.close()
+        if w < len(self._conns):
+            self._conns[w] = parent_conn
+            self._procs[w] = proc
+        else:
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    def close(self) -> None:
+        """Stop every worker and unlink the shared-memory segments.
+
+        Idempotent; also runs from a ``weakref.finalize`` at collection
+        time, so dropping the last reference never leaks ``/dev/shm``
+        segments (the worker-death tests re-run under ``pytest -x`` and
+        would trip over leftovers otherwise).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        fin = getattr(self, "_finalizer", None)
+        if fin is not None:
+            fin.detach()
+        # Release the parent-side views BEFORE unmapping: with exported
+        # buffer pointers still alive, shm.close() raises BufferError and
+        # the segment would stay mapped for as long as the pool object is
+        # referenced.
+        self._rings.clear()
+        _cleanup(self._shms, self._procs, self._conns)
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else (
+            "broken" if self._broken else "live"
+        )
+        return (
+            f"<ShardPool {self.shards} workers x {self.ring_slots} ring "
+            f"slots, {self.dtype}, {state}>"
+        )
+
+    # -- execution -------------------------------------------------------------
+
+    def _write_feed(self, worker: int, ring_slot: int, feeds) -> None:
+        ins, _ = self._rings[worker][ring_slot]
+        if isinstance(feeds, Mapping):
+            raise GraphError(
+                "ShardPool.run takes positional feed sequences; bind "
+                "mapping feeds through the plan's input order first"
+            )
+        feeds = list(feeds)
+        if len(feeds) != self._n_inputs:
+            raise GraphError(
+                f"plan has {self._n_inputs} inputs, got {len(feeds)} feeds"
+            )
+        for spec, view, feed in zip(self.plan.inputs, ins, feeds):
+            arr = _normalize_feed(feed)
+            if tuple(arr.shape) != tuple(spec.shape):
+                raise GraphError(
+                    f"feed for {spec.name!r} has shape {arr.shape}, "
+                    f"input declares {spec.shape}"
+                )
+            np.copyto(view, arr)
+
+    def run(self, feed_sets: Sequence[FeedSet]) -> BatchResult:
+        """Execute the plan over ``feed_sets``, sharded across workers.
+
+        Feeds are partitioned into contiguous per-worker chunks and
+        streamed through the rings in waves of up to ``ring_slots``
+        each; the parent writes every feed straight into the target
+        shard's input slots and reads results straight out of its output
+        slots.  Returns a :class:`~repro.runtime.batch.BatchResult`
+        whose outputs are parent-owned copies (reports are empty — the
+        shard path is the serving path, ``record=False``).
+        """
+        if self._closed:
+            raise ShardWorkerError("pool is closed")
+        if self._broken:
+            raise ShardWorkerError(
+                "pool is broken (a worker died and respawn=False); build "
+                "a new ShardPool or construct it with respawn=True"
+            )
+        feed_sets = list(feed_sets)
+        n = len(feed_sets)
+        outputs: list[list[np.ndarray] | None] = [None] * n
+        self.bytes_copied_last_run = 0
+        # Contiguous balanced partition: worker w serves chunk w.
+        base, extra = divmod(n, self.shards)
+        chunks = []
+        pos = 0
+        for w in range(self.shards):
+            size = base + (1 if w < extra else 0)
+            chunks.append((pos, pos + size))
+            pos += size
+        offsets = [c[0] for c in chunks]
+        while any(offsets[w] < chunks[w][1] for w in range(self.shards)):
+            wave = []  # (worker, start_index, count)
+            error: BaseException | None = None
+            try:
+                for w in range(self.shards):
+                    start, end = offsets[w], chunks[w][1]
+                    count = min(self.ring_slots, end - start)
+                    if count <= 0:
+                        continue
+                    for i in range(count):
+                        self._write_feed(w, i, feed_sets[start + i])
+                    # Dispatch as soon as this shard's chunk is written:
+                    # worker w executes while the parent fills shard w+1.
+                    self._dispatch(w, count)
+                    wave.append((w, start, count))
+                    offsets[w] = start + count
+            except BaseException as exc:
+                # A feed failed validation (or a dispatch died) after
+                # earlier shards were already sent work: fall through and
+                # drain their replies before raising, or the pipe
+                # protocol desyncs and the next run() reads stale waves.
+                error = exc
+            for w, start, count in wave:
+                try:
+                    self._collect(w, start, count, outputs)
+                except ShardWorkerError as exc:
+                    # Keep draining the other dispatched workers — every
+                    # in-flight reply must be consumed so a surviving
+                    # pool stays wave-aligned.  First error wins.
+                    if error is None:
+                        error = exc
+            if error is not None:
+                raise error
+        return BatchResult(
+            outputs=[out for out in outputs],
+            reports=[ExecutionReport() for _ in range(n)],
+        )
+
+    def _give_up(self, w: int) -> ShardWorkerError:
+        """A respawned worker failed again: stop retrying, break the pool.
+
+        Returned as :class:`ShardWorkerError` (not raised raw) so
+        ``run()``'s drain loop still consumes the other shards' in-flight
+        replies — a second death must not desync survivors either.
+        """
+        self._broken = True
+        return ShardWorkerError(
+            f"shard worker {w} died again immediately after respawn; "
+            "pool is now unusable — the workload kills workers "
+            "deterministically"
+        )
+
+    def _dispatch(self, w: int, count: int) -> None:
+        try:
+            self._conns[w].send(("run", count))
+        except (BrokenPipeError, OSError):
+            self._handle_death(w)
+            try:
+                self._conns[w].send(("run", count))
+            except (BrokenPipeError, OSError):
+                raise self._give_up(w) from None
+
+    def _collect(self, w: int, start: int, count: int, outputs) -> None:
+        try:
+            reply = self._conns[w].recv()
+        except (EOFError, ConnectionResetError, OSError):
+            self._handle_death(w)
+            # The wave's feeds are still in the ring: replay once on the
+            # respawned worker.
+            try:
+                self._conns[w].send(("run", count))
+                reply = self._conns[w].recv()
+            except (EOFError, ConnectionResetError, BrokenPipeError,
+                    OSError):
+                raise self._give_up(w) from None
+        if reply[0] == "error":
+            raise ShardWorkerError(
+                f"shard worker {w} failed while executing feeds "
+                f"[{start}, {start + count}): {reply[1]}"
+            )
+        _, served, copied = reply
+        self.bytes_copied_last_run += copied
+        for i in range(served):
+            _, outs = self._rings[w][i]
+            outputs[start + i] = [np.array(v) for v in outs]
+
+    def _handle_death(self, w: int) -> None:
+        """A worker's pipe is gone: respawn it or declare the pool broken."""
+        proc = self._procs[w]
+        if proc.is_alive():  # pragma: no cover - pipe died first
+            proc.terminate()
+        proc.join(timeout=5)
+        self._conns[w].close()
+        if not self.respawn:
+            self._broken = True
+            raise ShardWorkerError(
+                f"shard worker {w} died (exit code {proc.exitcode}); pool "
+                "is now unusable — construct with respawn=True for "
+                "automatic replacement"
+            )
+        self._start_worker(w)
+
+
+def _cleanup(shms, procs, conns) -> None:
+    """Best-effort teardown shared by close() and the GC finalizer."""
+    for conn in conns:
+        try:
+            conn.send(("stop",))
+        except Exception:
+            pass
+    for proc in procs:
+        proc.join(timeout=2)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=2)
+    for conn in conns:
+        try:
+            conn.close()
+        except Exception:
+            pass
+    for shm in shms:
+        try:
+            shm.close()
+        except Exception:
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        except Exception:
+            pass

@@ -198,6 +198,91 @@ class TestGemmBetaFold:
         _, fused, _ = _plan_pair(fn, ab, pipeline=False)
         assert fused.fusion_stats.gemm_beta_folds == 0
 
+
+class TestFoldAwareScheduling:
+    """Pass 0: a beta-foldable gemm→add/sub pair whose members are *not*
+    adjacent (the dead addend's producer sits between them) becomes
+    adjacent by hoisting the independent interveners above the GEMM —
+    then pass 1b folds as usual.  Values must be bit-identical to the
+    interpreter; the schedule (and hence the report's alloc/free
+    ordering) legitimately changes, so only value parity and FLOP
+    totals are pinned here."""
+
+    def test_non_adjacent_pair_folds(self, ab):
+        # Schedule: [gemm, sub(c-producer), add] — sub is independent of
+        # the gemm and produces the dead addend.
+        def fn(a, b):
+            return a @ b + (b - a)
+
+        plain, fused, feeds = _plan_pair(fn, ab, pipeline=False)
+        assert fused.fusion_stats.fold_sinks == 1
+        assert fused.fusion_stats.gemm_beta_folds == 1
+        graph = trace(fn, ab)
+        outs_i, rep_i = Interpreter(record=True).run(graph, feeds)
+        arena = fused.new_arena()
+        for use in (None, arena, arena):
+            outs_f, rep_f = fused.execute(feeds, arena=use)
+            assert outs_i[0].tobytes() == outs_f[0].tobytes()
+            assert rep_f.total_flops == rep_i.total_flops
+
+    def test_adjacent_pair_needs_no_sink(self, ab):
+        # The addend's producer is scheduled *before* the GEMM already:
+        # [add, gemm, add] — the pair is adjacent, nothing to hoist.
+        _, fused, _ = _plan_pair(lambda a, b: (a + a) + a @ b, ab,
+                                 pipeline=False)
+        assert fused.fusion_stats.fold_sinks == 0
+        assert fused.fusion_stats.gemm_beta_folds == 1
+
+    def test_two_gemm_sum_sinks_once_and_folds(self, ab):
+        # a@b + b@a: the first GEMM's consumer is non-adjacent (the
+        # second GEMM sits between) — the scheduler hoists it, and
+        # exactly one fold fires, bit-identically.
+        plain, fused, feeds = _plan_pair(lambda a, b: a @ b + b @ a, ab,
+                                         pipeline=False)
+        assert fused.fusion_stats.fold_sinks == 1
+        assert fused.fusion_stats.gemm_beta_folds == 1
+        outs_p, _ = plain.execute(feeds)
+        outs_f, _ = fused.execute(feeds)
+        assert outs_p[0].tobytes() == outs_f[0].tobytes()
+
+    def test_dependent_intervener_blocks_sink(self, ab):
+        # The instruction between gemm and add *reads the gemm result*
+        # (transpose of it): hoisting would read a stale slot, so the
+        # scheduler must leave the order alone and no fold fires.
+        def fn(a, b):
+            g = a @ b
+            return g + g.T
+
+        _, fused, feeds = _plan_pair(fn, ab, pipeline=False)
+        assert fused.fusion_stats.fold_sinks == 0
+        assert fused.fusion_stats.gemm_beta_folds == 0
+        graph = trace(fn, ab)
+        outs_i, _ = Interpreter(record=True).run(graph, feeds)
+        outs_f, _ = fused.execute(feeds)
+        assert outs_i[0].tobytes() == outs_f[0].tobytes()
+
+    def test_multiple_interveners_sink_together(self, ab):
+        # Two independent producers (chain-fused or not) between the
+        # GEMM and its consumer: all hoist, the fold fires, values are
+        # bit-identical in every mode.
+        def fn(a, b):
+            return a @ b + (b - a + b)
+
+        _, fused, feeds = _plan_pair(fn, ab, pipeline=False)
+        assert fused.fusion_stats.fold_sinks == 1
+        assert fused.fusion_stats.gemm_beta_folds == 1
+        graph = trace(fn, ab)
+        outs_i, _ = Interpreter(record=True).run(graph, feeds)
+        arena = fused.new_arena()
+        for use in (None, arena, arena):
+            outs_f, _ = fused.execute(feeds, arena=use)
+            assert outs_i[0].tobytes() == outs_f[0].tobytes()
+
+    def test_describe_mentions_sinks(self, ab):
+        _, fused, _ = _plan_pair(lambda a, b: a @ b + (b - a), ab,
+                                 pipeline=False)
+        assert "1 beta-folds (1 scheduled)" in fused.fusion_stats.describe()
+
     def test_alpha_folded_gemm_not_beta_folded(self, ab):
         # alpha != 1 would let BLAS FMA-contract alpha·acc against C —
         # one rounding where the interpreter has two.  The alpha fold

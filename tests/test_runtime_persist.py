@@ -1,0 +1,150 @@
+"""Cross-run plan-cache persistence (repro.runtime.persist + snapshot).
+
+Contracts under test: cache snapshots account hits/compiles per key
+(eviction-proof), signature digests are process- and order-stable,
+save/load merges across runs with correct recurrence counting, and the
+CLI surface (``laab cache-stats --save/--load``) renders the report.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ir import trace
+from repro.runtime import PlanCache, compile_plan
+from repro.runtime.persist import (
+    load_stats,
+    render_stats,
+    save_stats,
+    signature_digest,
+)
+from repro.tensor import Property, random_general
+
+
+def _graph(seed=1, scale=2.0):
+    ops = [random_general(8, seed=seed), random_general(8, seed=seed + 1)]
+    return trace(lambda a, b: scale * (a @ b) + a, ops)
+
+
+class TestSnapshot:
+    def test_counts_hits_and_compiles(self):
+        cache = PlanCache(maxsize=4)
+        g = _graph()
+        cache.get(g)
+        cache.get(g)
+        cache.get(g, fusion=True)
+        rows = cache.snapshot()
+        assert len(rows) == 2
+        by_fusion = {r["fusion"]: r for r in rows}
+        assert by_fusion[False]["compiles"] == 1
+        assert by_fusion[False]["hits"] == 1
+        assert by_fusion[True]["compiles"] == 1
+        assert by_fusion[True]["hits"] == 0
+        assert all(r["compile_seconds"] > 0 for r in rows)
+
+    def test_survives_eviction(self):
+        cache = PlanCache(maxsize=1)
+        # Distinct *structures* (the scale attr keys the signature):
+        # equal-seeded graphs would share one plan slot.
+        g1, g2 = _graph(scale=2.0), _graph(scale=4.0)
+        cache.get(g1)
+        cache.get(g2)  # evicts g1's plan
+        cache.get(g1)  # recompiles
+        rows = cache.snapshot()
+        assert len(rows) == 2
+        assert sum(r["compiles"] for r in rows) == 3
+
+    def test_clear_resets(self):
+        cache = PlanCache()
+        cache.get(_graph())
+        cache.clear()
+        assert cache.snapshot() == []
+
+
+class TestSignatureDigest:
+    def test_equal_signatures_equal_digests(self):
+        s1 = compile_plan(_graph()).signature
+        s2 = compile_plan(_graph()).signature
+        assert s1 == s2
+        assert signature_digest(s1) == signature_digest(s2)
+
+    def test_different_graphs_differ(self):
+        s1 = compile_plan(_graph(scale=2.0)).signature
+        s2 = compile_plan(_graph(scale=3.0)).signature
+        assert signature_digest(s1) != signature_digest(s2)
+
+    def test_frozenset_order_independent(self):
+        # Property sets iterate in hash-randomized order; the digest must
+        # not depend on it (this is what makes digests stable across
+        # interpreter invocations).
+        a = ("x", frozenset({Property.SPD, Property.SYMMETRIC,
+                             Property.SQUARE}))
+        b = ("x", frozenset({Property.SQUARE, Property.SYMMETRIC,
+                             Property.SPD}))
+        assert signature_digest(a) == signature_digest(b)
+
+
+class TestSaveLoad:
+    def test_merge_across_runs(self, tmp_path):
+        path = str(tmp_path / "stats.json")
+        cache = PlanCache()
+        cache.get(_graph())
+        save_stats(path, cache.snapshot())
+        # Second "run": fresh cache, same graph → same signature recurs.
+        cache2 = PlanCache()
+        cache2.get(_graph())
+        cache2.get(_graph(scale=7.0))
+        merged = save_stats(path, cache2.snapshot())
+        assert merged["runs"] == 2
+        recurring = [p for p in merged["plans"].values()
+                     if p["runs_seen"] == 2]
+        assert len(recurring) == 1
+        assert recurring[0]["compiles"] == 2
+        # The file round-trips.
+        assert load_stats(path) == merged
+
+    def test_missing_file_is_empty(self, tmp_path):
+        data = load_stats(str(tmp_path / "absent.json"))
+        assert data["runs"] == 0 and data["plans"] == {}
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"version": 0, "runs": 1, "plans": {}}))
+        with pytest.raises(ValueError, match="format version"):
+            load_stats(str(path))
+
+    def test_render_reports_dedup_rate(self, tmp_path):
+        path = str(tmp_path / "stats.json")
+        for _ in range(3):
+            cache = PlanCache()
+            cache.get(_graph())
+            merged = save_stats(path, cache.snapshot())
+        text = render_stats(merged)
+        assert "3 runs" in text
+        assert "1 recur across runs" in text
+        assert "100.0% of signatures" in text
+        assert "2 redundant compiles" in text
+
+    def test_render_empty(self):
+        assert "no plans yet" in render_stats(
+            {"version": 1, "runs": 0, "plans": {}}
+        )
+
+
+class TestCliSurface:
+    def test_save_and_load_flags(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        path = str(tmp_path / "cli-stats.json")
+        rc = main(["cache-stats", "exp1", "--n", "64", "--reps", "1",
+                   "--save", path])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cross-run plan-cache persistence" in out
+        rc = main(["cache-stats", "--load", path])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cache persistence: 1 runs" in out

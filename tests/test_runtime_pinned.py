@@ -1,0 +1,303 @@
+"""Pinned storage: PinnedBinding, Plan.pin_slot/arena.install, per-slot
+layout orders, and the Session.pin / Options(pin=True) fast path.
+
+Contracts under test:
+
+* ``Plan.bind_pinned`` validates feed count/shape/layout once and the
+  binding then executes bit-identically to ``plan.execute`` — with the
+  bound arrays' *contents* re-read every call (rewrite in place, call
+  again, get new results).
+* ``Plan.pin_slot`` backs an arena slot with caller-owned storage;
+  instructions write the slot's value straight into it, and a pinned
+  slot refuses to be silently reallocated away.
+* The compiler's per-slot memory orders: BLAS destinations stay "F",
+  tridiagonal destinations/operands go "C", and donation checks feeds
+  against the slot's declared order.
+* ``Session.pin`` + ``Options(pin=True)``: repeated same-identity calls
+  ride one cached binding; a new identity rebinds; results always match
+  the unpinned session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.errors import ConfigError, GraphError
+from repro.ir import Interpreter, trace
+from repro.passes import aware_pipeline, default_pipeline
+from repro.runtime import compile_plan
+from repro.tensor import (
+    random_general,
+    random_lower_triangular,
+    random_tridiagonal,
+)
+
+
+def _dispatch_workload():
+    ops = [random_general(16, seed=s) for s in (1, 2, 3)]
+
+    def fn(a, b, c):
+        acc = a
+        for _ in range(4):
+            acc = (acc @ b + c - a) @ a.T
+        return acc + acc.T
+
+    graph = default_pipeline().run(trace(fn, ops))
+    return graph, [t.data for t in ops]
+
+
+def _structured_workload():
+    l_mat = random_lower_triangular(24, seed=5)
+    t = random_tridiagonal(24, seed=9)
+    b = random_general(24, seed=2)
+    graph = aware_pipeline().run(
+        trace(lambda l, tt, p: l @ (tt @ p), [l_mat, t, b])
+    )
+    return graph, [l_mat.data, t.data, b.data]
+
+
+def _ordered_feeds(plan, feeds):
+    return [
+        np.asfortranarray(f) if plan.slot_orders[spec.slot] == "F"
+        else np.ascontiguousarray(f)
+        for spec, f in zip(plan.inputs, feeds)
+    ]
+
+
+class TestPinnedBinding:
+    def test_binding_matches_execute_bit_for_bit(self):
+        graph, feeds = _dispatch_workload()
+        plan = compile_plan(graph, fusion=True)
+        ref, _ = plan.execute(feeds)
+        binding = plan.bind_pinned(
+            _ordered_feeds(plan, feeds), plan.new_arena()
+        )
+        for _ in range(3):  # warming pass + turbo passes
+            outs = binding.execute()
+            for a, b in zip(outs, ref):
+                assert np.array_equal(a, b)
+
+    def test_contents_reread_each_call(self):
+        graph, feeds = _dispatch_workload()
+        plan = compile_plan(graph, fusion=True)
+        bound = _ordered_feeds(plan, feeds)
+        binding = plan.bind_pinned(bound, plan.new_arena())
+        binding.execute()
+        new_feeds = [np.asfortranarray(f * 2.0) for f in feeds]
+        for dst, src in zip(bound, new_feeds):
+            np.copyto(dst, src)
+        ref, _ = plan.execute(new_feeds)
+        outs = binding.execute()
+        assert np.array_equal(outs[0], ref[0])
+
+    def test_structured_binding_parity(self):
+        graph, feeds = _structured_workload()
+        plan = compile_plan(graph, fusion=True)
+        interp_out, _ = Interpreter(record=False).run(graph, feeds)
+        binding = plan.bind_pinned(
+            _ordered_feeds(plan, feeds), plan.new_arena()
+        )
+        binding.execute()
+        assert np.array_equal(binding.execute()[0], interp_out[0])
+
+    def test_validation(self):
+        graph, feeds = _dispatch_workload()
+        plan = compile_plan(graph, fusion=True)
+        arena = plan.new_arena()
+        with pytest.raises(GraphError, match="inputs"):
+            plan.bind_pinned(feeds[:2], arena)
+        bad_shape = [np.ones((3, 3), dtype=np.float32), *feeds[1:]]
+        with pytest.raises(GraphError, match="shape"):
+            plan.bind_pinned(bad_shape, arena)
+        # Dispatch inputs are all F slots; C-only arrays fail the layout
+        # check by name.
+        c_ordered = [np.ascontiguousarray(f) for f in feeds]
+        with pytest.raises(ValueError, match="contiguous"):
+            plan.bind_pinned(c_ordered, arena)
+
+
+class TestSlotOrdersAndPinning:
+    def test_structured_plan_orders(self):
+        graph, _ = _structured_workload()
+        plan = compile_plan(graph, fusion=True)
+        by_slot = dict(enumerate(plan.slot_orders))
+        # TRMM's triangular operand stays F; the tridiagonal matrix and
+        # RHS inputs ride C (their only consumer prefers C), and the
+        # tridiagonal result + scratch are C-ordered destinations.
+        l_slot, t_slot, b_slot = (spec.slot for spec in plan.inputs)
+        assert by_slot[l_slot] == "F"
+        assert by_slot[t_slot] == "C"
+        assert by_slot[b_slot] == "C"
+        tri = next(i for i in plan.instructions if "tridiag" in
+                   i.calls[0].kernel)
+        assert plan.slot_orders[tri.out_slot] == "C"
+        assert plan.slot_orders[tri.scratch] == "C"
+
+    def test_dispatch_plan_stays_fortran(self):
+        graph, _ = _dispatch_workload()
+        plan = compile_plan(graph, fusion=True)
+        assert set(plan.slot_orders) == {"F"}
+
+    def test_donation_respects_slot_order(self):
+        graph, feeds = _structured_workload()
+        plan = compile_plan(graph, fusion=True)
+        arena = plan.new_arena()
+        ordered = _ordered_feeds(plan, feeds)
+        out_ref, _ = plan.execute(feeds, record=False)
+        outs, _ = plan.execute(ordered, record=False, arena=arena,
+                               donate=True)
+        assert np.array_equal(outs[0], out_ref[0])
+        before = arena.bytes_copied
+        plan.execute(ordered, record=False, arena=arena, donate=True)
+        assert arena.bytes_copied == before
+        # The tridiagonal RHS slot is C-ordered: an F-only array fails
+        # strict donation with the C hint.
+        wrong = list(ordered)
+        b_spec = plan.inputs[2]
+        wrong[2] = np.asfortranarray(feeds[2])
+        with pytest.raises(ValueError, match="C-contiguous"):
+            plan.execute(wrong, record=False, arena=arena, donate=True)
+        del b_spec
+
+    def test_pin_slot_writes_through_external_buffer(self):
+        graph, feeds = _dispatch_workload()
+        plan = compile_plan(graph, fusion=True)
+        arena = plan.new_arena()
+        out_slot = plan.output_slots[0]
+        external = np.empty(plan.slot_shape(out_slot), dtype=np.float32,
+                            order="F")
+        plan.pin_slot(arena, out_slot, external)
+        outs, _ = plan.execute(feeds, record=False, arena=arena)
+        assert outs[0] is external
+
+    def test_pin_slot_validates(self):
+        graph, _ = _dispatch_workload()
+        plan = compile_plan(graph, fusion=True)
+        arena = plan.new_arena()
+        out_slot = plan.output_slots[0]
+        with pytest.raises(ValueError, match="shape"):
+            plan.pin_slot(arena, out_slot,
+                          np.empty((2, 2), dtype=np.float32, order="F"))
+        with pytest.raises(ValueError, match="contiguous"):
+            plan.pin_slot(
+                arena, out_slot,
+                np.empty((32, 32), dtype=np.float32)[::2, ::2],
+            )
+
+    def test_pinned_slot_refuses_silent_reallocation(self):
+        graph, feeds = _dispatch_workload()
+        plan = compile_plan(graph, fusion=True)
+        arena = plan.new_arena()
+        out_slot = plan.output_slots[0]
+        external = np.empty(plan.slot_shape(out_slot), dtype=np.float64,
+                            order="F")
+        plan.pin_slot(arena, out_slot, external)
+        # float32 execution needs a float32 buffer; the pin makes the
+        # mismatch loud instead of silently dropping the external buffer.
+        with pytest.raises(ValueError, match="pinned"):
+            plan.execute(feeds, record=False, arena=arena)
+
+    def test_buffer_descriptors(self):
+        graph, _ = _structured_workload()
+        plan = compile_plan(graph, fusion=True)
+        descs = plan.buffer_descriptors(np.float32)
+        inputs = [d for d in descs if d.role == "input"]
+        outputs = [d for d in descs if d.role == "output"]
+        assert [d.name for d in inputs] == [p.name for p in plan.inputs]
+        assert len(outputs) == len(plan.output_slots)
+        for d in descs:
+            assert d.order == plan.slot_orders[d.slot]
+            assert d.nbytes == int(np.prod(d.shape)) * 4
+
+
+class TestSessionPin:
+    def test_options_validation(self):
+        with pytest.raises(ConfigError, match="pin"):
+            api.Options(pin=True).validate()
+        api.Options(pin=True, arena="preallocated").validate()
+
+    def test_pin_registry(self):
+        with api.Session(arena="preallocated", pin=True) as s:
+            t1 = s.pin("x", (8, 8))
+            t2 = s.pin("x", (8, 8))
+            assert t1 is t2
+            assert t1.data.flags.f_contiguous
+            assert not t1.data.any()
+            with pytest.raises(ConfigError, match="already exists"):
+                s.pin("x", (4, 4))
+
+    def test_pinned_calls_match_unpinned_session(self):
+        A, B, C = (random_general(16, seed=s) for s in (1, 2, 3))
+
+        def fn(a, b, c):
+            return (a @ b + c) @ a.T
+
+        with api.Session(fusion=True, arena="preallocated") as plain:
+            ref = plain.run(plain.compile(fn), A, B, C)
+
+        with api.Session(fusion=True, arena="preallocated", pin=True) as s:
+            f = s.compile(fn)
+            a = s.pin("a", (16, 16))
+            b = s.pin("b", (16, 16))
+            c = s.pin("c", (16, 16))
+            np.copyto(a.data, A.data)
+            np.copyto(b.data, B.data)
+            np.copyto(c.data, C.data)
+            r1 = f(a, b, c)
+            r2 = f(a, b, c)  # steady state: cached binding
+            concrete = f.get_concrete(a, b, c)
+            assert concrete.pinned_binding is not None
+            binding = concrete.pinned_binding
+            assert np.array_equal(r1.data, ref.data)
+            assert np.array_equal(r2.data, ref.data)
+            # In-place rewrite flows into the next call.
+            np.copyto(a.data, C.data)
+            with api.Session(fusion=True, arena="preallocated") as plain:
+                ref2 = plain.run(plain.compile(fn), C, B, C)
+            assert np.array_equal(f(a, b, c).data, ref2.data)
+            assert concrete.pinned_binding is binding  # no rebind
+
+    def test_identity_change_rebinds(self):
+        A, B = random_general(8, seed=1), random_general(8, seed=2)
+
+        def fn(a, b):
+            return a @ b
+
+        with api.Session(fusion=True, arena="preallocated", pin=True) as s:
+            f = s.compile(fn)
+            r1 = f(A, B)
+            concrete = f.get_concrete(A, B)
+            first = concrete.pinned_binding
+            other = random_general(8, seed=3)
+            r2 = f(other, B)
+            assert concrete.pinned_binding is not first or \
+                concrete.pinned_key != tuple(map(id, [A.data, B.data]))
+            assert np.array_equal(r1.data, (A @ B).data)
+            assert np.array_equal(r2.data, (other @ B).data)
+
+    def test_strict_donation_surfaces_layout_error(self):
+        A, B = random_general(8, seed=1), random_general(8, seed=2)
+
+        with api.Session(fusion=True, arena="preallocated", pin=True,
+                         donate_feeds=True) as s:
+            f = s.compile(lambda a, b: a @ b + a)
+            # Tensor data is C-ordered against F slots: under *strict*
+            # donation the pinned path must raise, not silently copy.
+            with pytest.raises(ValueError, match="contiguous"):
+                f(A, B)
+
+    def test_non_contiguous_feed_falls_back_correctly(self):
+        A, B = random_general(8, seed=1), random_general(8, seed=2)
+
+        def fn(a, b):
+            return a @ b + a
+
+        with api.Session(fusion=True, arena="preallocated", pin=True) as s:
+            f = s.compile(fn)
+            # Tensors wrap ascontiguousarray'd data, so feeds here are
+            # C-ordered against F slots: the pinned path must fall back
+            # to fallback-donation and stay correct.
+            r = f(A, B)
+            assert np.array_equal(r.data, (A @ B + A).data)

@@ -1,0 +1,424 @@
+"""Multi-process sharded execution: ShardPool, graph serialization, and
+plan pickling-by-reconstruction.
+
+Contracts under test:
+
+* :mod:`repro.runtime.serialize` round-trips a graph structurally —
+  same :func:`graph_signature`, same execution results — including
+  const payloads, property annotations, loop bodies and detached
+  inputs; a corrupted payload fails loudly.
+* ``pickle.dumps(plan)`` reconstructs an equivalent plan (recompiled
+  from the graph payload) — the mechanism shard workers rely on.
+* :class:`~repro.runtime.ShardPool` produces bit-identical outputs to
+  in-process execution across waves and worker counts, with **zero**
+  worker-side staged bytes in steady state.
+* Failure paths: a mid-batch worker exception surfaces as
+  :class:`ShardWorkerError` while the pool stays usable; a *dead*
+  worker either breaks the pool (default) or is respawned
+  (``respawn=True``); shared-memory segments are always unlinked —
+  close, GC, and broken-pool paths alike (so ``pytest -x`` reruns never
+  trip over leftovers).
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.errors import ConfigError, GraphError
+from repro.frameworks import tfsim
+from repro.ir import trace
+from repro.passes import default_pipeline
+from repro.runtime import (
+    ShardPool,
+    ShardWorkerError,
+    compile_plan,
+    execute_batch,
+    graph_from_payload,
+    graph_to_payload,
+    graph_signature,
+)
+from repro.runtime import shard as shard_module
+from repro.tensor import Property, random_general, random_spd, random_vector
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _workload(loops: int = 4):
+    ops = [random_general(16, seed=s) for s in (1, 2, 3)]
+
+    def fn(a, b, c):
+        acc = a
+        for _ in range(loops):
+            acc = (acc @ b + c - a) @ a.T
+        return acc + acc.T
+
+    graph = default_pipeline().run(trace(fn, ops))
+    return graph, [t.data for t in ops]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return _workload()
+
+
+@pytest.fixture(scope="module")
+def plan(workload):
+    graph, _ = workload
+    return compile_plan(graph, fusion=True)
+
+
+# -- serialization ------------------------------------------------------------
+
+
+class TestGraphSerialization:
+    def test_round_trip_signature_and_results(self, workload):
+        graph, feeds = workload
+        rebuilt = graph_from_payload(graph_to_payload(graph))
+        assert graph_signature(rebuilt) == graph_signature(graph)
+        out_a, _ = compile_plan(graph).execute(feeds)
+        out_b, _ = compile_plan(rebuilt).execute(feeds)
+        for a, b in zip(out_a, out_b):
+            assert np.array_equal(a, b)
+
+    def test_round_trip_const_and_props(self):
+        a = random_spd(8, seed=3)
+        v = random_vector(8, seed=4)
+
+        def fn(m, x):
+            return m @ x + tfsim.constant(np.ones((8, 1), dtype=np.float32))
+
+        graph = default_pipeline().run(trace(fn, [a, v]))
+        rebuilt = graph_from_payload(graph_to_payload(graph))
+        assert graph_signature(rebuilt) == graph_signature(graph)
+        # Property annotations survive (they live in input attrs).
+        assert any(
+            Property.SPD in n.attrs.get("props", frozenset())
+            for n in rebuilt.inputs
+        )
+
+    def test_round_trip_loop_body(self):
+        a = random_general(8, seed=1)
+        v = random_vector(8, seed=2)
+
+        def fn(p, q):
+            return tfsim.fori_loop(3, lambda i, x, aa: 0.5 * (aa @ x), q, [p])
+
+        graph = default_pipeline().run(trace(fn, [a, v]))
+        rebuilt = graph_from_payload(graph_to_payload(graph))
+        assert graph_signature(rebuilt) == graph_signature(graph)
+        feeds = [a.data, v.data]
+        out_a, _ = compile_plan(graph).execute(feeds)
+        out_b, _ = compile_plan(rebuilt).execute(feeds)
+        assert np.array_equal(out_a[0], out_b[0])
+
+    def test_version_mismatch_rejected(self, workload):
+        graph, _ = workload
+        payload = graph_to_payload(graph)
+        payload["version"] = 999
+        with pytest.raises(GraphError, match="version"):
+            graph_from_payload(payload)
+
+    def test_detached_input_keeps_feed_slot(self):
+        ops = [random_general(8, seed=1), random_general(8, seed=2)]
+        graph = default_pipeline().run(trace(lambda a, b: a @ a, ops))
+        rebuilt = graph_from_payload(graph_to_payload(graph))
+        assert len(rebuilt.inputs) == len(graph.inputs) == 2
+        out_a, _ = compile_plan(graph).execute([t.data for t in ops])
+        out_b, _ = compile_plan(rebuilt).execute([t.data for t in ops])
+        assert np.array_equal(out_a[0], out_b[0])
+
+
+class TestPlanPickling:
+    def test_pickle_round_trip_parity(self, plan, workload):
+        _, feeds = workload
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.signature == plan.signature
+        assert clone.fusion_stats.sites == plan.fusion_stats.sites
+        out_a, _ = plan.execute(feeds)
+        out_b, _ = clone.execute(feeds)
+        for a, b in zip(out_a, out_b):
+            assert np.array_equal(a, b)
+
+    def test_hand_built_plan_refuses_pickle(self, plan):
+        from repro.runtime.plan import Plan
+
+        bare = Plan(
+            instructions=plan.instructions,
+            inputs=plan.inputs,
+            output_slots=plan.output_slots,
+            num_slots=plan.num_slots,
+            signature=plan.signature,
+        )
+        with pytest.raises(TypeError, match="cannot be pickled"):
+            pickle.dumps(bare)
+
+
+# -- the pool -----------------------------------------------------------------
+
+
+class TestShardPool:
+    def test_outputs_match_in_process_execution(self, plan, workload):
+        _, feeds = workload
+        ref, _ = plan.execute(feeds, record=False)
+        with ShardPool(plan, shards=2, ring_slots=4,
+                       dtype=np.float32) as pool:
+            # 11 feeds over 2 workers with ring 4 → multiple waves, odd
+            # remainder chunk.
+            result = pool.run([feeds] * 11)
+            assert len(result) == 11
+            for outs in result.outputs:
+                assert np.array_equal(outs[0], ref[0])
+
+    def test_zero_worker_bytes_in_steady_state(self, plan, workload):
+        _, feeds = workload
+        with ShardPool(plan, shards=2, ring_slots=4,
+                       dtype=np.float32) as pool:
+            pool.run([feeds] * 8)  # warmup: const staging may copy once
+            pool.run([feeds] * 8)
+            assert pool.bytes_copied_last_run == 0
+
+    def test_empty_batch(self, plan):
+        with ShardPool(plan, shards=2, dtype=np.float32) as pool:
+            result = pool.run([])
+            assert len(result) == 0
+
+    def test_feed_shape_checked_in_parent(self, plan, workload):
+        _, feeds = workload
+        with ShardPool(plan, shards=1, dtype=np.float32) as pool:
+            bad = [feeds[0], feeds[1], np.ones((3, 3), dtype=np.float32)]
+            with pytest.raises(GraphError, match="shape"):
+                pool.run([bad])
+
+    def test_execute_batch_shards_round_trip(self, plan, workload):
+        _, feeds = workload
+        ref, _ = plan.execute(feeds, record=False)
+        result = execute_batch(plan, [feeds] * 5, shards=2)
+        assert all(np.array_equal(o[0], ref[0]) for o in result.outputs)
+
+    def test_execute_batch_shards_rejects_record(self, plan, workload):
+        _, feeds = workload
+        with pytest.raises(GraphError, match="record"):
+            execute_batch(plan, [feeds] * 2, shards=2, record=True)
+
+    def test_shard_count_validated(self, plan):
+        with pytest.raises(GraphError, match="shards"):
+            ShardPool(plan, shards=0)
+
+    def test_closed_pool_rejects_runs_and_close_is_idempotent(
+        self, plan, workload
+    ):
+        _, feeds = workload
+        pool = ShardPool(plan, shards=1, dtype=np.float32)
+        pool.run([feeds])
+        pool.close()
+        pool.close()
+        with pytest.raises(ShardWorkerError, match="closed"):
+            pool.run([feeds])
+
+    def test_shared_memory_unlinked_on_close(self, plan, workload):
+        from multiprocessing import shared_memory
+
+        _, feeds = workload
+        pool = ShardPool(plan, shards=2, dtype=np.float32)
+        pool.run([feeds] * 2)
+        names = [shm.name for shm in pool._shms]
+        pool.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_shared_memory_unlinked_on_gc(self, plan, workload):
+        from multiprocessing import shared_memory
+
+        _, feeds = workload
+        pool = ShardPool(plan, shards=1, dtype=np.float32)
+        pool.run([feeds])
+        names = [shm.name for shm in pool._shms]
+        del pool
+        gc.collect()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+
+class TestWorkerFailure:
+    def test_worker_death_breaks_pool_by_default(self, plan, workload):
+        _, feeds = workload
+        with ShardPool(plan, shards=2, dtype=np.float32) as pool:
+            pool.run([feeds] * 4)
+            pool._procs[0].kill()
+            pool._procs[0].join()
+            with pytest.raises(ShardWorkerError, match="died"):
+                pool.run([feeds] * 4)
+            # Broken is sticky: no half-working pools.
+            with pytest.raises(ShardWorkerError, match="broken"):
+                pool.run([feeds] * 4)
+
+    def test_worker_death_respawns_when_asked(self, plan, workload):
+        _, feeds = workload
+        ref, _ = plan.execute(feeds, record=False)
+        with ShardPool(plan, shards=2, dtype=np.float32,
+                       respawn=True) as pool:
+            pool.run([feeds] * 4)
+            pool._procs[1].kill()
+            pool._procs[1].join()
+            result = pool.run([feeds] * 4)
+            assert all(np.array_equal(o[0], ref[0]) for o in result.outputs)
+            # Same pool keeps serving afterwards.
+            result = pool.run([feeds] * 6)
+            assert len(result) == 6
+
+    def test_broken_pool_still_unlinks_shared_memory(self, plan, workload):
+        from multiprocessing import shared_memory
+
+        _, feeds = workload
+        pool = ShardPool(plan, shards=1, dtype=np.float32)
+        pool.run([feeds])
+        names = [shm.name for shm in pool._shms]
+        pool._procs[0].kill()
+        pool._procs[0].join()
+        with pytest.raises(ShardWorkerError):
+            pool.run([feeds])
+        pool.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_parent_side_feed_error_mid_wave_keeps_pool_aligned(
+        self, plan, workload
+    ):
+        # Worker 0's chunk is written and dispatched before worker 1's
+        # feeds fail validation in the parent: the in-flight reply must
+        # be drained, or the next run() would read stale waves.
+        _, feeds = workload
+        ref, _ = plan.execute(feeds, record=False)
+        with ShardPool(plan, shards=2, dtype=np.float32) as pool:
+            bad = [feeds[0], feeds[1],
+                   np.ones((3, 3), dtype=np.float32)]
+            with pytest.raises(GraphError, match="shape"):
+                pool.run([feeds, feeds, bad, feeds])
+            for _ in range(2):  # aligned and correct afterwards
+                result = pool.run([feeds] * 4)
+                assert all(
+                    np.array_equal(o[0], ref[0]) for o in result.outputs
+                )
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="fault hook needs fork")
+    def test_multi_shard_exception_drains_all_replies(
+        self, monkeypatch, workload
+    ):
+        graph, feeds = workload
+        plan = compile_plan(graph, fusion=True)
+        ref, _ = plan.execute(feeds, record=False)
+
+        def boom(item_index: int) -> None:
+            if item_index == 1:
+                raise RuntimeError("injected fault")
+
+        monkeypatch.setattr(shard_module, "_test_fault_hook", boom)
+        with ShardPool(plan, shards=2, start_method="fork",
+                       dtype=np.float32) as pool:
+            # Both workers serve 2 items and fault on their second:
+            # both error replies must be consumed (first one raised).
+            with pytest.raises(ShardWorkerError, match="injected fault"):
+                pool.run([feeds] * 4)
+            # One item per worker stays under the faulting index — the
+            # pool is still wave-aligned and serves correct results.
+            result = pool.run([feeds] * 2)
+            assert all(
+                np.array_equal(o[0], ref[0]) for o in result.outputs
+            )
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="fault hook needs fork")
+    def test_mid_batch_exception_reports_and_pool_survives(
+        self, monkeypatch, workload
+    ):
+        graph, feeds = workload
+        plan = compile_plan(graph, fusion=True)
+
+        def boom(item_index: int) -> None:
+            if item_index == 1:
+                raise RuntimeError("injected fault")
+
+        # Fork workers inherit the hook; the second ring entry of a wave
+        # explodes inside the worker.
+        monkeypatch.setattr(shard_module, "_test_fault_hook", boom)
+        with ShardPool(plan, shards=1, start_method="fork",
+                       dtype=np.float32) as pool:
+            with pytest.raises(ShardWorkerError, match="injected fault"):
+                pool.run([feeds] * 3)
+            # The worker caught the exception and kept its loop: a batch
+            # that stays under the faulting index still serves.
+            result = pool.run([feeds])
+            assert len(result) == 1
+
+
+# -- session integration ------------------------------------------------------
+
+
+class TestSessionSharding:
+    def test_options_validation(self):
+        with pytest.raises(ConfigError, match="shards"):
+            api.Options(shards=0).validate()
+        api.Options(shards=2).validate()
+
+    def test_run_sharded_matches_run_batch(self):
+        A, B, C = (random_general(16, seed=s) for s in (1, 2, 3))
+
+        def fn(a, b, c):
+            return (a @ b + c) @ a.T
+
+        with api.Session(fusion=True, arena="preallocated") as s:
+            f = s.compile(fn)
+            ref = s.run_batch(f, [[A, B, C]] * 5)
+            sharded = s.run_sharded(f, [[A, B, C]] * 5, shards=2)
+            for r, sh in zip(ref.outputs, sharded.outputs):
+                assert np.array_equal(r[0], sh[0])
+
+    def test_options_shards_routes_run_batch_and_caches_pool(self):
+        A, B, C = (random_general(16, seed=s) for s in (4, 5, 6))
+
+        def fn(a, b, c):
+            return a @ b - c
+
+        with api.Session(shards=2) as s:
+            f = s.compile(fn)
+            s.run_batch(f, [[A, B, C]] * 3)
+            assert len(s._shard_pools) == 1
+            pool = next(iter(s._shard_pools.values()))
+            s.run_batch(f, [[A, B, C]] * 3)
+            assert next(iter(s._shard_pools.values())) is pool
+        # Context exit reclaimed the workers and segments.
+        assert pool._closed
+
+    def test_pool_cache_is_bounded_and_evicts_closed(self, monkeypatch):
+        from repro.api import session as session_module
+
+        monkeypatch.setattr(session_module, "_MAX_SHARD_POOLS", 1)
+        A, B = random_general(8, seed=1), random_general(8, seed=2)
+        with api.Session(shards=2) as s:
+            f1 = s.compile(lambda a, b: a @ b)
+            f2 = s.compile(lambda a, b: a @ b + a)
+            s.run_batch(f1, [[A, B]] * 2)
+            first = next(iter(s._shard_pools.values()))
+            s.run_batch(f2, [[A, B]] * 2)
+            # The LRU bound evicted (and closed) the first plan's pool.
+            assert len(s._shard_pools) == 1
+            assert first._closed
+            assert next(iter(s._shard_pools.values())) is not first
+
+    def test_recorded_batches_stay_in_process(self):
+        A, B = random_general(8, seed=1), random_general(8, seed=2)
+
+        with api.Session(shards=2) as s:
+            f = s.compile(lambda a, b: a @ b)
+            result = s.run_batch(f, [[A, B]] * 2, record=True)
+            # In-process path records real reports; the shard path can't.
+            assert all(r.calls for r in result.reports)
+            assert not s._shard_pools
