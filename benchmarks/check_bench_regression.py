@@ -33,21 +33,32 @@ GATED_KEYS = (
     "alloc_peak_bytes_fused_arena",
     "pinned_exec_seconds",
     "batch_64_feeds_sharded_seconds",
+    "serve_p50_latency_seconds",
 )
 
 #: Keys a runner may legitimately not produce (sharding disabled via
-#: ``REPRO_BENCH_SHARDS=0``, or recorded as ``null``): absence from the
-#: *fresh* results skips the key with a notice instead of failing —
-#: mirroring the workload-mismatch skip.  Absence from an older
-#: *baseline* is already tolerated for every key.
+#: ``REPRO_BENCH_SHARDS=0``, serve bench not run, or recorded as
+#: ``null``): absence from the *fresh* results skips the key with a
+#: notice instead of failing — mirroring the workload-mismatch skip.
+#: Absence from an older *baseline* is already tolerated for every key.
 OPTIONAL_KEYS = (
     "batch_64_feeds_sharded_seconds",
+    "serve_p50_latency_seconds",
 )
 
 #: Keys only comparable when both runs used the same shard count.
 SHARD_KEYS = (
     "batch_64_feeds_sharded_seconds",
 )
+
+#: ``serve_*`` keys are only comparable when both serve benches drove
+#: the same load shape (shards, concurrency, coalescer ceiling) — p50
+#: under a different wave size is a different experiment, not a
+#: regression.
+SERVE_KEYS = (
+    "serve_p50_latency_seconds",
+)
+SERVE_SHAPE = ("serve_shards", "serve_concurrency", "serve_max_wave")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -84,6 +95,20 @@ def main(argv: list[str] | None = None) -> int:
             f"{baseline.get('shard_workers')}, fresh "
             f"{fresh.get('shard_workers')}) — skipping shard metrics"
         )
+    # Serve latencies are load-shape dependent the same way.  An older
+    # baseline with no serve keys at all compares as shape (None,...) ==
+    # (None,...) here and is then skipped per-key by the absent-from-
+    # baseline rule below.
+    serve_comparable = all(
+        baseline.get(k) == fresh.get(k) for k in SERVE_SHAPE
+    )
+    if not serve_comparable:
+        print(
+            "bench-regression: serve load shape differs (baseline "
+            f"{[baseline.get(k) for k in SERVE_SHAPE]}, fresh "
+            f"{[fresh.get(k) for k in SERVE_SHAPE]}) — skipping serve "
+            "metrics"
+        )
 
     # Machine-speed normalization for wall-clock metrics.
     base_ref = baseline.get("machine_ref_sgemm_out_seconds")
@@ -102,6 +127,8 @@ def main(argv: list[str] | None = None) -> int:
     failures = []
     for key in GATED_KEYS:
         if key in SHARD_KEYS and not shard_comparable:
+            continue
+        if key in SERVE_KEYS and not serve_comparable:
             continue
         base = baseline.get(key)
         new = fresh.get(key)

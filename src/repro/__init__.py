@@ -13,6 +13,7 @@ every experiment:
 * :mod:`repro.ir`          — computational-graph IR, tracing, interpreter
 * :mod:`repro.passes`      — Grappler-analogue optimizer + "aware" passes
 * :mod:`repro.runtime`     — compiled plans, plan cache, batched execution
+* :mod:`repro.serve`       — async serving: coalescing, admission, SLO metrics
 * :mod:`repro.chain`       — matrix-chain DP and enumeration
 * :mod:`repro.properties`  — property algebra, inference, annotations
 * :mod:`repro.rewrite`     — Linnea-analogue derivation-graph engine

@@ -104,6 +104,13 @@ class SessionStats:
     donate_feeds: "bool | str" = False
     shards: int | None = None
     pin: bool = False
+    #: Shard activity (satellite of the serving PR): live pools cached on
+    #: the session, worker processes those pools own, and worker-waves
+    #: dispatched over the session's lifetime (including pools since
+    #: evicted or closed).
+    shard_pools_open: int = 0
+    shard_workers: int = 0
+    shard_waves_served: int = 0
 
     @property
     def fused_sites(self) -> int:
@@ -144,6 +151,13 @@ class SessionStats:
             f"{self.evictions} evictions (hit rate {self.hit_rate:.1%})",
             exec_line,
         ]
+        if (self.shards is not None or self.shard_pools_open
+                or self.shard_waves_served):
+            lines.append(
+                f"sharding: {self.shard_pools_open} pool(s) open | "
+                f"{self.shard_workers} worker process(es) | "
+                f"{self.shard_waves_served} wave(s) served"
+            )
         if self.plans:
             lw = max(12, max(len(p.label) for p in self.plans))
             bw = max(7, max(len(p.backend) for p in self.plans))
@@ -215,6 +229,13 @@ class Session:
         #: name → pinned Tensor handed out by :meth:`pin` (kept alive for
         #: the session's lifetime — that is the pinning contract).
         self._pinned: dict[str, Tensor] = {}
+        #: Worker-waves served by pools since evicted or closed, so the
+        #: stats line survives pool churn.
+        self._shard_waves_retired = 0
+        #: Set by :meth:`close` (context exit closes the session too):
+        #: shard pools are gone and sharded execution must fail loudly
+        #: at entry instead of tripping on pool internals.
+        self._closed = False
         self._lock = threading.Lock()
 
     # -- the one compile surface -----------------------------------------------
@@ -397,6 +418,12 @@ class Session:
                 f"run_sharded needs a Compiled (from session.compile), got "
                 f"{type(fn).__name__}"
             )
+        if self._closed:
+            raise RuntimeError(
+                "session closed: its shard pools were torn down on close/"
+                "context exit — run sharded batches inside the session's "
+                "'with' block, or build a new Session"
+            )
         feed_sets = [list(feeds) for feeds in feed_sets]
         if not feed_sets:
             return BatchResult(outputs=[], reports=[])
@@ -433,6 +460,7 @@ class Session:
             self._shard_pools[key] = pool
             while len(self._shard_pools) > _MAX_SHARD_POOLS:
                 evicted.append(self._shard_pools.popitem(last=False)[1])
+            self._shard_waves_retired += sum(p.waves_served for p in evicted)
         for old in evicted:  # close outside the lock — joins processes
             old.close()
         return pool
@@ -440,15 +468,31 @@ class Session:
     def close_shard_pools(self) -> None:
         """Stop all cached shard workers and unlink their shared memory.
 
-        Runs automatically when the session exits its ``with`` block;
-        pools built outside any block are reclaimed by their own GC
-        finalizers.
+        Idempotent — runs automatically when the session exits its
+        ``with`` block, and again from :meth:`close`; pools built
+        outside any block are reclaimed by their own GC finalizers.
         """
         with self._lock:
             pools = list(self._shard_pools.values())
             self._shard_pools.clear()
+            self._shard_waves_retired += sum(p.waves_served for p in pools)
         for pool in pools:
             pool.close()
+
+    def close(self) -> None:
+        """Close the session: tear down shard pools and mark it closed.
+
+        Idempotent.  In-process execution (``run``/``run_batch`` without
+        shards) keeps working — plans and arenas hold no OS resources —
+        but :meth:`run_sharded` raises a clear ``RuntimeError`` instead
+        of rebuilding worker processes nobody would tear down.
+        """
+        self._closed = True
+        self.close_shard_pools()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     # -- stats -------------------------------------------------------------------
 
@@ -458,6 +502,15 @@ class Session:
         with self._lock:
             plans = tuple(
                 dataclasses.replace(p) for p in self._plan_stats.values()
+            )
+            live = [
+                p for p in self._shard_pools.values()
+                if not p._closed and not p._broken
+            ]
+            shard_pools_open = len(live)
+            shard_workers = sum(p.shards for p in live)
+            shard_waves = self._shard_waves_retired + sum(
+                p.waves_served for p in self._shard_pools.values()
             )
         return SessionStats(
             hits=cache_stats.hits,
@@ -473,6 +526,9 @@ class Session:
             donate_feeds=self._donate_mode(),
             shards=self.options.shards,
             pin=self.options.pin,
+            shard_pools_open=shard_pools_open,
+            shard_workers=shard_workers,
+            shard_waves_served=shard_waves,
         )
 
     # -- internals ---------------------------------------------------------------
@@ -569,6 +625,11 @@ class Session:
     # -- context management -------------------------------------------------------
 
     def __enter__(self) -> "Session":
+        if self._closed:
+            raise RuntimeError(
+                "session closed: a Session is single-lifetime once closed "
+                "(context exit closes it) — build a new Session"
+            )
         _ambient_stack.set(_ambient_stack.get() + (self,))
         return self
 
@@ -582,7 +643,9 @@ class Session:
                 break
         # Shard workers hold OS resources (processes, /dev/shm segments):
         # reclaim them deterministically at block exit rather than at GC.
-        self.close_shard_pools()
+        # Closing also marks the session, so a later run_sharded fails
+        # with a clear error instead of silently respawning workers.
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         s = self.plan_cache.stats

@@ -10,6 +10,7 @@ Examples::
     laab run all --cache-stats      # + plan-cache hit/miss/eviction report
     laab cache-stats exp1           # run one experiment, print cache stats
     laab graphs                     # print Fig. 3 / Fig. 4 DAGs
+    laab serve-bench --shards 2     # async serving front-end under load
 
 Every ``run`` executes inside its own :class:`repro.api.Session`, so the
 plan-cache counters and per-plan compile/exec timings printed by
@@ -82,6 +83,36 @@ def _build_parser() -> argparse.ArgumentParser:
              "without running anything",
     )
     _add_mode_flags(cache)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="drive the async serving front-end (repro.serve) with a "
+             "closed-loop load and report coalescing speedup, wave "
+             "occupancy and latency percentiles",
+    )
+    serve.add_argument("--requests", type=int, default=256,
+                       help="total requests per timed run")
+    serve.add_argument("--concurrency", type=int, default=8,
+                       help="closed-loop clients in the coalesced run "
+                            "(the baseline always uses 1)")
+    serve.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="dispatch waves through N worker processes (0 or omitted: "
+             "in-process execution)",
+    )
+    serve.add_argument("--max-wave", type=int, default=8,
+                       help="coalescer occupancy flush threshold")
+    serve.add_argument("--max-delay", type=float, default=0.002,
+                       help="coalescer deadline flush, seconds")
+    serve.add_argument("--loops", type=int, default=12,
+                       help="chain length of the dispatch-bound workload")
+    serve.add_argument("--threads", type=int, default=1,
+                       help="BLAS threads (paper: 1)")
+    serve.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="merge the serve_* numbers into FILE (read-modify-write, so "
+             "BENCH_runtime.json keeps its runtime keys)",
+    )
 
     sub.add_parser("list", help="list experiments")
     graphs = sub.add_parser("graphs",
@@ -231,6 +262,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    limit_threads(args.threads)
+    from ..serve.bench import serve_bench
+
+    result = serve_bench(
+        requests=args.requests,
+        concurrency=args.concurrency,
+        shards=args.shards,
+        max_wave=args.max_wave,
+        max_delay=args.max_delay,
+        loops=args.loops,
+    )
+    print(result.render())
+    if args.json:
+        import json
+        import os
+
+        existing = {}
+        if os.path.exists(args.json):
+            with open(args.json) as fh:
+                existing = json.load(fh)
+        existing.update(result.numbers)
+        with open(args.json, "w") as fh:
+            json.dump(existing, fh, indent=2)
+        print(f"\nmerged serve_* keys into {args.json}")
+    return 0
+
+
 def _cmd_cache_stats(args: argparse.Namespace) -> int:
     """``laab cache-stats`` ≡ ``laab run --cache-stats`` with result
     tables suppressed — one code path, no drift between the two."""
@@ -270,6 +329,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "cache-stats":
         return _cmd_cache_stats(args)
+    if args.command == "serve-bench":
+        return _cmd_serve_bench(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

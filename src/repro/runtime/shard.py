@@ -277,6 +277,9 @@ class ShardPool:
         self._broken = False
         self._closed = False
         self.bytes_copied_last_run = 0
+        #: Worker-waves dispatched over this pool's lifetime (one count
+        #: per ``("run", k)`` message) — surfaced by ``SessionStats``.
+        self.waves_served = 0
         try:
             for _ in range(shards):
                 shm = shared_memory.SharedMemory(create=True, size=seg_size)
@@ -463,6 +466,7 @@ class ShardPool:
         )
 
     def _dispatch(self, w: int, count: int) -> None:
+        self.waves_served += 1
         try:
             self._conns[w].send(("run", count))
         except (BrokenPipeError, OSError):

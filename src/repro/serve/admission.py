@@ -1,0 +1,207 @@
+"""Admission control: bounded in-flight depth with explicit overload.
+
+A serving front-end that accepts every request just moves the queue
+somewhere invisible (the coalescer, the executor, the kernel).  The
+admission controller makes the queue *visible and bounded*: a request is
+either admitted (a slot is held until its result is delivered), parked
+awaiting a slot (backpressure — ``policy="wait"``), or rejected with
+:class:`ServeOverloadError` (``policy="reject"``, or a waiter that
+outlives ``wait_timeout``).  Limits exist at two scopes:
+
+* ``max_inflight`` — the global depth limit: the most requests the
+  server will hold anywhere (coalescer queues + executing waves);
+* ``max_per_tenant`` — per-tenant fairness: one chatty tenant saturates
+  its own allowance, not the server.
+
+The controller is event-loop-confined (no locks): ``acquire`` is a
+coroutine, ``release`` a plain call, and waiters are granted strictly
+FIFO *except* that a waiter blocked only by its own tenant limit does
+not head-of-line-block other tenants' waiters behind it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+from collections import deque
+
+from ..errors import ReproError
+
+__all__ = ["AdmissionConfig", "AdmissionController", "ServeOverloadError"]
+
+
+class ServeOverloadError(ReproError, RuntimeError):
+    """The server is over its admission limits and the request was
+    rejected (or timed out waiting for a slot)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class AdmissionConfig:
+    """Depth limits and overload policy of one server.
+
+    Attributes
+    ----------
+    max_inflight:
+        Global admitted-request ceiling (>= 1).
+    max_per_tenant:
+        Per-tenant ceiling; ``None`` means tenants share only the
+        global limit.
+    policy:
+        ``"wait"`` parks over-limit submitters until a slot frees (the
+        backpressure mode — callers feel the queue as latency);
+        ``"reject"`` raises :class:`ServeOverloadError` immediately
+        (the load-shedding mode — callers feel it as an error).
+    wait_timeout:
+        Under ``"wait"``, the longest a request may be parked before it
+        is rejected anyway; ``None`` waits forever.
+    """
+
+    max_inflight: int = 64
+    max_per_tenant: int | None = None
+    policy: str = "wait"
+    wait_timeout: float | None = None
+
+    def validate(self) -> None:
+        if not isinstance(self.max_inflight, int) or self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be an int >= 1, got {self.max_inflight!r}"
+            )
+        if self.max_per_tenant is not None and (
+            not isinstance(self.max_per_tenant, int)
+            or self.max_per_tenant < 1
+        ):
+            raise ValueError(
+                f"max_per_tenant must be an int >= 1 or None, got "
+                f"{self.max_per_tenant!r}"
+            )
+        if self.policy not in ("wait", "reject"):
+            raise ValueError(
+                f"policy must be 'wait' or 'reject', got {self.policy!r}"
+            )
+        if self.wait_timeout is not None and self.wait_timeout <= 0:
+            raise ValueError(
+                f"wait_timeout must be > 0 or None, got {self.wait_timeout!r}"
+            )
+
+
+class AdmissionController:
+    """Slot accounting behind :meth:`~repro.serve.Server.submit`."""
+
+    def __init__(self, config: AdmissionConfig | None = None,
+                 metrics=None) -> None:
+        self.config = config if config is not None else AdmissionConfig()
+        self.config.validate()
+        self.metrics = metrics
+        self._inflight = 0
+        self._per_tenant: dict[str, int] = {}
+        #: FIFO of (future, tenant) parked by ``policy="wait"``.
+        self._waiters: deque[tuple[asyncio.Future, str]] = deque()
+
+    # -- introspection -----------------------------------------------------------
+
+    def depth(self, tenant: str | None = None) -> int:
+        """Admitted requests currently in flight (globally or per tenant)."""
+        if tenant is None:
+            return self._inflight
+        return self._per_tenant.get(tenant, 0)
+
+    @property
+    def waiting(self) -> int:
+        """Requests parked for a slot right now."""
+        return sum(1 for fut, _ in self._waiters if not fut.done())
+
+    # -- slot lifecycle ----------------------------------------------------------
+
+    def _grantable(self, tenant: str) -> bool:
+        if self._inflight >= self.config.max_inflight:
+            return False
+        cap = self.config.max_per_tenant
+        return cap is None or self._per_tenant.get(tenant, 0) < cap
+
+    def _grant(self, tenant: str) -> None:
+        self._inflight += 1
+        self._per_tenant[tenant] = self._per_tenant.get(tenant, 0) + 1
+        if self.metrics is not None:
+            self.metrics.queue_depth.set(self._inflight)
+
+    def _reject(self, tenant: str, why: str) -> ServeOverloadError:
+        if self.metrics is not None:
+            self.metrics.rejected += 1
+        return ServeOverloadError(
+            f"request for tenant {tenant!r} rejected: {why} "
+            f"(inflight {self._inflight}/{self.config.max_inflight}, "
+            f"tenant {self._per_tenant.get(tenant, 0)}"
+            + (f"/{self.config.max_per_tenant}"
+               if self.config.max_per_tenant is not None else "")
+            + ")"
+        )
+
+    async def acquire(self, tenant: str = "default") -> None:
+        """Hold a slot for one request; pair with :meth:`release`.
+
+        Raises :class:`ServeOverloadError` under ``policy="reject"``
+        when a limit is hit, or under ``policy="wait"`` when
+        ``wait_timeout`` elapses first.
+        """
+        if self._grantable(tenant):
+            self._grant(tenant)
+            return
+        if self.config.policy == "reject":
+            raise self._reject(tenant, "admission limits reached")
+        fut = asyncio.get_running_loop().create_future()
+        self._waiters.append((fut, tenant))
+        try:
+            if self.config.wait_timeout is None:
+                await fut
+            else:
+                await asyncio.wait_for(fut, self.config.wait_timeout)
+        except asyncio.TimeoutError:
+            raise self._reject(
+                tenant,
+                f"no slot freed within wait_timeout="
+                f"{self.config.wait_timeout}s",
+            ) from None
+        except asyncio.CancelledError:
+            # Granted and cancelled in the same tick: the slot was
+            # already charged to us — hand it on before propagating.
+            if fut.done() and not fut.cancelled():
+                self.release(tenant)
+            raise
+        # A resolved future means _dispatch_waiters already granted the
+        # slot on our behalf; nothing further to charge.
+
+    def release(self, tenant: str = "default") -> None:
+        """Free one slot and grant as many parked waiters as now fit."""
+        if self._inflight <= 0:  # pragma: no cover - defensive
+            raise RuntimeError("release() without a matching acquire()")
+        self._inflight -= 1
+        left = self._per_tenant.get(tenant, 0) - 1
+        if left <= 0:
+            self._per_tenant.pop(tenant, None)
+        else:
+            self._per_tenant[tenant] = left
+        if self.metrics is not None:
+            self.metrics.queue_depth.set(self._inflight)
+        self._dispatch_waiters()
+
+    def _dispatch_waiters(self) -> None:
+        """Grant pending waiters FIFO; drop timed-out/cancelled entries.
+
+        A waiter blocked only by its *tenant* cap is skipped (kept in
+        order) so it cannot head-of-line-block other tenants.
+        """
+        kept: deque[tuple[asyncio.Future, str]] = deque()
+        while self._waiters:
+            fut, tenant = self._waiters.popleft()
+            if fut.done():
+                continue  # timed out or cancelled while parked
+            if self._grantable(tenant):
+                self._grant(tenant)
+                fut.set_result(True)
+            else:
+                kept.append((fut, tenant))
+                if self._inflight >= self.config.max_inflight:
+                    kept.extend(self._waiters)
+                    self._waiters.clear()
+                    break
+        self._waiters = kept

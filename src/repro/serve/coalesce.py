@@ -1,0 +1,218 @@
+"""Request coalescing: independent submissions → shared-memory feed waves.
+
+The sharded runtime is fastest when it is handed *many feeds at once* —
+``ShardPool.run`` amortizes one pipe round-trip per worker over a whole
+ring of entries, and even the in-process batch path amortizes the
+executor hop.  Independent callers don't arrive as batches, though; they
+arrive one ``submit`` at a time.  The :class:`Coalescer` closes that
+gap:
+
+* every request lands in a per-key queue — the key carries the plan
+  identity and the feed shapes/dtypes, so only *compatible* requests
+  (same compiled function, same signature, same tenant session) ever
+  share a wave;
+* a queue flushes when it reaches ``max_wave`` requests (occupancy
+  flush) or when its oldest request has waited ``max_delay`` seconds
+  (deadline flush — the knob that bounds the latency cost of batching);
+* a flush dispatches *one* wave through the supplied async ``dispatch``
+  callable and fans the per-request results back out to each caller's
+  future.  Waves of the same key serialize (a :class:`ShardPool` serves
+  one run at a time); different keys dispatch concurrently.
+
+Cancellation is first-class: a request whose future is cancelled while
+queued is dropped at flush time (and again at dispatch time, after the
+per-key serialization wait) — it neither occupies wave slots nor
+receives results.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+from collections import defaultdict
+from collections.abc import Callable, Hashable
+
+__all__ = ["CoalesceConfig", "Coalescer"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CoalesceConfig:
+    """Wave-formation knobs.
+
+    Attributes
+    ----------
+    max_wave:
+        Flush a queue the moment it holds this many requests.  Bounded
+        above only by what the dispatch target digests well (a
+        :class:`~repro.runtime.ShardPool` takes any size and chunks it
+        into rings itself).
+    max_delay:
+        Deadline flush: the longest a queued request may wait for
+        companions, in seconds.  This is the direct latency price of
+        coalescing — p50 under light load sits near ``max_delay``,
+        under heavy load near the wave service time.
+    """
+
+    max_wave: int = 8
+    max_delay: float = 0.002
+
+    def validate(self) -> None:
+        if not isinstance(self.max_wave, int) or self.max_wave < 1:
+            raise ValueError(
+                f"max_wave must be an int >= 1, got {self.max_wave!r}"
+            )
+        if not (self.max_delay >= 0.0):
+            raise ValueError(
+                f"max_delay must be >= 0, got {self.max_delay!r}"
+            )
+
+
+@dataclasses.dataclass
+class _Queued:
+    """One request parked in a wave queue."""
+
+    item: object
+    future: asyncio.Future
+    enqueued_at: float
+
+
+class Coalescer:
+    """Per-key request queues flushed into dispatchable waves.
+
+    Parameters
+    ----------
+    dispatch:
+        ``async dispatch(key, items) -> sequence of results`` — executes
+        one wave and returns per-item results in order.  An exception
+        fails every request of the wave (requests are independent
+        retries for the caller, not for the wave).
+    config:
+        :class:`CoalesceConfig` flush thresholds.
+    metrics:
+        Optional :class:`~repro.serve.metrics.ServeMetrics`; receives
+        wave occupancy, queue-wait latencies and the wave counter.
+    """
+
+    def __init__(
+        self,
+        dispatch: Callable,
+        *,
+        config: CoalesceConfig | None = None,
+        metrics=None,
+    ) -> None:
+        self.config = config if config is not None else CoalesceConfig()
+        self.config.validate()
+        self._dispatch = dispatch
+        self.metrics = metrics
+        self._queues: dict[Hashable, list[_Queued]] = {}
+        self._timers: dict[Hashable, asyncio.TimerHandle] = {}
+        #: Serializes waves of one key (one ShardPool serves one run at
+        #: a time); created lazily so idle keys cost nothing.
+        self._locks: "defaultdict[Hashable, asyncio.Lock]" = defaultdict(
+            asyncio.Lock
+        )
+        #: Live wave tasks — strong references (the loop keeps only weak
+        #: ones) and the thing ``drain`` awaits.
+        self._tasks: set[asyncio.Task] = set()
+
+    # -- introspection -----------------------------------------------------------
+
+    def pending(self, key: Hashable | None = None) -> int:
+        """Queued-but-not-yet-flushed requests (for one key or all)."""
+        if key is not None:
+            return len(self._queues.get(key, ()))
+        return sum(len(q) for q in self._queues.values())
+
+    @property
+    def inflight_waves(self) -> int:
+        return len(self._tasks)
+
+    # -- the submit/flush cycle --------------------------------------------------
+
+    def submit(self, key: Hashable, item: object) -> asyncio.Future:
+        """Queue ``item`` under ``key``; the future resolves to its result.
+
+        Must be called on the event loop.  Flushes immediately at
+        ``max_wave``; otherwise the queue's first request arms the
+        deadline timer.
+        """
+        loop = asyncio.get_running_loop()
+        fut = loop.create_future()
+        queue = self._queues.setdefault(key, [])
+        queue.append(_Queued(item, fut, loop.time()))
+        if len(queue) >= self.config.max_wave:
+            self.flush(key)
+        elif len(queue) == 1:
+            self._timers[key] = loop.call_later(
+                self.config.max_delay, self.flush, key
+            )
+        return fut
+
+    def flush(self, key: Hashable | None = None) -> None:
+        """Dispatch the queued wave for ``key`` now (all keys if None)."""
+        if key is None:
+            for k in list(self._queues):
+                self.flush(k)
+            return
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        batch = self._queues.pop(key, None)
+        if not batch:
+            return
+        batch = [q for q in batch if not q.future.done()]
+        if not batch:
+            return
+        task = asyncio.get_running_loop().create_task(
+            self._run_wave(key, batch)
+        )
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run_wave(self, key: Hashable, batch: list[_Queued]) -> None:
+        async with self._locks[key]:
+            # Re-filter after the serialization wait: a request can be
+            # cancelled between flush and the previous wave finishing.
+            live = [q for q in batch if not q.future.done()]
+            if self.metrics is not None:
+                self.metrics.cancelled += len(batch) - len(live)
+            if not live:
+                return
+            now = asyncio.get_running_loop().time()
+            if self.metrics is not None:
+                self.metrics.waves += 1
+                self.metrics.wave_occupancy.record(len(live))
+                for q in live:
+                    self.metrics.queue_wait.record(now - q.enqueued_at)
+            try:
+                results = await self._dispatch(key, [q.item for q in live])
+            except asyncio.CancelledError:
+                for q in live:
+                    q.future.cancel()
+                raise
+            except Exception as exc:  # noqa: BLE001 - fanned out to callers
+                for q in live:
+                    if not q.future.done():
+                        q.future.set_exception(exc)
+                return
+            results = list(results)
+            if len(results) != len(live):  # pragma: no cover - dispatch bug
+                exc = RuntimeError(
+                    f"dispatch returned {len(results)} results for a wave "
+                    f"of {len(live)}"
+                )
+                for q in live:
+                    if not q.future.done():
+                        q.future.set_exception(exc)
+                return
+            for q, result in zip(live, results):
+                if not q.future.done():
+                    q.future.set_result(result)
+
+    async def drain(self) -> None:
+        """Flush every queue and wait for all in-flight waves to finish."""
+        self.flush()
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+            # A finishing wave may have been followed by late flushes.
+            self.flush()

@@ -422,3 +422,71 @@ class TestSessionSharding:
             # In-process path records real reports; the shard path can't.
             assert all(r.calls for r in result.reports)
             assert not s._shard_pools
+
+
+class TestSessionCloseLifecycle:
+    """A Session is single-lifetime: close tears down shard pools and
+    run_sharded on a closed session fails loudly at entry."""
+
+    def _session_and_fn(self):
+        A, B = random_general(8, seed=1), random_general(8, seed=2)
+        s = api.Session(shards=2)
+        return s, s.compile(lambda a, b: a @ b), [[A, B]] * 3
+
+    def test_run_sharded_after_close_raises(self):
+        s, f, feed_sets = self._session_and_fn()
+        with s:
+            s.run_batch(f, feed_sets)
+        with pytest.raises(RuntimeError, match="session closed"):
+            s.run_sharded(f, feed_sets, shards=2)
+
+    def test_run_sharded_after_explicit_close_raises(self):
+        s, f, feed_sets = self._session_and_fn()
+        s.run_batch(f, feed_sets)
+        s.close()
+        with pytest.raises(RuntimeError, match="session closed"):
+            s.run_batch(f, feed_sets)  # routes to run_sharded
+
+    def test_close_and_close_shard_pools_are_idempotent(self):
+        s, f, feed_sets = self._session_and_fn()
+        s.run_batch(f, feed_sets)
+        pool = next(iter(s._shard_pools.values()))
+        s.close_shard_pools()
+        s.close_shard_pools()  # second call is a no-op, not an error
+        s.close()
+        s.close()
+        assert pool._closed
+        assert s.closed
+        assert not s._shard_pools
+
+    def test_reentering_closed_session_raises(self):
+        s, _, _ = self._session_and_fn()
+        with s:
+            pass
+        with pytest.raises(RuntimeError, match="session closed"):
+            with s:
+                pass  # pragma: no cover
+
+    def test_stats_render_sharding_line(self):
+        s, f, feed_sets = self._session_and_fn()
+        with s:
+            s.run_batch(f, feed_sets)
+            st = s.stats()
+            assert st.shard_pools_open == 1
+            assert st.shard_workers == 2
+            assert st.shard_waves_served >= 1
+            text = st.render()
+            assert "sharding: 1 pool(s) open" in text
+            assert "2 worker process(es)" in text
+            assert "wave(s) served" in text
+        # After close the pools are gone but served waves are remembered.
+        st = s.stats()
+        assert st.shard_pools_open == 0
+        assert st.shard_waves_served >= 1
+
+    def test_unsharded_session_stats_omit_sharding_line(self):
+        A, B = random_general(8, seed=1), random_general(8, seed=2)
+        with api.Session() as s:
+            f = s.compile(lambda a, b: a @ b)
+            f(A, B)
+            assert "sharding:" not in s.stats().render()

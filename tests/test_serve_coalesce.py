@@ -1,0 +1,280 @@
+"""Request coalescing: flush boundaries, wave splitting, cancellation.
+
+Contracts under test (the ISSUE's flush-boundary checklist):
+
+* a queue flushes the moment it reaches ``max_wave`` (occupancy flush)
+  and otherwise when its oldest request has waited ``max_delay``
+  (deadline flush);
+* requests with incompatible feed shapes/dtypes never share a wave —
+  at the server level the coalesce key carries the feed signature, so
+  mixed-shape submissions split into per-signature waves;
+* a request cancelled while queued is dropped at flush time: it
+  occupies no wave slot and the remaining requests still complete;
+* waves of one key serialize; dispatch failures fan out to every
+  request of the wave; ``drain()`` leaves nothing queued or in flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import api, serve
+from repro.serve import CoalesceConfig, Coalescer, ServeMetrics
+from repro.tensor import random_general
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_coalescer(waves, config, metrics=None, delay=0.0):
+    """A Coalescer whose dispatch echoes items back and logs each wave."""
+
+    async def dispatch(key, items):
+        if delay:
+            await asyncio.sleep(delay)
+        waves.append((key, list(items)))
+        return [f"done:{item}" for item in items]
+
+    return Coalescer(dispatch, config=config, metrics=metrics)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs", [{"max_wave": 0}, {"max_wave": 1.5}, {"max_delay": -0.1}]
+    )
+    def test_bad_config(self, kwargs):
+        with pytest.raises(ValueError):
+            CoalesceConfig(**kwargs).validate()
+
+
+class TestFlushBoundaries:
+    def test_max_wave_flushes_immediately(self):
+        async def main():
+            waves = []
+            c = make_coalescer(
+                waves, CoalesceConfig(max_wave=3, max_delay=60.0)
+            )
+            futs = [c.submit("k", i) for i in range(3)]
+            # Hitting max_wave dispatched the wave with no timer wait
+            # (max_delay is a minute — a deadline flush can't be it).
+            assert c.pending("k") == 0
+            results = await asyncio.gather(*futs)
+            assert results == ["done:0", "done:1", "done:2"]
+            assert len(waves) == 1
+            assert waves[0] == ("k", [0, 1, 2])
+
+        run(main())
+
+    def test_deadline_flushes_partial_wave(self):
+        async def main():
+            waves = []
+            metrics = ServeMetrics()
+            c = make_coalescer(
+                waves, CoalesceConfig(max_wave=64, max_delay=0.01), metrics
+            )
+            fut = c.submit("k", "only")
+            assert c.pending("k") == 1  # far from max_wave: still queued
+            assert await fut == "done:only"
+            assert len(waves) == 1 and waves[0][1] == ["only"]
+            assert metrics.wave_occupancy.max == 1
+            # The request waited roughly the deadline, not the minute a
+            # full wave would imply.
+            assert metrics.queue_wait.max >= 0.009
+
+        run(main())
+
+    def test_overfull_burst_splits_at_max_wave(self):
+        async def main():
+            waves = []
+            c = make_coalescer(
+                waves, CoalesceConfig(max_wave=4, max_delay=0.005)
+            )
+            futs = [c.submit("k", i) for i in range(10)]
+            await asyncio.gather(*futs)
+            assert [len(items) for _, items in waves] == [4, 4, 2]
+
+        run(main())
+
+    def test_distinct_keys_never_share_a_wave(self):
+        async def main():
+            waves = []
+            c = make_coalescer(
+                waves, CoalesceConfig(max_wave=8, max_delay=0.005)
+            )
+            futs = [c.submit(f"k{i % 2}", i) for i in range(6)]
+            await asyncio.gather(*futs)
+            assert len(waves) == 2
+            by_key = dict(waves)
+            assert by_key["k0"] == [0, 2, 4]
+            assert by_key["k1"] == [1, 3, 5]
+
+        run(main())
+
+
+class TestIncompatibleFeedsSplitWaves:
+    def test_shape_and_dtype_split_at_the_server(self):
+        # The server keys waves by (tenant, plan, feed signature): two
+        # feed sizes for the same function must land in separate waves.
+        async def main():
+            small = [random_general(8, seed=s) for s in (1, 2)]
+            big = [random_general(16, seed=s) for s in (3, 4)]
+
+            def model(a, b):
+                return a @ b + a
+
+            async with serve.Server(
+                api.Options(fusion=True, arena="preallocated"),
+                coalesce=serve.CoalesceConfig(max_wave=2, max_delay=0.5),
+            ) as server:
+                outs = await asyncio.gather(
+                    server.submit(model, small),
+                    server.submit(model, big),
+                    server.submit(model, small),
+                    server.submit(model, big),
+                )
+                assert server.metrics.waves == 2
+                assert server.metrics.wave_occupancy.max == 2
+                np.testing.assert_allclose(
+                    outs[0].data, small[0].data @ small[1].data
+                    + small[0].data, rtol=1e-5)
+                np.testing.assert_allclose(
+                    outs[1].data, big[0].data @ big[1].data + big[0].data,
+                    rtol=1e-5)
+
+        run(main())
+
+
+class TestCancellation:
+    def test_cancelled_request_dropped_at_flush(self):
+        async def main():
+            waves = []
+            metrics = ServeMetrics()
+            c = make_coalescer(
+                waves, CoalesceConfig(max_wave=8, max_delay=0.005), metrics
+            )
+            keep = c.submit("k", "keep")
+            drop = c.submit("k", "drop")
+            drop.cancel()
+            assert await keep == "done:keep"
+            # The cancelled request never reached a wave.
+            assert waves == [("k", ["keep"])]
+            assert drop.cancelled()
+            assert metrics.wave_occupancy.max == 1
+
+        run(main())
+
+    def test_fully_cancelled_queue_dispatches_nothing(self):
+        async def main():
+            waves = []
+            c = make_coalescer(
+                waves, CoalesceConfig(max_wave=8, max_delay=0.002)
+            )
+            futs = [c.submit("k", i) for i in range(3)]
+            for fut in futs:
+                fut.cancel()
+            await asyncio.sleep(0.02)
+            await c.drain()
+            assert waves == []
+
+        run(main())
+
+    def test_cancelled_during_serialization_wait_dropped(self):
+        async def main():
+            waves = []
+            metrics = ServeMetrics()
+            c = make_coalescer(
+                waves, CoalesceConfig(max_wave=1, max_delay=0.1), metrics,
+                delay=0.02,
+            )
+            first = c.submit("k", "first")    # wave 1, holds the key lock
+            second = c.submit("k", "second")  # wave 2, parked on the lock
+            await asyncio.sleep(0.005)
+            second.cancel()
+            assert await first == "done:first"
+            await c.drain()
+            # Wave 2 found its only request cancelled and dispatched
+            # nothing.
+            assert [items for _, items in waves] == [["first"]]
+            assert metrics.cancelled == 1
+
+        run(main())
+
+
+class TestDispatchSemantics:
+    def test_same_key_waves_serialize(self):
+        async def main():
+            running = {"now": 0, "peak": 0}
+
+            async def dispatch(key, items):
+                running["now"] += 1
+                running["peak"] = max(running["peak"], running["now"])
+                await asyncio.sleep(0.01)
+                running["now"] -= 1
+                return list(items)
+
+            c = Coalescer(
+                dispatch, config=CoalesceConfig(max_wave=2, max_delay=0.5)
+            )
+            futs = [c.submit("k", i) for i in range(6)]  # three waves
+            await asyncio.gather(*futs)
+            assert running["peak"] == 1
+
+        run(main())
+
+    def test_dispatch_failure_fans_out_to_whole_wave(self):
+        async def main():
+            async def dispatch(key, items):
+                raise ValueError("kernel exploded")
+
+            c = Coalescer(
+                dispatch, config=CoalesceConfig(max_wave=2, max_delay=0.5)
+            )
+            f1 = c.submit("k", 1)
+            f2 = c.submit("k", 2)
+            for fut in (f1, f2):
+                with pytest.raises(ValueError, match="kernel exploded"):
+                    await fut
+            # The coalescer survives a failed wave: the next one runs.
+            f3 = c.submit("k", 3)
+            c.flush("k")
+            with pytest.raises(ValueError, match="kernel exploded"):
+                await f3
+
+        run(main())
+
+    def test_result_count_mismatch_is_an_error(self):
+        async def main():
+            async def dispatch(key, items):
+                return [0]  # wrong arity for a 2-wave
+
+            c = Coalescer(
+                dispatch, config=CoalesceConfig(max_wave=2, max_delay=0.5)
+            )
+            f1 = c.submit("k", 1)
+            f2 = c.submit("k", 2)
+            for fut in (f1, f2):
+                with pytest.raises(RuntimeError, match="2"):
+                    await fut
+
+        run(main())
+
+    def test_drain_flushes_and_waits(self):
+        async def main():
+            waves = []
+            c = make_coalescer(
+                waves, CoalesceConfig(max_wave=64, max_delay=60.0),
+                delay=0.01,
+            )
+            futs = [c.submit("k", i) for i in range(3)]
+            assert c.pending() == 3
+            await c.drain()
+            assert c.pending() == 0
+            assert c.inflight_waves == 0
+            assert len(waves) == 1
+            assert all(f.done() for f in futs)
+
+        run(main())

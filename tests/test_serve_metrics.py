@@ -1,0 +1,155 @@
+"""Streaming serve metrics: log-spaced latency histograms, occupancy
+distributions, gauges, and the ServeMetrics bundle.
+
+Contracts under test:
+
+* :class:`~repro.serve.LatencyHistogram` quantiles agree with exact
+  percentiles to within one bucket ratio, are clamped to the observed
+  min/max, and handle the under-/overflow buckets without losing
+  samples.
+* :class:`~repro.serve.Distribution` is exact over small integers.
+* :class:`~repro.serve.ServeMetrics` snapshots are flat, JSON-ready
+  dicts and render() mentions every headline number.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.serve import Distribution, Gauge, LatencyHistogram, ServeMetrics
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        h = LatencyHistogram()
+        assert h.count == 0
+        assert h.p50 == 0.0 and h.p99 == 0.0 and h.p999 == 0.0
+        assert h.mean == 0.0
+
+    def test_single_sample_all_quantiles_equal_it(self):
+        h = LatencyHistogram()
+        h.record(0.0042)
+        for q in (0.01, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(0.0042)
+        assert h.mean == pytest.approx(0.0042)
+        assert h.min == h.max == pytest.approx(0.0042)
+
+    def test_quantiles_track_exact_percentiles(self):
+        # Log-uniform samples spanning 50 µs .. 2 s: the histogram's
+        # relative resolution is its bucket ratio, so every quantile
+        # must land within that factor of the exact order statistic.
+        rng = random.Random(7)
+        samples = sorted(10 ** rng.uniform(-4.3, 0.3) for _ in range(5000))
+        h = LatencyHistogram()
+        for s in samples:
+            h.record(s)
+        for q in (0.50, 0.90, 0.99, 0.999):
+            exact = samples[min(int(q * len(samples)), len(samples) - 1)]
+            assert h.quantile(q) == pytest.approx(exact, rel=h.ratio - 1.0)
+        assert h.count == len(samples)
+        assert h.mean == pytest.approx(sum(samples) / len(samples))
+
+    def test_clamped_to_observed_extremes(self):
+        h = LatencyHistogram()
+        h.record(0.010)
+        h.record(0.011)
+        # Interpolation inside a shared bucket can't escape [min, max].
+        assert 0.010 <= h.quantile(0.5) <= 0.011
+        assert h.quantile(1.0) == pytest.approx(0.011)
+
+    def test_underflow_and_overflow_buckets(self):
+        h = LatencyHistogram(lo=1e-3, hi=1.0)
+        h.record(1e-9)   # below lo: first bucket
+        h.record(500.0)  # above hi: overflow bucket
+        assert h.count == 2
+        assert h.min == pytest.approx(1e-9)
+        assert h.max == pytest.approx(500.0)
+        assert h.quantile(1.0) == pytest.approx(500.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="0 < lo < hi"):
+            LatencyHistogram(lo=2.0, hi=1.0)
+        with pytest.raises(ValueError, match="ratio"):
+            LatencyHistogram(ratio=1.0)
+        h = LatencyHistogram()
+        with pytest.raises(ValueError, match=">= 0"):
+            h.record(-1.0)
+        with pytest.raises(ValueError, match="quantile"):
+            h.quantile(0.0)
+        with pytest.raises(ValueError, match="quantile"):
+            h.quantile(1.5)
+
+    def test_snapshot_keys(self):
+        h = LatencyHistogram()
+        h.record(0.002)
+        snap = h.snapshot()
+        assert set(snap) == {
+            "count", "mean_seconds", "p50_seconds", "p99_seconds",
+            "p999_seconds", "max_seconds",
+        }
+        json.dumps(snap)  # JSON-ready
+
+
+class TestDistribution:
+    def test_exact_counts(self):
+        d = Distribution()
+        for v in (1, 8, 8, 8, 4, 2, 8):
+            d.record(v)
+        assert d.count == 7
+        assert d.max == 8
+        assert d.mean == pytest.approx(39 / 7)
+        assert d.quantile(0.5) == 8  # 4 of 7 samples are 8
+        assert d.quantile(0.01) == 1
+        assert d.quantile(1.0) == 8
+
+    def test_empty(self):
+        d = Distribution()
+        assert d.mean == 0.0 and d.quantile(0.5) == 0
+        with pytest.raises(ValueError, match="quantile"):
+            d.quantile(0.0)
+
+
+class TestGauge:
+    def test_high_water(self):
+        g = Gauge()
+        g.set(3)
+        g.set(9)
+        g.set(1)
+        assert g.value == 1
+        assert g.high_water == 9
+
+
+class TestServeMetrics:
+    def test_snapshot_is_json_ready_and_complete(self):
+        m = ServeMetrics()
+        m.submitted = 10
+        m.completed = 8
+        m.rejected = 1
+        m.cancelled = 1
+        m.waves = 3
+        m.latency.record(0.004)
+        m.queue_wait.record(0.001)
+        m.wave_occupancy.record(4)
+        m.queue_depth.set(6)
+        snap = m.snapshot()
+        json.dumps(snap)
+        assert snap["submitted"] == 10
+        assert snap["waves"] == 3
+        assert snap["latency"]["count"] == 1
+        assert snap["wave_occupancy"]["mean"] == pytest.approx(4.0)
+        assert snap["queue_depth_high_water"] == 6
+
+    def test_render_mentions_headlines(self):
+        m = ServeMetrics()
+        m.submitted = m.completed = 2
+        m.waves = 1
+        m.latency.record(0.004)
+        m.wave_occupancy.record(2)
+        text = m.render()
+        assert "2 completed" in text
+        assert "p50" in text and "p99" in text and "p999" in text
+        assert "1 dispatched" in text
+        assert "occupancy mean 2.00" in text
