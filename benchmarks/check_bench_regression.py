@@ -34,6 +34,7 @@ GATED_KEYS = (
     "pinned_exec_seconds",
     "batch_64_feeds_sharded_seconds",
     "serve_p50_latency_seconds",
+    "plan_store_warm_start_seconds",
 )
 
 #: Keys a runner may legitimately not produce (sharding disabled via
@@ -157,6 +158,27 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"{key} regressed: {new:.6g} > {base:.6g} "
                 f"(+{(new / base - 1.0):.1%}, tolerance {args.tolerance:.0%})"
+            )
+    # Structural (machine-independent) gate: a plan-store warm start must
+    # beat the cold compile it replaces *within the same run* — both
+    # numbers come from the same process moments apart, so no scaling or
+    # tolerance applies.  Skipped when the fresh results predate the
+    # store metrics.
+    warm = fresh.get("plan_store_warm_start_seconds")
+    cold = fresh.get("plan_store_cold_compile_seconds")
+    if warm is None or cold is None:
+        print("bench-regression: plan-store metrics absent from fresh "
+              "results, skipping warm-vs-cold check")
+    else:
+        verdict = "OK" if warm < cold else "REGRESSED"
+        print(
+            f"bench-regression: plan_store warm={warm:.6g} cold={cold:.6g} "
+            f"(warm must be < cold) {verdict}"
+        )
+        if warm >= cold:
+            failures.append(
+                f"plan_store_warm_start_seconds {warm:.6g} not below "
+                f"plan_store_cold_compile_seconds {cold:.6g}"
             )
     if failures:
         for f in failures:

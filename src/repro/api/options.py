@@ -8,6 +8,7 @@ construction instead of mid-run.
 from __future__ import annotations
 
 import dataclasses
+import os
 
 from ..errors import ConfigError
 from ..runtime.batch import ARENA_MODES
@@ -82,6 +83,16 @@ class Options:
         (shared-memory feed rings, GIL-free dispatch; pools are cached
         on the session and torn down when it exits).  ``None`` keeps
         the in-process executors.
+    plan_store:
+        Directory of a persistent :class:`~repro.runtime.PlanStore`
+        (``None`` disables it).  When set, the session consults the
+        store after each trace — a hit skips the optimization pipeline
+        *and* the cold compile (the stored optimized graph re-lowers,
+        with large consts mmapped from ``.npy`` sidecars) — misses
+        write the compiled plan back, and shard workers warm-start
+        from the same directory.  The directory is created on session
+        construction; concurrent sessions and processes may share it
+        (writes are atomic).
     pin:
         Pinned steady-state execution (requires
         ``arena="preallocated"``).  Calls whose feed arrays are
@@ -103,6 +114,7 @@ class Options:
     donate_feeds: "bool | str" = False
     shards: int | None = None
     pin: bool = False
+    plan_store: str | None = None
 
     def validate(self) -> None:
         """Raise :class:`ConfigError` if any field is out of range."""
@@ -148,6 +160,14 @@ class Options:
         ):
             raise ConfigError(
                 f"shards must be an int >= 1 or None, got {self.shards!r}"
+            )
+        if self.plan_store is not None and (
+            not isinstance(self.plan_store, (str, os.PathLike))
+            or not os.fspath(self.plan_store)
+        ):
+            raise ConfigError(
+                "plan_store must be a non-empty directory path or None, "
+                f"got {self.plan_store!r}"
             )
         if not isinstance(self.pin, bool):
             raise ConfigError(f"pin must be a bool, got {self.pin!r}")

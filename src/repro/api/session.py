@@ -35,7 +35,7 @@ import numpy as np
 from ..errors import ConfigError
 from ..ir.tracing import trace
 from ..ir.validate import validate_graph
-from ..runtime import BatchResult, PlanCache, ShardPool, execute_batch
+from ..runtime import BatchResult, PlanCache, PlanStore, ShardPool, execute_batch
 from ..runtime import cache as _cache_module
 from ..runtime.plan import Plan
 from ..tensor.tensor import Tensor
@@ -111,6 +111,18 @@ class SessionStats:
     shard_pools_open: int = 0
     shard_workers: int = 0
     shard_waves_served: int = 0
+    #: Persistent plan store (PR 8): the directory when attached, plus
+    #: this session's store counters.  ``store_hits`` are builds served
+    #: by re-lowering a stored artifact — the in-memory ``misses``
+    #: counter keeps meaning "cold compiles", so a fully warm start
+    #: shows ``misses == 0``.
+    plan_store: str | None = None
+    store_hits: int = 0
+    store_misses: int = 0
+    store_writes: int = 0
+    store_corrupt_evicted: int = 0
+    store_bytes_mapped: int = 0
+    store_seconds_saved: float = 0.0
 
     @property
     def fused_sites(self) -> int:
@@ -157,6 +169,16 @@ class SessionStats:
                 f"sharding: {self.shard_pools_open} pool(s) open | "
                 f"{self.shard_workers} worker process(es) | "
                 f"{self.shard_waves_served} wave(s) served"
+            )
+        if self.plan_store is not None:
+            lines.append(
+                f"plan store: {self.store_hits} hits / "
+                f"{self.store_misses} misses / "
+                f"{self.store_writes} writes / "
+                f"{self.store_corrupt_evicted} corrupt evicted | "
+                f"{self.store_bytes_mapped / 1024:.1f} KiB mapped | "
+                f"~{self.store_seconds_saved:.4f}s saved "
+                f"({self.plan_store})"
             )
         if self.plans:
             lw = max(12, max(len(p.label) for p in self.plans))
@@ -207,6 +229,15 @@ class Session:
             self.options = self.options.replace(cache_capacity=plan_cache.maxsize)
         else:
             self.plan_cache = PlanCache(maxsize=self.options.cache_capacity)
+        #: Persistent cross-run plan store (``Options(plan_store=DIR)``);
+        #: ``None`` when the session is purely in-memory.  Shared-dir
+        #: semantics are the store's own (atomic writes); the *instance*
+        #: — and its stats — is per-session, like the plan cache.
+        self.plan_store: PlanStore | None = (
+            PlanStore(self.options.plan_store)
+            if self.options.plan_store is not None
+            else None
+        )
         # Weak keys: accounting must not pin plans the LRU has evicted
         # and nothing else references — a stats row lives as long as its
         # plan does (in the cache or in a live Concrete).
@@ -456,7 +487,9 @@ class Session:
                 # A broken pool still owns its surviving workers and
                 # shared memory: reclaim them now, not at some GC.
                 evicted.append(self._shard_pools.pop(key))
-            pool = ShardPool(plan, shards=shards, dtype=dtype)
+            pool = ShardPool(
+                plan, shards=shards, dtype=dtype, store=self.plan_store
+            )
             self._shard_pools[key] = pool
             while len(self._shard_pools) > _MAX_SHARD_POOLS:
                 evicted.append(self._shard_pools.popitem(last=False)[1])
@@ -529,6 +562,27 @@ class Session:
             shard_pools_open=shard_pools_open,
             shard_workers=shard_workers,
             shard_waves_served=shard_waves,
+            plan_store=(
+                self.plan_store.root if self.plan_store is not None else None
+            ),
+            store_hits=(
+                self.plan_store.stats.hits if self.plan_store else 0
+            ),
+            store_misses=(
+                self.plan_store.stats.misses if self.plan_store else 0
+            ),
+            store_writes=(
+                self.plan_store.stats.writes if self.plan_store else 0
+            ),
+            store_corrupt_evicted=(
+                self.plan_store.stats.corrupt_evicted if self.plan_store else 0
+            ),
+            store_bytes_mapped=(
+                self.plan_store.stats.bytes_mapped if self.plan_store else 0
+            ),
+            store_seconds_saved=(
+                self.plan_store.stats.seconds_saved if self.plan_store else 0.0
+            ),
         )
 
     # -- internals ---------------------------------------------------------------
@@ -560,20 +614,49 @@ class Session:
         and the legacy decorators alike.
         """
         validation = self.options.validation
+        fold = self.options.fold_constants
+        fusion = self.options.fusion
+        store = self.plan_store
         start = time.perf_counter()
         graph = trace(fn, list(args))
         if validation in ("trace", "full"):
             validate_graph(graph)
-        pipeline = profile.pipeline(pipeline_choice)
-        optimized = pipeline.run(graph)
+        # Warm start: the store maps this trace's signature (plus
+        # pipeline identity) straight to the stored *optimized* graph —
+        # a hit skips every optimization pass, and the cache lookup
+        # below re-lowers instead of cold-compiling (via_store keeps
+        # the miss counter honest).  Misses fall through to the normal
+        # build and write the artifact back.
+        optimized = None
+        trace_key = None
+        if store is not None:
+            trace_key = store.trace_key(
+                graph, backend=profile.name, pipeline=pipeline_choice,
+                fold_constants=fold, fusion=fusion,
+            )
+            optimized = store.load_graph(trace_key)
+        warm_start = optimized is not None
+        if warm_start:
+            pipeline_log = (
+                f"plan store warm start ({pipeline_choice} passes skipped)"
+            )
+        else:
+            pipeline = profile.pipeline(pipeline_choice)
+            optimized = pipeline.run(graph)
+            pipeline_log = pipeline.describe()
         if validation == "full":
             validate_graph(optimized)
         plan, compiled_here = self.plan_cache.get_with_info(
             optimized,
-            fold_constants=self.options.fold_constants,
-            fusion=self.options.fusion,
+            fold_constants=fold,
+            fusion=fusion,
+            via_store=warm_start,
         )
         elapsed = time.perf_counter() - start
+        if store is not None and not warm_start:
+            plan_key = store.put_plan(plan, cold_seconds=elapsed)
+            if plan_key is not None:
+                store.put_alias(trace_key, plan_key)
         with self._lock:
             rec = self._plan_stats.get(plan)
             if rec is None:
@@ -602,7 +685,7 @@ class Session:
             optimized=optimized,
             plan=plan,
             trace_seconds=elapsed,
-            pipeline_log=pipeline.describe(),
+            pipeline_log=pipeline_log,
             # One arena per concrete specialization: executions of this
             # function in this session reuse its preallocated buffers.
             arena=plan.new_arena()

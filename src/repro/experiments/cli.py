@@ -9,6 +9,7 @@ Examples::
     laab run exp3 --json out.json   # machine-readable results
     laab run all --cache-stats      # + plan-cache hit/miss/eviction report
     laab cache-stats exp1           # run one experiment, print cache stats
+    laab cache-stats exp1 --store D # + persistent plan store (warm starts)
     laab graphs                     # print Fig. 3 / Fig. 4 DAGs
     laab serve-bench --shards 2     # async serving front-end under load
 
@@ -156,6 +157,16 @@ def _add_mode_flags(parser: argparse.ArgumentParser) -> None:
              "shared-memory feed rings (the GIL-free dispatch path); the "
              "session caches one ShardPool per plan",
     )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="persistent plan store directory: warm-start plans from "
+             "content-addressed on-disk artifacts (skipping the "
+             "optimization passes and the cold compile), write misses "
+             "back, and report store size, hit/miss/write counts and "
+             "the build seconds warm starts saved",
+    )
 
 
 def _cmd_list() -> int:
@@ -225,6 +236,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         donate_feeds="fallback" if getattr(args, "donate_feeds", False)
         else False,
         shards=getattr(args, "shards", None),
+        plan_store=getattr(args, "store", None),
     ) as session:
         for name in names:
             info = get_experiment(name)
@@ -241,6 +253,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if getattr(args, "cache_stats", False):
             print("\n== plan-cache statistics ==")
             print(session.stats().render())
+        if session.plan_store is not None:
+            print("\n== persistent plan store ==")
+            print(session.plan_store.render())
         save_path = getattr(args, "save_stats_path", None)
         if save_path:
             from ..runtime.persist import render_stats, save_stats
@@ -313,6 +328,7 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
         arena=args.arena,
         donate_feeds=args.donate_feeds,
         shards=args.shards,
+        store=args.store,
         save_stats_path=args.save,
     ))
 

@@ -51,6 +51,13 @@ This package is that compile-once / execute-many layer:
 ``persist``    On-disk accumulation of plan-cache signatures + compile
                times across runs (``laab cache-stats --save/--load``) —
                the real-world trace-dedup observability layer.
+``store``      :class:`PlanStore` — the persistent, content-addressed
+               on-disk plan store the persist layer priced out:
+               versioned artifacts (optimized-graph payload + compile
+               knobs, large consts as mmap-loaded ``.npy`` sidecars)
+               keyed by signature digest, with trace-signature aliases
+               so a cold ``Session`` skips the optimization pipeline
+               and shard workers warm-start instead of recompiling.
 """
 
 from .batch import ARENA_MODES, BatchResult, execute_batch
@@ -61,6 +68,7 @@ from .plan import Instruction, PinnedBinding, Plan, PlanArena, SlotDescriptor
 from .serialize import graph_from_payload, graph_to_payload
 from .shard import ShardPool, ShardWorkerError, default_shards
 from .signature import graph_signature
+from .store import PlanStore, StoreStats, runtime_fingerprint
 
 __all__ = [
     "ARENA_MODES",
@@ -72,9 +80,11 @@ __all__ = [
     "Plan",
     "PlanArena",
     "PlanCache",
+    "PlanStore",
     "ShardPool",
     "ShardWorkerError",
     "SlotDescriptor",
+    "StoreStats",
     "compile_plan",
     "default_plan_cache",
     "default_shards",
@@ -83,4 +93,5 @@ __all__ = [
     "graph_from_payload",
     "graph_signature",
     "graph_to_payload",
+    "runtime_fingerprint",
 ]

@@ -42,10 +42,15 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: Lookups satisfied by re-lowering a persistent-store artifact
+    #: (``via_store=True``): not in-memory hits, but not cold compiles
+    #: either — ``misses`` stays the count of *full* compiles, which is
+    #: what "a warm store compiles zero plans" is measured against.
+    store_hits: int = 0
 
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.misses + self.store_hits
 
     @property
     def hit_rate(self) -> float:
@@ -63,7 +68,8 @@ class PlanCache:
         self._plans: OrderedDict[tuple, Plan] = OrderedDict()
         #: Per-key lookup accounting that *survives eviction* — what the
         #: cross-run persistence layer (``laab cache-stats --save``)
-        #: snapshots: key → [hits, compiles, total compile seconds].
+        #: snapshots: key → [hits, compiles, total compile seconds,
+        #: store loads].
         self._key_stats: dict[tuple, list] = {}
         self._lock = threading.Lock()
         #: Single-flights concurrent compiles of one key (shares _lock so
@@ -102,12 +108,18 @@ class PlanCache:
         *,
         fold_constants: bool = False,
         fusion: bool = False,
+        via_store: bool = False,
     ) -> tuple[Plan, bool]:
         """Like :meth:`get`, also reporting whether *this call* compiled.
 
         The flag is what per-caller accounting needs under concurrency: a
         thread that waited on another thread's in-flight compile receives
         ``(plan, False)`` — only the single-flight leader gets ``True``.
+
+        ``via_store=True`` marks the lookup as backed by a persistent-
+        store artifact: ``graph`` was *loaded*, not derived, so an
+        in-memory miss re-lowers it but is accounted as a store hit —
+        ``stats.misses`` keeps meaning "cold compiles performed".
         """
         key = (graph_signature(graph), fold_constants, fusion)
         leader_epoch = [0]
@@ -123,7 +135,10 @@ class PlanCache:
             return plan
 
         def on_leader() -> None:
-            self.stats.misses += 1
+            if via_store:
+                self.stats.store_hits += 1
+            else:
+                self.stats.misses += 1
             leader_epoch[0] = self._epoch
 
         def build() -> Plan:
@@ -137,9 +152,12 @@ class PlanCache:
             if self._epoch != leader_epoch[0]:
                 return  # clear() happened mid-compile — don't repopulate
             self._plans[key] = plan
-            rec = self._key_stats.setdefault(key, [0, 0, 0.0])
-            rec[1] += 1
-            rec[2] += plan.compile_seconds
+            rec = self._key_stats.setdefault(key, [0, 0, 0.0, 0])
+            if via_store:
+                rec[3] += 1
+            else:
+                rec[1] += 1
+                rec[2] += plan.compile_seconds
             while len(self._plans) > self.maxsize:
                 self._plans.popitem(last=False)
                 self.stats.evictions += 1
@@ -161,7 +179,8 @@ class PlanCache:
         with self._lock:
             items = list(self._key_stats.items())
         rows = []
-        for (sig, fold_constants, fusion), (hits, compiles, secs) in items:
+        for (sig, fold_constants, fusion), rec in items:
+            hits, compiles, secs = rec[0], rec[1], rec[2]
             rows.append({
                 "signature": signature_digest(sig),
                 "fold_constants": fold_constants,
@@ -169,6 +188,9 @@ class PlanCache:
                 "hits": hits,
                 "compiles": compiles,
                 "compile_seconds": secs,
+                # Plans re-lowered from a persistent-store artifact
+                # rather than cold-compiled (0 on storeless sessions).
+                "store_loads": rec[3] if len(rec) > 3 else 0,
             })
         return rows
 

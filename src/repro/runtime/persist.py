@@ -109,6 +109,12 @@ def save_stats(path: str, rows: list[dict[str, Any]]) -> dict:
         rec["hits"] += int(row["hits"])
         rec["compiles"] += int(row["compiles"])
         rec["compile_seconds"] += float(row["compile_seconds"])
+        # Warm starts from the persistent plan store (PR 8); absent in
+        # rows/files from older runtimes — accumulate additively so old
+        # and new stats files merge without a format bump.
+        rec["store_loads"] = rec.get("store_loads", 0) + int(
+            row.get("store_loads", 0)
+        )
         rec["runs_seen"] += 1
     tmp = f"{path}.tmp"
     with open(tmp, "w") as fh:
@@ -132,6 +138,7 @@ def render_stats(data: dict) -> str:
         for p in plans
         if p["compiles"] > 0
     )
+    store_loads = sum(int(p.get("store_loads", 0)) for p in plans)
     lines = [
         f"cache persistence: {runs} runs, {len(plans)} distinct plan "
         f"signatures ({len(recurring)} recur across runs)",
@@ -141,6 +148,11 @@ def render_stats(data: dict) -> str:
         "would save)",
         f"  {'signature':<12} fold fuse  runs  hits  compiles  compile(s)",
     ]
+    if store_loads:
+        lines.insert(2, (
+            f"  plan store (repro.runtime.store): {store_loads} warm "
+            "start(s) already served from disk across these runs"
+        ))
     ordered = sorted(
         plans, key=lambda p: (-p["runs_seen"], -p["compiles"], p["signature"])
     )

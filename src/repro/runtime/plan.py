@@ -415,6 +415,13 @@ class Plan:
         """A fresh preallocated-buffer arena for this plan."""
         return PlanArena(self)
 
+    @property
+    def source(self) -> "tuple | None":
+        """``(graph, fold_constants, fusion)`` this plan was compiled
+        from — what pickling and the persistent plan store reconstruct;
+        ``None`` for hand-built plans (which neither can ship)."""
+        return self._source
+
     # -- pickling -------------------------------------------------------------
 
     def __reduce__(self):

@@ -98,6 +98,91 @@ def graph_to_payload(graph: Graph) -> dict:
     }
 
 
+def _map_ndarray_encs(enc: Any, fn) -> Any:
+    """Rewrite every ndarray-carrying entry of one encoded attr via ``fn``.
+
+    ``fn`` receives the encoded entry — ``("ndarray", arr)`` or
+    ``("ndarray_ref", index)`` — and returns its replacement; every other
+    tag passes through untouched (recursing into graphs and tuples).
+    """
+    tag = enc[0]
+    if tag in ("ndarray", "ndarray_ref"):
+        return fn(enc)
+    if tag == "graph":
+        return ("graph", _map_payload_ndarrays(enc[1], fn))
+    if tag == "tuple":
+        return ("tuple", [_map_ndarray_encs(v, fn) for v in enc[1]])
+    return enc
+
+
+def _map_payload_ndarrays(payload: dict, fn) -> dict:
+    """Structure-preserving copy of ``payload`` with ``fn`` applied to
+    every ndarray-carrying attr entry (loop bodies included)."""
+    out = dict(payload)
+    out["nodes"] = [
+        {**spec, "attrs": {
+            k: _map_ndarray_encs(v, fn) for k, v in spec["attrs"].items()
+        }}
+        for spec in payload["nodes"]
+    ]
+    out["detached_inputs"] = [
+        {**spec, "attrs": {
+            k: _map_ndarray_encs(v, fn) for k, v in spec["attrs"].items()
+        }}
+        for spec in payload["detached_inputs"]
+    ]
+    return out
+
+
+def split_payload_consts(
+    payload: dict, min_bytes: int
+) -> tuple[dict, list[np.ndarray]]:
+    """Extract ndarray const payloads of ``>= min_bytes`` into a side list.
+
+    Returns ``(stripped_payload, arrays)`` where each extracted attr is
+    replaced by ``("ndarray_ref", index)``.  The stripped payload is what
+    the plan store writes as the artifact body; the arrays become
+    ``.npy`` sidecar files loaded back with ``np.load(mmap_mode="r")``.
+    A stripped payload is *not* loadable by :func:`graph_from_payload`
+    until :func:`join_payload_consts` resolves the refs — the unknown
+    ``ndarray_ref`` tag fails loudly, so a missing sidecar can never
+    silently build a graph with holes.
+    """
+    arrays: list[np.ndarray] = []
+
+    def extract(enc):
+        if enc[0] != "ndarray":
+            raise GraphError("payload already contains ndarray refs")
+        arr = enc[1]
+        if arr.nbytes < min_bytes:
+            return enc
+        arrays.append(arr)
+        return ("ndarray_ref", len(arrays) - 1)
+
+    return _map_payload_ndarrays(payload, extract), arrays
+
+
+def join_payload_consts(payload: dict, arrays: list[np.ndarray]) -> dict:
+    """Resolve ``("ndarray_ref", i)`` entries against ``arrays`` — the
+    inverse of :func:`split_payload_consts`.  A ref with no backing array
+    (truncated sidecar list, corrupted artifact) raises
+    :class:`~repro.errors.GraphError`.
+    """
+
+    def resolve(enc):
+        if enc[0] != "ndarray_ref":
+            return enc
+        index = enc[1]
+        if not isinstance(index, int) or not 0 <= index < len(arrays):
+            raise GraphError(
+                f"payload const ref {index!r} has no backing array "
+                f"({len(arrays)} sidecars present)"
+            )
+        return ("ndarray", arrays[index])
+
+    return _map_payload_ndarrays(payload, resolve)
+
+
 def graph_from_payload(payload: dict) -> Graph:
     """Rebuild a :class:`Graph` from :func:`graph_to_payload` output.
 

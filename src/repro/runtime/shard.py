@@ -110,12 +110,19 @@ def _entry_views(buf, descs, offsets, base: int):
 
 
 def _shard_worker(conn, shm_name: str, plan_blob: bytes, dtype_str: str,
-                  ring_slots: int) -> None:
+                  ring_slots: int, store_ref=None) -> None:
     """Worker loop: attach the ring, compile/adopt the plan, serve waves.
 
     Runs in a child process.  ``plan_blob`` is the pickled plan —
     unpickling *reconstructs* it (graph payload → ``compile_plan``), so
-    each worker owns its own closures and arena.  Replies per wave with
+    each worker owns its own closures and arena.  When ``store_ref =
+    (store_root, plan_key)`` names a persistent-plan-store artifact the
+    worker warm-starts from it instead — same re-lower, but the graph
+    payload and its const sidecars come from disk (consts mmapped, so N
+    workers share one page-cache copy instead of unpickling N private
+    ones); any store failure falls back to the blob, so a corrupt
+    artifact can never break a pool.  After setup the worker sends one
+    ``("ready", warm_started)`` handshake, then replies per wave with
     ``("done", k, bytes_copied)`` or ``("error", message)``; the loop
     only exits on ``("stop",)`` or a closed pipe.
     """
@@ -129,7 +136,17 @@ def _shard_worker(conn, shm_name: str, plan_blob: bytes, dtype_str: str,
     # registration and break crash cleanup.)
     shm = shared_memory.SharedMemory(name=shm_name)
     try:
-        plan: Plan = pickle.loads(plan_blob)
+        plan: Plan | None = None
+        if store_ref is not None:
+            try:
+                from .store import PlanStore
+
+                plan = PlanStore(store_ref[0]).load_plan(store_ref[1])
+            except Exception:
+                plan = None  # store unreachable → recompile from blob
+        warm_started = plan is not None
+        if plan is None:
+            plan = pickle.loads(plan_blob)
         dtype = np.dtype(dtype_str)
         descs = plan.buffer_descriptors(dtype)
         offsets, stride = _ring_layout(descs)
@@ -157,6 +174,7 @@ def _shard_worker(conn, shm_name: str, plan_blob: bytes, dtype_str: str,
             pin_lists.append(pins)
         bufs = arena.buffers
         hook = _test_fault_hook
+        conn.send(("ready", warm_started))
         while True:
             try:
                 msg = conn.recv()
@@ -222,6 +240,15 @@ class ShardPool:
     respawn:
         Dead-worker policy: ``False`` marks the pool broken on a worker
         death; ``True`` starts a replacement and retries the wave once.
+    store:
+        Optional :class:`~repro.runtime.store.PlanStore`.  The plan's
+        artifact is ensured on disk at construction and workers
+        warm-start from it — the structural payload and mmapped const
+        sidecars come from the store instead of each worker's copy of
+        the pickle blob (``spawn`` mode especially: the blob still
+        ships as a corruption fallback, but a warm worker never reads
+        it).  :attr:`workers_warm_started` counts how many workers
+        reported a store warm start.
     """
 
     def __init__(
@@ -233,6 +260,7 @@ class ShardPool:
         dtype: object = None,
         start_method: str | None = None,
         respawn: bool = False,
+        store=None,
     ) -> None:
         from multiprocessing import shared_memory
 
@@ -266,6 +294,14 @@ class ShardPool:
         # live plan via the blob's round-trip — one recompile per worker
         # either way, paid at pool construction, not per batch.
         self._plan_blob = pickle.dumps(plan)
+        #: ``(store_root, plan_key)`` workers warm-start from, or None.
+        self._store_ref = None
+        #: Workers whose ready handshake reported a store warm start.
+        self.workers_warm_started = 0
+        if store is not None:
+            key = store.put_plan(plan)
+            if key is not None:
+                self._store_ref = (store.root, key)
         self._descs = plan.buffer_descriptors(self.dtype)
         self._offsets, self._stride = _ring_layout(self._descs)
         self._n_inputs = len(plan.inputs)
@@ -294,6 +330,10 @@ class ShardPool:
                 ])
             for w in range(shards):
                 self._start_worker(w)
+            # Collect readiness after *all* workers launched, so their
+            # setup compiles/store loads overlap instead of serializing.
+            for w in range(shards):
+                self._await_ready(w)
         except BaseException:
             self.close()
             raise
@@ -310,7 +350,7 @@ class ShardPool:
         proc = self._ctx.Process(
             target=_shard_worker,
             args=(child_conn, self._shms[w].name, self._plan_blob,
-                  str(self.dtype), self.ring_slots),
+                  str(self.dtype), self.ring_slots, self._store_ref),
             daemon=True,
             name=f"repro-shard-{w}",
         )
@@ -322,6 +362,26 @@ class ShardPool:
         else:
             self._conns.append(parent_conn)
             self._procs.append(proc)
+
+    def _await_ready(self, w: int) -> None:
+        """Consume worker ``w``'s ready handshake (sent once after its
+        plan is built and its ring bindings are validated).  A worker
+        dying during setup surfaces here, at construction/respawn time,
+        instead of desyncing the first wave."""
+        try:
+            msg = self._conns[w].recv()
+        except (EOFError, ConnectionResetError, OSError):
+            self._broken = True
+            raise ShardWorkerError(
+                f"shard worker {w} died during startup (before its ready "
+                "handshake) — the plan or ring setup fails in the worker"
+            ) from None
+        if msg[0] != "ready":  # pragma: no cover - protocol guard
+            self._broken = True
+            raise ShardWorkerError(
+                f"shard worker {w} spoke out of turn during startup: {msg!r}"
+            )
+        self.workers_warm_started += bool(msg[1])
 
     def close(self) -> None:
         """Stop every worker and unlink the shared-memory segments.
@@ -515,6 +575,7 @@ class ShardPool:
                 "automatic replacement"
             )
         self._start_worker(w)
+        self._await_ready(w)
 
 
 def _cleanup(shms, procs, conns) -> None:

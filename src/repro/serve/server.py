@@ -64,6 +64,16 @@ class ServerStats:
 
     def render(self) -> str:
         lines = [self.metrics_render]
+        if self.plan_store is not None:
+            ps = self.plan_store
+            lines.append(
+                f"plan store (fleet): {ps['hits']} hits / "
+                f"{ps['misses']} misses / {ps['writes']} writes / "
+                f"{ps['corrupt_evicted']} corrupt evicted across "
+                f"{ps['tenants']} tenant session(s) | "
+                f"{ps['bytes_mapped'] / 1024:.1f} KiB mapped | "
+                f"~{ps['seconds_saved']:.4f}s saved"
+            )
         for tenant, stats_render in self.tenants_render.items():
             lines.append(f"\n-- tenant {tenant!r} --")
             lines.append(stats_render)
@@ -73,6 +83,10 @@ class ServerStats:
     # CLI needs no knowledge of SessionStats/ServeMetrics internals.
     metrics_render: str = ""
     tenants_render: dict = dataclasses.field(default_factory=dict)
+    #: Fleet-wide persistent-plan-store counters aggregated over every
+    #: tenant session (warm-start rates for operators); ``None`` when
+    #: the server's Options template has no ``plan_store``.
+    plan_store: dict | None = None
 
 
 class Server:
@@ -271,11 +285,30 @@ class Server:
     def stats(self) -> ServerStats:
         """Serving metrics + per-tenant session stats, snapshot."""
         tenants = {t: s.stats() for t, s in self._sessions.items()}
+        store_agg = None
+        if self.options.plan_store is not None:
+            store_agg = {
+                "dir": self.options.plan_store,
+                "tenants": len(tenants),
+                "hits": sum(st.store_hits for st in tenants.values()),
+                "misses": sum(st.store_misses for st in tenants.values()),
+                "writes": sum(st.store_writes for st in tenants.values()),
+                "corrupt_evicted": sum(
+                    st.store_corrupt_evicted for st in tenants.values()
+                ),
+                "bytes_mapped": sum(
+                    st.store_bytes_mapped for st in tenants.values()
+                ),
+                "seconds_saved": sum(
+                    st.store_seconds_saved for st in tenants.values()
+                ),
+            }
         return ServerStats(
             metrics=self.metrics.snapshot(),
             tenants={t: dataclasses.asdict(st) for t, st in tenants.items()},
             metrics_render=self.metrics.render(),
             tenants_render={t: st.render() for t, st in tenants.items()},
+            plan_store=store_agg,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
