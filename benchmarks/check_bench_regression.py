@@ -33,6 +33,7 @@ GATED_KEYS = (
     "alloc_peak_bytes_fused_arena",
     "pinned_exec_seconds",
     "batch_64_feeds_sharded_seconds",
+    "sharded_supervised_seconds",
     "serve_p50_latency_seconds",
     "plan_store_warm_start_seconds",
 )
@@ -44,12 +45,14 @@ GATED_KEYS = (
 #: Absence from an older *baseline* is already tolerated for every key.
 OPTIONAL_KEYS = (
     "batch_64_feeds_sharded_seconds",
+    "sharded_supervised_seconds",
     "serve_p50_latency_seconds",
 )
 
 #: Keys only comparable when both runs used the same shard count.
 SHARD_KEYS = (
     "batch_64_feeds_sharded_seconds",
+    "sharded_supervised_seconds",
 )
 
 #: ``serve_*`` keys are only comparable when both serve benches drove

@@ -292,6 +292,39 @@ def timings(workload):
         batch64_best = threaded_best
     else:
         batch64_best = _best(run_threaded64, 10)
+    # Supervised sharding (PR 9): the same 64-feed batch through a pool
+    # with wave deadlines and respawn armed.  The clean path pays one
+    # poll() per wave reply instead of a blocking recv — the gated
+    # number proves supervision is (and stays) nearly free.
+    supervised_best = None
+    recovery_seconds = None
+    recovery_hangs = None
+    recovery_respawns = None
+    if SHARDS > 0:
+        from repro import faults as _faults
+
+        with ShardPool(fused, shards=SHARDS, ring_slots=32,
+                       dtype=np.asarray(feeds[0]).dtype,
+                       respawn=True, wave_deadline=5.0) as pool:
+            pool.run([feeds] * 64)  # warm every worker arena
+            supervised_best = _best(lambda: pool.run([feeds] * 64), 12)
+        # Hung-worker recovery: worker 0 ignores SIGTERM and sleeps on
+        # the first entry of the *measured* run (its warm run consumed
+        # hits 1..chunk), so the run pays the full cycle — deadline
+        # detection, terminate grace, kill escalation, respawn, wave
+        # replay (whose fresh worker stays under the trigger).
+        chunk = -(-64 // SHARDS)  # worker 0's share of 64 feeds
+        _faults.install(f"worker.exec:hang(30)@{chunk + 1}w0")
+        try:
+            with ShardPool(fused, shards=SHARDS, ring_slots=32,
+                           dtype=np.asarray(feeds[0]).dtype,
+                           respawn=True, wave_deadline=0.4) as pool:
+                pool.run([feeds] * 64)
+                recovery_seconds = _best(lambda: pool.run([feeds] * 64), 1)
+                recovery_hangs = pool.hangs_detected
+                recovery_respawns = pool.respawns
+        finally:
+            _faults.clear()
     # Loop-heavy workload: allocation-free iteration through the
     # ping-pong child arenas.
     loop_graph, loop_feeds = _loop_graph()
@@ -400,6 +433,10 @@ def timings(workload):
         "batch_64_feeds_4_workers_seconds": batch64_best,
         "batch_64_feeds_4_workers_fused_arena_seconds": arena_batch64.best,
         "batch_64_feeds_sharded_seconds": shard_best,
+        "sharded_supervised_seconds": supervised_best,
+        "hung_worker_recovery_seconds": recovery_seconds,
+        "hung_worker_recovery_hangs": recovery_hangs,
+        "hung_worker_recovery_respawns": recovery_respawns,
         "shard_workers": SHARDS,
         "shard_bytes_copied_per_batch": shard_bytes,
         "alloc_peak_bytes_per_call": _alloc_peak(
@@ -571,6 +608,33 @@ def test_sharded_batch_scales_over_thread_pool(timings):
             < timings["batch_64_feeds_4_workers_fused_arena_seconds"]
         ), "sharding must beat the best threaded configuration outright"
     assert timings["shard_bytes_copied_per_batch"] == 0
+
+
+@pytest.mark.skipif(SHARDS < 1, reason="sharding disabled")
+def test_supervised_sharding_overhead_is_small(timings):
+    """Wave deadlines replace blocking recv() with poll(timeout) — one
+    extra syscall per wave reply.  The supervised clean path must stay
+    within a modest factor of the unsupervised pool (the two best-of-12
+    numbers are measured moments apart, so the margin is noise budget,
+    not a real overhead allowance); the CI regression gate holds the
+    absolute number to the committed baseline at 20%."""
+    assert timings["sharded_supervised_seconds"] is not None
+    assert (
+        timings["sharded_supervised_seconds"]
+        <= timings["batch_64_feeds_sharded_seconds"] * 1.25
+    )
+
+
+@pytest.mark.skipif(SHARDS < 1, reason="sharding disabled")
+def test_hung_worker_recovery_is_bounded(timings):
+    """The full hang-recovery cycle — deadline detection (0.4 s),
+    terminate grace against a SIGTERM-ignoring worker (2 s), kill,
+    respawn, wave replay — must complete well under the 10 s bound:
+    a hung worker costs seconds, never a stuck batch."""
+    assert timings["hung_worker_recovery_seconds"] is not None
+    assert timings["hung_worker_recovery_seconds"] < 10.0
+    assert timings["hung_worker_recovery_hangs"] == 1
+    assert timings["hung_worker_recovery_respawns"] == 1
 
 
 def test_arena_is_allocation_free_and_per_call_is_not(timings, workload):

@@ -14,6 +14,8 @@ every experiment:
 * :mod:`repro.passes`      — Grappler-analogue optimizer + "aware" passes
 * :mod:`repro.runtime`     — compiled plans, plan cache, batched execution
 * :mod:`repro.serve`       — async serving: coalescing, admission, SLO metrics
+* :mod:`repro.faults`      — deterministic fault injection (chaos testing)
+* :mod:`repro.chaos`       — scripted recovery drills (``laab chaos``)
 * :mod:`repro.chain`       — matrix-chain DP and enumeration
 * :mod:`repro.properties`  — property algebra, inference, annotations
 * :mod:`repro.rewrite`     — Linnea-analogue derivation-graph engine

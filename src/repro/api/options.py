@@ -101,6 +101,29 @@ class Options:
         in place — skip feed binding and donation layout checks
         entirely and replay a cached
         :class:`~repro.runtime.PinnedBinding`.
+    shard_respawn:
+        Supervision policy of the session's shard pools: ``True``
+        respawns a crashed/hung worker and replays its wave (bounded
+        retries with backoff); ``False`` (default) breaks the pool on
+        the first worker failure.
+    shard_wave_deadline:
+        Seconds a shard worker may take to answer one wave before the
+        supervisor classifies it *hung* and reaps it (terminate→kill).
+        ``None`` keeps the blocking wait.
+    shard_fallback:
+        What ``run_sharded`` does when its pool breaks mid-run:
+        ``"error"`` (default) raises the
+        :class:`~repro.runtime.ShardWorkerError`; ``"inline"``
+        completes the batch on the in-process fused-arena path and
+        records the downgrade in ``SessionStats.shard_fallback_runs``
+        — degraded throughput, but the caller still gets bit-correct
+        results.
+    faults:
+        Deterministic fault injection: a
+        :class:`~repro.faults.FaultPlan`, a spec string (the
+        ``REPRO_FAULTS`` grammar), or ``None``.  Installed
+        process-wide when the session is constructed — chaos testing
+        only, never production.
     """
 
     backend: str = "tfsim"
@@ -115,6 +138,10 @@ class Options:
     shards: int | None = None
     pin: bool = False
     plan_store: str | None = None
+    shard_respawn: bool = False
+    shard_wave_deadline: float | None = None
+    shard_fallback: str = "error"
+    faults: object = None
 
     def validate(self) -> None:
         """Raise :class:`ConfigError` if any field is out of range."""
@@ -176,6 +203,36 @@ class Options:
                 "pin requires arena='preallocated' — pinned bindings alias "
                 "feeds into arena slot storage"
             )
+        if not isinstance(self.shard_respawn, bool):
+            raise ConfigError(
+                f"shard_respawn must be a bool, got {self.shard_respawn!r}"
+            )
+        if self.shard_wave_deadline is not None and not (
+            isinstance(self.shard_wave_deadline, (int, float))
+            and not isinstance(self.shard_wave_deadline, bool)
+            and self.shard_wave_deadline > 0
+        ):
+            raise ConfigError(
+                "shard_wave_deadline must be > 0 seconds or None, got "
+                f"{self.shard_wave_deadline!r}"
+            )
+        if self.shard_fallback not in ("error", "inline"):
+            raise ConfigError(
+                "shard_fallback must be 'error' or 'inline', got "
+                f"{self.shard_fallback!r}"
+            )
+        if self.faults is not None:
+            from .. import faults as faults_module
+
+            if isinstance(self.faults, str):
+                faults_module.FaultPlan.parse(self.faults)  # raises ConfigError
+            elif not isinstance(
+                self.faults, (faults_module.FaultPlan, faults_module.FaultSpec)
+            ):
+                raise ConfigError(
+                    "faults must be a FaultPlan, FaultSpec, spec string, or "
+                    f"None, got {type(self.faults).__name__}"
+                )
 
     def replace(self, **overrides: object) -> "Options":
         """A validated copy with ``overrides`` applied."""

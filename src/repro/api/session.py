@@ -35,7 +35,14 @@ import numpy as np
 from ..errors import ConfigError
 from ..ir.tracing import trace
 from ..ir.validate import validate_graph
-from ..runtime import BatchResult, PlanCache, PlanStore, ShardPool, execute_batch
+from ..runtime import (
+    BatchResult,
+    PlanCache,
+    PlanStore,
+    ShardPool,
+    ShardWorkerError,
+    execute_batch,
+)
 from ..runtime import cache as _cache_module
 from ..runtime.plan import Plan
 from ..tensor.tensor import Tensor
@@ -111,6 +118,14 @@ class SessionStats:
     shard_pools_open: int = 0
     shard_workers: int = 0
     shard_waves_served: int = 0
+    #: Supervision health (robustness PR): hung workers reaped, workers
+    #: respawned, waves replayed — across live and retired pools — plus
+    #: the degraded-mode policy and how often it actually engaged.
+    shard_hangs_detected: int = 0
+    shard_respawns: int = 0
+    shard_waves_replayed: int = 0
+    shard_fallback: str = "error"
+    shard_fallback_runs: int = 0
     #: Persistent plan store (PR 8): the directory when attached, plus
     #: this session's store counters.  ``store_hits`` are builds served
     #: by re-lowering a stored artifact — the in-memory ``misses``
@@ -165,11 +180,24 @@ class SessionStats:
         ]
         if (self.shards is not None or self.shard_pools_open
                 or self.shard_waves_served):
-            lines.append(
+            shard_line = (
                 f"sharding: {self.shard_pools_open} pool(s) open | "
                 f"{self.shard_workers} worker process(es) | "
                 f"{self.shard_waves_served} wave(s) served"
             )
+            if (self.shard_hangs_detected or self.shard_respawns
+                    or self.shard_waves_replayed):
+                shard_line += (
+                    f" | {self.shard_hangs_detected} hang(s) / "
+                    f"{self.shard_respawns} respawn(s) / "
+                    f"{self.shard_waves_replayed} wave(s) replayed"
+                )
+            lines.append(shard_line)
+            if self.shard_fallback_runs:
+                lines.append(
+                    f"degraded: {self.shard_fallback_runs} batch(es) "
+                    "completed inline after a shard-pool failure"
+                )
         if self.plan_store is not None:
             lines.append(
                 f"plan store: {self.store_hits} hits / "
@@ -263,6 +291,18 @@ class Session:
         #: Worker-waves served by pools since evicted or closed, so the
         #: stats line survives pool churn.
         self._shard_waves_retired = 0
+        #: [hangs_detected, respawns, waves_replayed] of retired pools —
+        #: the health counters survive pool churn the same way.
+        self._shard_health_retired = [0, 0, 0]
+        #: Batches completed in-process after a pool broke mid-run
+        #: (``Options(shard_fallback="inline")``).
+        self._shard_fallback_runs = 0
+        # Chaos-only knob: activate the session's fault plan process-wide
+        # before any worker (or store load) can hit an injection site.
+        if self.options.faults is not None:
+            from .. import faults as _faults
+
+            _faults.install(self.options.faults)
         #: Set by :meth:`close` (context exit closes the session too):
         #: shard pools are gone and sharded execution must fail loudly
         #: at entry instead of tripping on pool internals.
@@ -465,9 +505,27 @@ class Session:
         dtype = feed_sets[0][0].dtype
         pool = self._shard_pool(concrete.plan, shards, dtype)
         start = time.perf_counter()
-        result = pool.run(
-            [[t.data for t in feeds] for feeds in feed_sets]
-        )
+        try:
+            result = pool.run(
+                [[t.data for t in feeds] for feeds in feed_sets]
+            )
+        except ShardWorkerError:
+            if self.options.shard_fallback != "inline":
+                raise
+            # Degraded mode: the pool broke mid-run and its retry budget
+            # is spent — complete the batch on the in-process
+            # fused-arena path so the caller still gets bit-correct
+            # results (a later run_sharded builds a fresh pool).
+            with self._lock:
+                self._shard_fallback_runs += 1
+            result = execute_batch(
+                concrete.plan,
+                feed_sets,
+                workers=self.options.batch_workers,
+                record=False,
+                arena="preallocated",
+                donate_feeds=False,
+            )
         self._record_exec(
             concrete.plan, time.perf_counter() - start, count=len(feed_sets)
         )
@@ -488,12 +546,14 @@ class Session:
                 # shared memory: reclaim them now, not at some GC.
                 evicted.append(self._shard_pools.pop(key))
             pool = ShardPool(
-                plan, shards=shards, dtype=dtype, store=self.plan_store
+                plan, shards=shards, dtype=dtype, store=self.plan_store,
+                respawn=self.options.shard_respawn,
+                wave_deadline=self.options.shard_wave_deadline,
             )
             self._shard_pools[key] = pool
             while len(self._shard_pools) > _MAX_SHARD_POOLS:
                 evicted.append(self._shard_pools.popitem(last=False)[1])
-            self._shard_waves_retired += sum(p.waves_served for p in evicted)
+            self._note_retired(evicted)
         for old in evicted:  # close outside the lock — joins processes
             old.close()
         return pool
@@ -508,9 +568,18 @@ class Session:
         with self._lock:
             pools = list(self._shard_pools.values())
             self._shard_pools.clear()
-            self._shard_waves_retired += sum(p.waves_served for p in pools)
+            self._note_retired(pools)
         for pool in pools:
             pool.close()
+
+    def _note_retired(self, pools) -> None:
+        """Fold evicted/closed pools' counters into the retired totals
+        (caller holds ``self._lock``)."""
+        for p in pools:
+            self._shard_waves_retired += p.waves_served
+            self._shard_health_retired[0] += p.hangs_detected
+            self._shard_health_retired[1] += p.respawns
+            self._shard_health_retired[2] += p.waves_replayed
 
     def close(self) -> None:
         """Close the session: tear down shard pools and mark it closed.
@@ -542,9 +611,15 @@ class Session:
             ]
             shard_pools_open = len(live)
             shard_workers = sum(p.shards for p in live)
+            pools = list(self._shard_pools.values())
             shard_waves = self._shard_waves_retired + sum(
-                p.waves_served for p in self._shard_pools.values()
+                p.waves_served for p in pools
             )
+            retired = self._shard_health_retired
+            shard_hangs = retired[0] + sum(p.hangs_detected for p in pools)
+            shard_respawns = retired[1] + sum(p.respawns for p in pools)
+            shard_replays = retired[2] + sum(p.waves_replayed for p in pools)
+            fallback_runs = self._shard_fallback_runs
         return SessionStats(
             hits=cache_stats.hits,
             misses=cache_stats.misses,
@@ -562,6 +637,11 @@ class Session:
             shard_pools_open=shard_pools_open,
             shard_workers=shard_workers,
             shard_waves_served=shard_waves,
+            shard_hangs_detected=shard_hangs,
+            shard_respawns=shard_respawns,
+            shard_waves_replayed=shard_replays,
+            shard_fallback=self.options.shard_fallback,
+            shard_fallback_runs=fallback_runs,
             plan_store=(
                 self.plan_store.root if self.plan_store is not None else None
             ),

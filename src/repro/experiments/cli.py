@@ -12,6 +12,7 @@ Examples::
     laab cache-stats exp1 --store D # + persistent plan store (warm starts)
     laab graphs                     # print Fig. 3 / Fig. 4 DAGs
     laab serve-bench --shards 2     # async serving front-end under load
+    laab chaos --shards 2           # scripted fault-injection drill
 
 Every ``run`` executes inside its own :class:`repro.api.Session`, so the
 plan-cache counters and per-plan compile/exec timings printed by
@@ -114,6 +115,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="merge the serve_* numbers into FILE (read-modify-write, so "
              "BENCH_runtime.json keeps its runtime keys)",
     )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the scripted fault-injection drill (repro.chaos): "
+             "crash/hang/corrupt/store/serve scenarios, asserting "
+             "bit-correct answers or typed errors and zero leaks",
+    )
+    chaos.add_argument(
+        "--shards", type=int, default=2, metavar="N",
+        help="worker processes per drill pool",
+    )
+    chaos.add_argument("--feeds", type=int, default=8,
+                       help="feed sets per round (must divide by --shards)")
+    chaos.add_argument("--wave-deadline", type=float, default=1.0,
+                       help="hung-worker detection deadline, seconds")
+    chaos.add_argument(
+        "--start-method", default=None,
+        choices=("fork", "spawn", "forkserver"),
+        help="multiprocessing start method (default: fork if available)",
+    )
+    chaos.add_argument("--threads", type=int, default=1,
+                       help="BLAS threads (paper: 1)")
 
     sub.add_parser("list", help="list experiments")
     graphs = sub.add_parser("graphs",
@@ -305,6 +328,20 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    limit_threads(args.threads)
+    from ..chaos import chaos_run
+
+    report = chaos_run(
+        shards=args.shards,
+        feeds=args.feeds,
+        wave_deadline=args.wave_deadline,
+        start_method=args.start_method,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_cache_stats(args: argparse.Namespace) -> int:
     """``laab cache-stats`` ≡ ``laab run --cache-stats`` with result
     tables suppressed — one code path, no drift between the two."""
@@ -347,6 +384,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_cache_stats(args)
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -29,28 +29,47 @@ entirely:
 Failure semantics
 -----------------
 A feed that *raises inside a worker* (kernel error, dtype drift) is
-reported back as :class:`ShardWorkerError`; the worker itself survives
-and the pool stays usable — already-executed feeds of the same run are
-simply discarded with the failed wave.  A worker that *dies* (killed,
-segfaulted) is detected via its closed pipe: by default the pool is
-marked broken and every later :meth:`ShardPool.run` raises immediately
-(``respawn=True`` instead starts a replacement worker and retries the
-wave once).  Shared-memory segments are always unlinked — on
-:meth:`close`, on garbage collection (``weakref.finalize``), and
-worker-side attachments deregister from the resource tracker so
-interpreter shutdown never double-frees them.
+reported back as :class:`ShardWorkerError` (``cause="exec"``); the
+worker itself survives and the pool stays usable — already-executed
+feeds of the same run are simply discarded with the failed wave.  The
+supervisor classifies everything else by how the wave reply failed:
+
+* **crash** — the worker's pipe closed (killed, segfaulted, OOM'd);
+* **hang** — no reply within ``wave_deadline`` seconds (stuck BLAS
+  call, livelocked ring): the worker is reaped with terminate→kill
+  escalation, so even a SIGTERM-ignoring worker comes down;
+* **protocol** — the reply arrived but is not a well-formed
+  ``("done", k, bytes)`` / ``("error", msg)`` tuple (a corrupted pipe).
+
+With ``respawn=False`` (the default) any of these marks the pool broken
+and raises a :class:`ShardWorkerError` carrying structured ``worker`` /
+``exitcode`` / ``cause`` fields.  With ``respawn=True`` the pool starts
+a replacement and **replays the wave** (the feeds are still in the
+ring) under a bounded retry budget with exponential backoff; only when
+the budget is exhausted does it give up (``cause="gave_up"``).  Health
+counters (:attr:`hangs_detected`, :attr:`respawns`,
+:attr:`waves_replayed`) surface through ``SessionStats``.
+
+Shared-memory segments are always unlinked — on :meth:`close`, on
+garbage collection (``weakref.finalize``), and worker-side attachments
+deregister from the resource tracker so interpreter shutdown never
+double-frees them.  Recovery paths are exercised deterministically via
+:mod:`repro.faults` (sites ``worker.exec``, ``pipe.send``,
+``pipe.recv``), which replaced the old ad-hoc ``_test_fault_hook``.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import time
 import weakref
 from collections.abc import Mapping, Sequence
 
 import multiprocessing
 import numpy as np
 
+from .. import faults
 from ..errors import GraphError
 from ..ir.interpreter import ExecutionReport, _normalize_feed
 from .batch import BatchResult, FeedSet
@@ -62,16 +81,42 @@ __all__ = ["ShardPool", "ShardWorkerError", "default_shards"]
 #: it): keeps float64 views aligned and slot starts cache-line-friendly.
 _ALIGN = 64
 
-#: Test seam: when set (before pool creation, under the ``fork`` start
-#: method), workers call it as ``hook(item_index)`` before executing
-#: each ring entry — the only sanctioned way for tests to inject a
-#: deterministic mid-batch failure into a worker process.
-_test_fault_hook = None
+#: Grace period between ``terminate()`` and the ``kill()`` escalation
+#: when reaping a dead/hung worker.
+_TERM_GRACE = 2.0
 
 
 class ShardWorkerError(RuntimeError):
-    """A shard worker failed — either an execution error reported by a
-    live worker, or a worker process death."""
+    """A shard worker failed.
+
+    Carries structured fields so recovery logic (and tests) can react to
+    *what* failed instead of string-matching the message:
+
+    ``worker``
+        Shard index of the failing worker, or ``None`` for pool-level
+        failures (closed/broken pool).
+    ``exitcode``
+        The reaped process's exit code (negative = killed by that
+        signal), or ``None`` when the worker is still alive (an
+        execution error reported over a healthy pipe).
+    ``cause``
+        ``"crash"`` (pipe closed), ``"hang"`` (missed the wave
+        deadline), ``"protocol"`` (malformed reply), ``"gave_up"``
+        (respawn/replay budget exhausted), ``"exec"`` (a feed raised in
+        a live worker), or ``None`` for pool-level failures.
+    """
+
+    def __init__(self, message: str, *, worker: int | None = None,
+                 exitcode: int | None = None,
+                 cause: str | None = None) -> None:
+        super().__init__(message)
+        self.worker = worker
+        self.exitcode = exitcode
+        self.cause = cause
+
+
+class _WaveTimeout(Exception):
+    """Internal: a worker missed its wave deadline (classified *hung*)."""
 
 
 def default_shards() -> int:
@@ -110,7 +155,8 @@ def _entry_views(buf, descs, offsets, base: int):
 
 
 def _shard_worker(conn, shm_name: str, plan_blob: bytes, dtype_str: str,
-                  ring_slots: int, store_ref=None) -> None:
+                  ring_slots: int, store_ref=None, worker_index: int = 0,
+                  fault_spec: str | None = None) -> None:
     """Worker loop: attach the ring, compile/adopt the plan, serve waves.
 
     Runs in a child process.  ``plan_blob`` is the pickled plan —
@@ -127,6 +173,13 @@ def _shard_worker(conn, shm_name: str, plan_blob: bytes, dtype_str: str,
     only exits on ``("stop",)`` or a closed pipe.
     """
     from multiprocessing import shared_memory
+
+    # Fork workers inherit the parent's installed fault plan; spawn
+    # workers receive it re-rendered as a string.  Installing resets the
+    # hit counters either way — each worker counts its own hits.
+    if fault_spec:
+        faults.install(fault_spec)
+    injector = faults.active()
 
     # Attaching re-registers the segment with the resource tracker, but
     # fork and spawn children both share the *parent's* tracker process,
@@ -173,7 +226,6 @@ def _shard_worker(conn, shm_name: str, plan_blob: bytes, dtype_str: str,
                 plan.pin_slot(arena, slot, view)
             pin_lists.append(pins)
         bufs = arena.buffers
-        hook = _test_fault_hook
         conn.send(("ready", warm_started))
         while True:
             try:
@@ -186,8 +238,8 @@ def _shard_worker(conn, shm_name: str, plan_blob: bytes, dtype_str: str,
             before = arena.bytes_copied
             try:
                 for i in range(count):
-                    if hook is not None:
-                        hook(i)
+                    if injector is not None:
+                        injector.fire("worker.exec", worker=worker_index)
                     _, outs = ring[i]
                     for slot, view in pin_lists[i]:
                         bufs[slot] = view
@@ -203,7 +255,12 @@ def _shard_worker(conn, shm_name: str, plan_blob: bytes, dtype_str: str,
                                 "actually computes"
                             )
                         np.copyto(view, result)
-                conn.send(("done", count, arena.bytes_copied - before))
+                reply = ("done", count, arena.bytes_copied - before)
+                if injector is not None:
+                    spec = injector.fire("pipe.send", worker=worker_index)
+                    if spec is not None and spec.action == "corrupt":
+                        reply = ("?corrupt?", None)
+                conn.send(reply)
             except Exception as exc:  # noqa: BLE001 - reported to parent
                 conn.send(("error", f"{type(exc).__name__}: {exc}"))
     finally:
@@ -238,8 +295,24 @@ class ShardPool:
         available (workers inherit the compiled plan for free), else
         ``spawn`` (workers unpickle → recompile).
     respawn:
-        Dead-worker policy: ``False`` marks the pool broken on a worker
-        death; ``True`` starts a replacement and retries the wave once.
+        Failed-worker policy: ``False`` marks the pool broken on a
+        worker crash/hang/protocol failure; ``True`` starts a
+        replacement and replays the wave (the feeds persist in the
+        ring) under the ``max_retries`` budget.
+    wave_deadline:
+        Seconds a worker may take to answer one wave before it is
+        classified *hung*, reaped (terminate→kill), and handled like a
+        death.  ``None`` (the default) keeps the blocking wait — zero
+        supervision overhead on the clean path.  Size it to the
+        slowest legitimate wave (``ring_slots`` × worst per-feed
+        latency), not the average.
+    max_retries:
+        Respawn/replay attempts per failed wave before giving up
+        (``cause="gave_up"``, pool broken).
+    retry_backoff:
+        Base of the exponential backoff between replay attempts: retry
+        ``i`` (0-based) sleeps ``retry_backoff * 2**(i-1)`` first, the
+        first retry is immediate.
     store:
         Optional :class:`~repro.runtime.store.PlanStore`.  The plan's
         artifact is ensured on disk at construction and workers
@@ -260,6 +333,9 @@ class ShardPool:
         dtype: object = None,
         start_method: str | None = None,
         respawn: bool = False,
+        wave_deadline: float | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
         store=None,
     ) -> None:
         from multiprocessing import shared_memory
@@ -273,6 +349,19 @@ class ShardPool:
             raise GraphError(
                 f"ring_slots must be an int >= 1, got {ring_slots!r}"
             )
+        if wave_deadline is not None and not wave_deadline > 0:
+            raise GraphError(
+                f"wave_deadline must be > 0 seconds or None, got "
+                f"{wave_deadline!r}"
+            )
+        if not isinstance(max_retries, int) or max_retries < 1:
+            raise GraphError(
+                f"max_retries must be an int >= 1, got {max_retries!r}"
+            )
+        if retry_backoff < 0:
+            raise GraphError(
+                f"retry_backoff must be >= 0, got {retry_backoff!r}"
+            )
         if dtype is None:
             from ..config import config
 
@@ -282,6 +371,9 @@ class ShardPool:
         self.ring_slots = ring_slots
         self.dtype = np.dtype(dtype)
         self.respawn = respawn
+        self.wave_deadline = wave_deadline
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
         if start_method is None:
             start_method = (
                 "fork"
@@ -316,6 +408,12 @@ class ShardPool:
         #: Worker-waves dispatched over this pool's lifetime (one count
         #: per ``("run", k)`` message) — surfaced by ``SessionStats``.
         self.waves_served = 0
+        #: Workers that missed their wave deadline and were reaped.
+        self.hangs_detected = 0
+        #: Replacement workers started after a crash/hang/protocol fail.
+        self.respawns = 0
+        #: Waves re-dispatched to a replacement worker.
+        self.waves_replayed = 0
         try:
             for _ in range(shards):
                 shm = shared_memory.SharedMemory(create=True, size=seg_size)
@@ -350,7 +448,8 @@ class ShardPool:
         proc = self._ctx.Process(
             target=_shard_worker,
             args=(child_conn, self._shms[w].name, self._plan_blob,
-                  str(self.dtype), self.ring_slots, self._store_ref),
+                  str(self.dtype), self.ring_slots, self._store_ref,
+                  w, faults.active_render()),
             daemon=True,
             name=f"repro-shard-{w}",
         )
@@ -374,12 +473,14 @@ class ShardPool:
             self._broken = True
             raise ShardWorkerError(
                 f"shard worker {w} died during startup (before its ready "
-                "handshake) — the plan or ring setup fails in the worker"
+                "handshake) — the plan or ring setup fails in the worker",
+                worker=w, exitcode=self._procs[w].exitcode, cause="crash",
             ) from None
         if msg[0] != "ready":  # pragma: no cover - protocol guard
             self._broken = True
             raise ShardWorkerError(
-                f"shard worker {w} spoke out of turn during startup: {msg!r}"
+                f"shard worker {w} spoke out of turn during startup: {msg!r}",
+                worker=w, cause="protocol",
             )
         self.workers_warm_started += bool(msg[1])
 
@@ -511,71 +612,171 @@ class ShardPool:
             reports=[ExecutionReport() for _ in range(n)],
         )
 
-    def _give_up(self, w: int) -> ShardWorkerError:
-        """A respawned worker failed again: stop retrying, break the pool.
+    # -- supervision -----------------------------------------------------------
 
-        Returned as :class:`ShardWorkerError` (not raised raw) so
-        ``run()``'s drain loop still consumes the other shards' in-flight
-        replies — a second death must not desync survivors either.
+    _CAUSE_VERB = {
+        "crash": "died",
+        "hang": "hung (missed the wave deadline)",
+        "protocol": "sent a malformed reply",
+    }
+
+    @staticmethod
+    def _valid_reply(reply) -> bool:
+        """Wave-protocol well-formedness: anything else is ``protocol``."""
+        if not isinstance(reply, tuple) or len(reply) < 2:
+            return False
+        if reply[0] == "done":
+            return (len(reply) == 3 and isinstance(reply[1], int)
+                    and isinstance(reply[2], int))
+        return reply[0] == "error" and isinstance(reply[1], str)
+
+    def _recv(self, w: int):
+        """One wave reply from worker ``w``, under the wave deadline.
+
+        ``wave_deadline=None`` keeps the plain blocking ``recv()`` —
+        the clean path pays nothing for supervision it didn't ask for.
         """
+        conn = self._conns[w]
+        if self.wave_deadline is not None and not conn.poll(
+                self.wave_deadline):
+            raise _WaveTimeout()
+        reply = conn.recv()
+        spec = faults.fire("pipe.recv")
+        if spec is not None and spec.action == "corrupt":
+            reply = ("?corrupt?", reply)
+        return reply
+
+    def _reap(self, w: int) -> int | None:
+        """Bring worker ``w`` down for sure: terminate, then escalate to
+        kill if it lingers (a hung worker may be ignoring SIGTERM).
+        Returns the exit code; closes the parent-side pipe end."""
+        proc = self._procs[w]
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=_TERM_GRACE)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=_TERM_GRACE)
+        else:
+            proc.join(timeout=_TERM_GRACE)
+        self._conns[w].close()
+        return proc.exitcode
+
+    def _fail(self, w: int, cause: str, exitcode: int | None,
+              retries: int = 0) -> ShardWorkerError:
+        """Terminal failure for worker ``w``: break the pool, build the
+        structured error (returned, not raised, so callers control the
+        raise site and ``run()``'s drain loop stays simple)."""
         self._broken = True
+        if retries:
+            return ShardWorkerError(
+                f"shard worker {w} kept failing through {retries} respawn/"
+                f"replay attempt(s) (last cause: {cause}, exit code "
+                f"{exitcode}); pool is now unusable — the workload breaks "
+                "workers deterministically",
+                worker=w, exitcode=exitcode, cause="gave_up",
+            )
         return ShardWorkerError(
-            f"shard worker {w} died again immediately after respawn; "
-            "pool is now unusable — the workload kills workers "
-            "deterministically"
+            f"shard worker {w} {self._CAUSE_VERB[cause]} (exit code "
+            f"{exitcode}); pool is now unusable — construct with "
+            "respawn=True for automatic replacement",
+            worker=w, exitcode=exitcode, cause=cause,
         )
+
+    def _respawn(self, w: int) -> bool:
+        """Start a replacement worker; ``False`` if it fails its own
+        startup (counts against the caller's retry budget)."""
+        try:
+            self._start_worker(w)
+            self._await_ready(w)
+        except ShardWorkerError:
+            # _await_ready marked the pool broken; we're still inside a
+            # retry budget, so un-mark and let the caller decide.
+            self._broken = False
+            self._reap(w)
+            return False
+        self.respawns += 1
+        return True
+
+    def _replay_wave(self, w: int, count: int, cause: str,
+                     exitcode: int | None):
+        """Worker ``w`` failed a wave (already reaped): respawn and
+        re-dispatch the wave — the feeds persist in the ring — under the
+        retry budget with exponential backoff.  Returns the replayed
+        wave's (validated) reply, or raises ``cause="gave_up"``."""
+        if not self.respawn:
+            raise self._fail(w, cause, exitcode)
+        for attempt in range(self.max_retries):
+            if attempt:
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+            if not self._respawn(w):
+                exitcode = self._procs[w].exitcode
+                cause = "crash"
+                continue
+            try:
+                self._conns[w].send(("run", count))
+                self.waves_replayed += 1
+                reply = self._recv(w)
+            except _WaveTimeout:
+                self.hangs_detected += 1
+                cause, exitcode = "hang", self._reap(w)
+                continue
+            except (EOFError, ConnectionResetError, BrokenPipeError,
+                    OSError):
+                cause, exitcode = "crash", self._reap(w)
+                continue
+            if self._valid_reply(reply):
+                return reply
+            cause, exitcode = "protocol", self._reap(w)
+        raise self._fail(w, cause, exitcode, retries=self.max_retries)
 
     def _dispatch(self, w: int, count: int) -> None:
         self.waves_served += 1
         try:
             self._conns[w].send(("run", count))
+            return
         except (BrokenPipeError, OSError):
-            self._handle_death(w)
+            exitcode = self._reap(w)
+        if not self.respawn:
+            raise self._fail(w, "crash", exitcode)
+        for attempt in range(self.max_retries):
+            if attempt:
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+            if not self._respawn(w):
+                exitcode = self._procs[w].exitcode
+                continue
             try:
                 self._conns[w].send(("run", count))
+                self.waves_replayed += 1
+                return
             except (BrokenPipeError, OSError):
-                raise self._give_up(w) from None
+                exitcode = self._reap(w)
+        raise self._fail(w, "crash", exitcode, retries=self.max_retries)
 
     def _collect(self, w: int, start: int, count: int, outputs) -> None:
         try:
-            reply = self._conns[w].recv()
+            reply = self._recv(w)
+            cause = None if self._valid_reply(reply) else "protocol"
+        except _WaveTimeout:
+            cause = "hang"
         except (EOFError, ConnectionResetError, OSError):
-            self._handle_death(w)
-            # The wave's feeds are still in the ring: replay once on the
-            # respawned worker.
-            try:
-                self._conns[w].send(("run", count))
-                reply = self._conns[w].recv()
-            except (EOFError, ConnectionResetError, BrokenPipeError,
-                    OSError):
-                raise self._give_up(w) from None
+            cause = "crash"
+        if cause is not None:
+            if cause == "hang":
+                self.hangs_detected += 1
+            exitcode = self._reap(w)
+            reply = self._replay_wave(w, count, cause, exitcode)
         if reply[0] == "error":
             raise ShardWorkerError(
                 f"shard worker {w} failed while executing feeds "
-                f"[{start}, {start + count}): {reply[1]}"
+                f"[{start}, {start + count}): {reply[1]}",
+                worker=w, cause="exec",
             )
         _, served, copied = reply
         self.bytes_copied_last_run += copied
         for i in range(served):
             _, outs = self._rings[w][i]
             outputs[start + i] = [np.array(v) for v in outs]
-
-    def _handle_death(self, w: int) -> None:
-        """A worker's pipe is gone: respawn it or declare the pool broken."""
-        proc = self._procs[w]
-        if proc.is_alive():  # pragma: no cover - pipe died first
-            proc.terminate()
-        proc.join(timeout=5)
-        self._conns[w].close()
-        if not self.respawn:
-            self._broken = True
-            raise ShardWorkerError(
-                f"shard worker {w} died (exit code {proc.exitcode}); pool "
-                "is now unusable — construct with respawn=True for "
-                "automatic replacement"
-            )
-        self._start_worker(w)
-        self._await_ready(w)
 
 
 def _cleanup(shms, procs, conns) -> None:

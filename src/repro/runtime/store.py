@@ -59,6 +59,7 @@ import time
 
 import numpy as np
 
+from .. import faults
 from ..ir.graph import Graph
 from .compiler import compile_plan
 from .persist import signature_digest
@@ -348,6 +349,11 @@ class PlanStore:
         except OSError:
             self._miss()
             return None
+        spec = faults.fire("store.load")
+        if spec is not None and spec.action == "corrupt":
+            # Injected torn artifact: exercises the real corruption
+            # path below (decode fails → evict → silent recompile).
+            blob = blob[: len(blob) // 2]
         try:
             artifact = pickle.loads(blob)
             if artifact["format"] != STORE_FORMAT_VERSION or \

@@ -48,7 +48,13 @@ Quickstart::
     asyncio.run(main())
 """
 
-from .admission import AdmissionConfig, AdmissionController, ServeOverloadError
+from .admission import (
+    AdmissionConfig,
+    AdmissionController,
+    ServeDeadlineError,
+    ServeOverloadError,
+)
+from .breaker import BreakerConfig, CircuitBreaker
 from .coalesce import CoalesceConfig, Coalescer
 from .loadgen import LoadReport, closed_loop, open_loop
 from .metrics import Distribution, Gauge, LatencyHistogram, ServeMetrics
@@ -57,6 +63,8 @@ from .server import Server, ServerStats
 __all__ = [
     "AdmissionConfig",
     "AdmissionController",
+    "BreakerConfig",
+    "CircuitBreaker",
     "CoalesceConfig",
     "Coalescer",
     "Distribution",
@@ -65,6 +73,7 @@ __all__ = [
     "LoadReport",
     "Server",
     "ServerStats",
+    "ServeDeadlineError",
     "ServeMetrics",
     "ServeOverloadError",
     "closed_loop",

@@ -27,12 +27,27 @@ from collections import deque
 
 from ..errors import ReproError
 
-__all__ = ["AdmissionConfig", "AdmissionController", "ServeOverloadError"]
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "ServeDeadlineError",
+    "ServeOverloadError",
+]
 
 
 class ServeOverloadError(ReproError, RuntimeError):
     """The server is over its admission limits and the request was
-    rejected (or timed out waiting for a slot)."""
+    rejected (or timed out waiting for a slot), or a circuit breaker is
+    shedding the request's (tenant, plan)."""
+
+
+class ServeDeadlineError(ReproError, TimeoutError):
+    """A request's deadline expired before the server could complete it.
+
+    Raised wherever the deadline is first seen to have passed — parked
+    in admission, queued in the coalescer, or at wave flush — always
+    *instead of* the result, never alongside a partially-served wave.
+    """
 
 
 @dataclasses.dataclass(frozen=True)
@@ -136,26 +151,57 @@ class AdmissionController:
             + ")"
         )
 
-    async def acquire(self, tenant: str = "default") -> None:
+    def _expire(self, tenant: str) -> ServeDeadlineError:
+        if self.metrics is not None:
+            self.metrics.deadline_expired += 1
+        return ServeDeadlineError(
+            f"request for tenant {tenant!r} expired before admission: "
+            "its deadline passed while waiting for a slot"
+        )
+
+    async def acquire(self, tenant: str = "default", *,
+                      deadline: float | None = None) -> None:
         """Hold a slot for one request; pair with :meth:`release`.
 
         Raises :class:`ServeOverloadError` under ``policy="reject"``
         when a limit is hit, or under ``policy="wait"`` when
-        ``wait_timeout`` elapses first.
+        ``wait_timeout`` elapses first.  ``deadline`` (absolute
+        ``loop.time()``) bounds the park further: a waiter whose
+        deadline passes first raises :class:`ServeDeadlineError`.
         """
+        loop = asyncio.get_running_loop()
+        remaining = None
+        if deadline is not None:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise self._expire(tenant)
         if self._grantable(tenant):
             self._grant(tenant)
             return
         if self.config.policy == "reject":
             raise self._reject(tenant, "admission limits reached")
-        fut = asyncio.get_running_loop().create_future()
+        # Which bound actually limits the park decides the error type.
+        timeout = self.config.wait_timeout
+        deadline_bound = remaining is not None and (
+            timeout is None or remaining <= timeout
+        )
+        if deadline_bound:
+            timeout = remaining
+        fut = loop.create_future()
         self._waiters.append((fut, tenant))
         try:
-            if self.config.wait_timeout is None:
+            if timeout is None:
                 await fut
             else:
-                await asyncio.wait_for(fut, self.config.wait_timeout)
+                await asyncio.wait_for(fut, timeout)
         except asyncio.TimeoutError:
+            # Slot-grant race: _dispatch_waiters may have granted us the
+            # slot in the same tick the timer fired — the slot is
+            # charged to this request, so hand it back before rejecting.
+            if fut.done() and not fut.cancelled():
+                self.release(tenant)
+            if deadline_bound:
+                raise self._expire(tenant) from None
             raise self._reject(
                 tenant,
                 f"no slot freed within wait_timeout="

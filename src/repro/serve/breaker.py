@@ -1,0 +1,112 @@
+"""Per-(tenant, plan) circuit breaking: stop feeding a failing wave path.
+
+When a plan's waves start failing *consistently* — a workload that
+deterministically breaks shard workers, a plan whose kernels raise on
+every feed — retrying each new request through the full
+admission/coalesce/dispatch stack just burns wave slots and worker
+respawns on work that cannot succeed.  A :class:`CircuitBreaker` per
+(tenant, compiled-plan) pair watches wave outcomes and, after
+``failures_to_open`` *consecutive* failures, trips **open**: requests
+for that pair are shed immediately with
+:class:`~repro.serve.admission.ServeOverloadError` (cheap, before
+admission) instead of queued.  After ``reset_timeout`` seconds the
+breaker goes **half-open** and admits exactly one probe request; a
+successful wave closes the breaker, a failed probe re-opens it for
+another cooldown.
+
+The breaker is event-loop-confined like the admission controller —
+``allow``/``record_*`` are plain calls made from ``Server.submit`` and
+the wave dispatch path, never from executor threads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["BreakerConfig", "CircuitBreaker"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BreakerConfig:
+    """Trip threshold and cooldown of the per-(tenant, plan) breakers.
+
+    Attributes
+    ----------
+    failures_to_open:
+        Consecutive wave failures that trip the breaker open.  ``0``
+        disables circuit breaking entirely (every request passes).
+    reset_timeout:
+        Seconds an open breaker sheds before allowing one half-open
+        probe through.
+    """
+
+    failures_to_open: int = 5
+    reset_timeout: float = 1.0
+
+    def validate(self) -> None:
+        if not isinstance(self.failures_to_open, int) \
+                or self.failures_to_open < 0:
+            raise ValueError(
+                f"failures_to_open must be an int >= 0, got "
+                f"{self.failures_to_open!r}"
+            )
+        if not (self.reset_timeout > 0):
+            raise ValueError(
+                f"reset_timeout must be > 0, got {self.reset_timeout!r}"
+            )
+
+
+class CircuitBreaker:
+    """closed → open → half-open state machine over wave outcomes."""
+
+    def __init__(self, config: BreakerConfig | None = None) -> None:
+        self.config = config if config is not None else BreakerConfig()
+        self.config.validate()
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.failures_to_open > 0
+
+    def allow(self, now: float) -> bool:
+        """May a new request for this (tenant, plan) proceed right now?"""
+        if not self.enabled or self.state == "closed":
+            return True
+        if self.state == "open":
+            if now - self._opened_at < self.config.reset_timeout:
+                return False
+            self.state = "half-open"
+            self._probing = False
+        # half-open: exactly one probe request at a time.
+        if self._probing:
+            return False
+        self._probing = True
+        return True
+
+    def record_success(self) -> None:
+        """A wave for this pair completed: close and reset."""
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self._probing = False
+
+    def record_failure(self, now: float) -> bool:
+        """A wave for this pair failed; returns True when this failure
+        *trips* the breaker (closed/half-open → open)."""
+        if not self.enabled:
+            return False
+        self.consecutive_failures += 1
+        if self.state == "half-open":
+            # The probe failed: straight back to shedding.
+            self.state = "open"
+            self._opened_at = now
+            self._probing = False
+            return True
+        if self.state == "closed" and \
+                self.consecutive_failures >= self.config.failures_to_open:
+            self.state = "open"
+            self._opened_at = now
+            return True
+        return False

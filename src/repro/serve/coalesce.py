@@ -23,6 +23,13 @@ Cancellation is first-class: a request whose future is cancelled while
 queued is dropped at flush time (and again at dispatch time, after the
 per-key serialization wait) — it neither occupies wave slots nor
 receives results.
+
+Deadlines are first-class too: a request queued with ``expires_at``
+pulls the flush timer forward so its wave dispatches **no later than
+the earliest member deadline**, and a member whose deadline has already
+passed at flush (or after the per-key serialization wait) resolves with
+:class:`~repro.serve.admission.ServeDeadlineError` without poisoning
+the rest of the wave — the survivors still dispatch and get results.
 """
 
 from __future__ import annotations
@@ -31,6 +38,8 @@ import asyncio
 import dataclasses
 from collections import defaultdict
 from collections.abc import Callable, Hashable
+
+from .admission import ServeDeadlineError
 
 __all__ = ["CoalesceConfig", "Coalescer"]
 
@@ -74,6 +83,9 @@ class _Queued:
     item: object
     future: asyncio.Future
     enqueued_at: float
+    #: Absolute ``loop.time()`` after which the request must resolve
+    #: with :class:`ServeDeadlineError` instead of dispatching.
+    expires_at: float | None = None
 
 
 class Coalescer:
@@ -106,6 +118,9 @@ class Coalescer:
         self.metrics = metrics
         self._queues: dict[Hashable, list[_Queued]] = {}
         self._timers: dict[Hashable, asyncio.TimerHandle] = {}
+        #: Absolute fire time of each armed timer, so a member with an
+        #: earlier deadline can pull the flush forward.
+        self._timer_when: dict[Hashable, float] = {}
         #: Serializes waves of one key (one ShardPool serves one run at
         #: a time); created lazily so idle keys cost nothing.
         self._locks: "defaultdict[Hashable, asyncio.Lock]" = defaultdict(
@@ -129,24 +144,41 @@ class Coalescer:
 
     # -- the submit/flush cycle --------------------------------------------------
 
-    def submit(self, key: Hashable, item: object) -> asyncio.Future:
+    def submit(self, key: Hashable, item: object, *,
+               expires_at: float | None = None) -> asyncio.Future:
         """Queue ``item`` under ``key``; the future resolves to its result.
 
         Must be called on the event loop.  Flushes immediately at
         ``max_wave``; otherwise the queue's first request arms the
-        deadline timer.
+        delay timer, and any request's ``expires_at`` (absolute
+        ``loop.time()``) pulls the timer forward so the wave flushes no
+        later than its earliest member deadline.
         """
         loop = asyncio.get_running_loop()
         fut = loop.create_future()
         queue = self._queues.setdefault(key, [])
-        queue.append(_Queued(item, fut, loop.time()))
+        queue.append(_Queued(item, fut, loop.time(), expires_at))
         if len(queue) >= self.config.max_wave:
             self.flush(key)
-        elif len(queue) == 1:
-            self._timers[key] = loop.call_later(
-                self.config.max_delay, self.flush, key
-            )
+            return fut
+        fire_at = queue[0].enqueued_at + self.config.max_delay
+        if expires_at is not None:
+            fire_at = min(fire_at, expires_at)
+        current = self._timer_when.get(key)
+        if current is None or fire_at < current:
+            old = self._timers.pop(key, None)
+            if old is not None:
+                old.cancel()
+            self._timers[key] = loop.call_at(fire_at, self.flush, key)
+            self._timer_when[key] = fire_at
         return fut
+
+    def _expire(self, q: _Queued) -> None:
+        q.future.set_exception(ServeDeadlineError(
+            "request expired in the coalescer before its wave dispatched"
+        ))
+        if self.metrics is not None:
+            self.metrics.deadline_expired += 1
 
     def flush(self, key: Hashable | None = None) -> None:
         """Dispatch the queued wave for ``key`` now (all keys if None)."""
@@ -155,16 +187,25 @@ class Coalescer:
                 self.flush(k)
             return
         timer = self._timers.pop(key, None)
+        self._timer_when.pop(key, None)
         if timer is not None:
             timer.cancel()
         batch = self._queues.pop(key, None)
         if not batch:
             return
-        batch = [q for q in batch if not q.future.done()]
-        if not batch:
+        now = asyncio.get_running_loop().time()
+        live = []
+        for q in batch:
+            if q.future.done():
+                continue
+            if q.expires_at is not None and now >= q.expires_at:
+                self._expire(q)  # resolved alone; the wave stays clean
+            else:
+                live.append(q)
+        if not live:
             return
         task = asyncio.get_running_loop().create_task(
-            self._run_wave(key, batch)
+            self._run_wave(key, live)
         )
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
@@ -172,13 +213,22 @@ class Coalescer:
     async def _run_wave(self, key: Hashable, batch: list[_Queued]) -> None:
         async with self._locks[key]:
             # Re-filter after the serialization wait: a request can be
-            # cancelled between flush and the previous wave finishing.
-            live = [q for q in batch if not q.future.done()]
+            # cancelled — or expire — between flush and the previous
+            # wave of its key finishing.
+            now = asyncio.get_running_loop().time()
+            live = []
+            cancelled = 0
+            for q in batch:
+                if q.future.done():
+                    cancelled += 1
+                elif q.expires_at is not None and now >= q.expires_at:
+                    self._expire(q)
+                else:
+                    live.append(q)
             if self.metrics is not None:
-                self.metrics.cancelled += len(batch) - len(live)
+                self.metrics.cancelled += cancelled
             if not live:
                 return
-            now = asyncio.get_running_loop().time()
             if self.metrics is not None:
                 self.metrics.waves += 1
                 self.metrics.wave_occupancy.record(len(live))

@@ -243,6 +243,19 @@ class ServeMetrics:
     cancelled: int = 0
     failed: int = 0
     waves: int = 0
+    #: Requests resolved with :class:`ServeDeadlineError` — parked past
+    #: their deadline in admission, or expired in the coalescer.
+    deadline_expired: int = 0
+    #: Circuit-breaker state transitions closed → open.
+    breaker_trips: int = 0
+    #: Requests shed because their (tenant, plan) breaker was open.
+    breaker_shed: int = 0
+    #: Failed-request causes: ``"shard_hang"``, ``"shard_crash"``,
+    #: ``"deadline"``, or the exception type name.
+    failure_causes: dict = dataclasses.field(default_factory=dict)
+
+    def count_failure(self, cause: str) -> None:
+        self.failure_causes[cause] = self.failure_causes.get(cause, 0) + 1
 
     def snapshot(self) -> dict:
         """Flat JSON-ready dict (the serve bench merges this into
@@ -254,6 +267,10 @@ class ServeMetrics:
             "cancelled": self.cancelled,
             "failed": self.failed,
             "waves": self.waves,
+            "deadline_expired": self.deadline_expired,
+            "breaker_trips": self.breaker_trips,
+            "breaker_shed": self.breaker_shed,
+            "failure_causes": dict(self.failure_causes),
             "latency": self.latency.snapshot(),
             "queue_wait": self.queue_wait.snapshot(),
             "wave_occupancy": self.wave_occupancy.snapshot(),
@@ -275,4 +292,16 @@ class ServeMetrics:
             f"waves:    {self.waves} dispatched | occupancy mean "
             f"{self.wave_occupancy.mean:.2f} | max {self.wave_occupancy.max}",
         ]
+        if self.deadline_expired or self.breaker_trips or self.breaker_shed:
+            lines.append(
+                f"faults:   {self.deadline_expired} deadline-expired | "
+                f"{self.breaker_trips} breaker trip(s) | "
+                f"{self.breaker_shed} shed by open breakers"
+            )
+        if self.failure_causes:
+            causes = ", ".join(
+                f"{cause}={count}"
+                for cause, count in sorted(self.failure_causes.items())
+            )
+            lines.append(f"failures: {causes}")
         return "\n".join(lines)

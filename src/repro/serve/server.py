@@ -45,13 +45,31 @@ import concurrent.futures
 import dataclasses
 from collections.abc import Callable, Sequence
 
+from .. import faults
 from ..api import Compiled, Options, Session, input_signature
 from ..tensor.tensor import Tensor
-from .admission import AdmissionConfig, AdmissionController
+from .admission import (
+    AdmissionConfig,
+    AdmissionController,
+    ServeDeadlineError,
+    ServeOverloadError,
+)
+from .breaker import BreakerConfig, CircuitBreaker
 from .coalesce import CoalesceConfig, Coalescer
 from .metrics import ServeMetrics
 
 __all__ = ["Server", "ServerStats"]
+
+
+def _failure_cause(exc: BaseException) -> str:
+    """Classify a failed request for ``ServeMetrics.failure_causes``."""
+    from ..runtime import ShardWorkerError
+
+    if isinstance(exc, ServeDeadlineError):
+        return "deadline"
+    if isinstance(exc, ShardWorkerError):
+        return f"shard_{exc.cause or 'error'}"
+    return type(exc).__name__
 
 
 @dataclasses.dataclass(frozen=True)
@@ -107,6 +125,11 @@ class Server:
         Threads executing waves (waves of one plan serialize on the
         coalescer's per-key lock; the pool bounds cross-plan
         parallelism).
+    breaker:
+        :class:`~repro.serve.breaker.BreakerConfig` for the
+        per-(tenant, plan) circuit breakers; defaults to tripping after
+        5 consecutive wave failures with a 1 s half-open cooldown.
+        ``BreakerConfig(failures_to_open=0)`` disables breaking.
     """
 
     def __init__(
@@ -117,6 +140,7 @@ class Server:
         coalesce: CoalesceConfig | None = None,
         metrics: ServeMetrics | None = None,
         dispatch_workers: int = 2,
+        breaker: BreakerConfig | None = None,
     ) -> None:
         if options is None:
             options = Options(fusion=True, arena="preallocated")
@@ -132,6 +156,12 @@ class Server:
         self._coalescer = Coalescer(
             self._dispatch_wave, config=coalesce, metrics=self.metrics
         )
+        self._breaker_config = (
+            breaker if breaker is not None else BreakerConfig()
+        )
+        self._breaker_config.validate()
+        #: (tenant, id(compiled)) → CircuitBreaker, created on first use.
+        self._breakers: dict[tuple[str, int], CircuitBreaker] = {}
         self._dispatch_workers = dispatch_workers
         self._executor: concurrent.futures.ThreadPoolExecutor | None = None
         self._sessions: dict[str, Session] = {}
@@ -209,12 +239,22 @@ class Server:
 
     # -- the one serving entry point ---------------------------------------------
 
+    def _breaker_for(self, tenant: str, compiled: Compiled) -> CircuitBreaker:
+        key = (tenant, id(compiled))
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = self._breakers[key] = CircuitBreaker(
+                self._breaker_config
+            )
+        return breaker
+
     async def submit(
         self,
         fn: Callable,
         feeds: Sequence[Tensor],
         *,
         tenant: str = "default",
+        deadline: float | None = None,
     ):
         """Execute ``fn(*feeds)`` through the tenant's session; returns
         the same Tensor (or tuple) a direct compiled call would.
@@ -226,30 +266,63 @@ class Server:
         when its wave completes.  Raises whatever the plan execution
         raised — a failure inside a wave fails every request of that
         wave.
+
+        ``deadline`` (seconds from now) bounds the whole journey: a
+        request still parked in admission or queued in the coalescer
+        when it expires resolves with
+        :class:`~repro.serve.admission.ServeDeadlineError` instead —
+        and its wave flushes no later than the deadline, so a short
+        deadline also shortens the coalescing delay.  A request whose
+        (tenant, plan) circuit breaker is open is shed immediately with
+        :class:`~repro.serve.admission.ServeOverloadError`.
         """
         if not self._started or self._stopped:
             raise RuntimeError(
                 "server is not running — use 'async with Server(...)' or "
                 "await server.start()"
             )
+        if deadline is not None and not deadline > 0:
+            raise ValueError(
+                f"deadline must be > 0 seconds or None, got {deadline!r}"
+            )
         feeds = list(feeds)
         sig = input_signature(feeds)  # also validates feeds are Tensors
         loop = asyncio.get_running_loop()
         start = loop.time()
+        expires_at = None if deadline is None else start + deadline
         self.metrics.submitted += 1
         compiled = self._compiled_for(tenant, fn)
-        await self.admission.acquire(tenant)
+        breaker = self._breaker_for(tenant, compiled)
+        if not breaker.allow(loop.time()):
+            self.metrics.rejected += 1
+            self.metrics.breaker_shed += 1
+            raise ServeOverloadError(
+                f"request for tenant {tenant!r} shed: its plan's circuit "
+                f"breaker is open after {breaker.consecutive_failures} "
+                "consecutive wave failures"
+            )
+        try:
+            await self.admission.acquire(tenant, deadline=expires_at)
+        except ServeDeadlineError:
+            self.metrics.count_failure("deadline")
+            raise
         try:
             future = self._coalescer.submit(
-                (tenant, id(compiled), sig), (compiled, feeds)
+                (tenant, id(compiled), sig), (compiled, feeds),
+                expires_at=expires_at,
             )
             try:
                 result = await future
             except asyncio.CancelledError:
                 future.cancel()  # drop from any not-yet-dispatched wave
                 raise
-            except Exception:
+            except ServeDeadlineError:
+                # Counted where it expired; failure-cause only here.
+                self.metrics.count_failure("deadline")
+                raise
+            except Exception as exc:
                 self.metrics.failed += 1
+                self.metrics.count_failure(_failure_cause(exc))
                 raise
         finally:
             self.admission.release(tenant)
@@ -264,9 +337,21 @@ class Server:
         compiled = items[0][0]
         feed_sets = [feeds for _, feeds in items]
         session = self.session(tenant)
-        return await asyncio.get_running_loop().run_in_executor(
-            self._executor, self._run_wave_sync, session, compiled, feed_sets
-        )
+        loop = asyncio.get_running_loop()
+        breaker = self._breaker_for(tenant, compiled)
+        try:
+            results = await loop.run_in_executor(
+                self._executor, self._run_wave_sync, session, compiled,
+                feed_sets,
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            if breaker.record_failure(loop.time()):
+                self.metrics.breaker_trips += 1
+            raise
+        breaker.record_success()
+        return results
 
     @staticmethod
     def _run_wave_sync(session: Session, compiled: Compiled, feed_sets):
@@ -277,8 +362,12 @@ class Server:
         way the GIL is released for the BLAS work and the event loop
         keeps admitting/coalescing meanwhile.
         """
+        spec = faults.fire("serve.dispatch")
         result = session.run_batch(compiled, feed_sets)
-        return [Compiled._wrap(outputs) for outputs in result.outputs]
+        outputs = [Compiled._wrap(out) for out in result.outputs]
+        if spec is not None and spec.action == "corrupt" and outputs:
+            outputs = outputs[:-1]  # injected dispatch bug: short wave
+        return outputs
 
     # -- stats -------------------------------------------------------------------
 

@@ -1,0 +1,200 @@
+"""The deterministic fault-injection registry (:mod:`repro.faults`).
+
+Contracts under test:
+
+* The spec grammar round-trips: ``FaultPlan.parse(plan.render())``
+  rebuilds an equal plan, and malformed specs raise
+  :class:`ConfigError` naming the problem.
+* Trigger windows are exact: a spec fires on site hits
+  ``[after, after + count)`` of the per-process counter and nowhere
+  else; ``wN`` restricts it to one worker index.
+* ``chance`` specs are seeded — the same plan fires on the same hit
+  numbers every run.
+* Activation: explicit :func:`install` (which outranks the env), the
+  lazy ``REPRO_FAULTS`` read, :func:`clear`, and the
+  ``Options(faults=...)`` validation gate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api, faults
+from repro.errors import ConfigError
+
+
+@pytest.fixture(autouse=True)
+def clean_registry(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestGrammar:
+    @pytest.mark.parametrize("text", [
+        "worker.exec:crash@3",
+        "worker.exec:hang(60)@3w0",
+        "pipe.send:corrupt@2x4",
+        "store.load:delay(0.1)@1x5",
+        "serve.dispatch:error@p0.25",
+        "seed=7;worker.exec:crash@p0.5w1;pipe.recv:error@2",
+    ])
+    def test_round_trip(self, text):
+        plan = faults.FaultPlan.parse(text)
+        assert faults.FaultPlan.parse(plan.render()) == plan
+
+    def test_render_is_canonical(self):
+        plan = faults.FaultPlan.parse(
+            " worker.exec:hang(60)@3w0 ; seed=9 ; pipe.send:corrupt@2 "
+        )
+        assert plan.render() == \
+            "seed=9;worker.exec:hang(60)@3w0;pipe.send:corrupt@2"
+
+    @pytest.mark.parametrize("bad", [
+        "worker.exec",                  # no action
+        "worker.exec:explode@1",        # unknown action
+        "worker.exec:crash",            # no trigger
+        "worker.exec:crash@0",          # after < 1
+        "worker.exec:crash@p1.5",       # chance out of range
+        "worker.exec:crash@1x0",        # count < 1
+        "seed=nope",                    # bad seed
+    ])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            faults.FaultPlan.parse(bad)
+
+    def test_spec_needs_exactly_one_trigger(self):
+        with pytest.raises(ConfigError, match="exactly one trigger"):
+            faults.FaultSpec("s", "error", after=1, chance=0.5)
+        with pytest.raises(ConfigError, match="exactly one trigger"):
+            faults.FaultSpec("s", "error", after=None, chance=None)
+
+
+class TestTriggerWindows:
+    def test_window_is_exact(self):
+        inj = faults.FaultInjector(faults.FaultPlan.parse("s:corrupt@3x2"))
+        fired = [inj.fire("s") is not None for _ in range(6)]
+        assert fired == [False, False, True, True, False, False]
+        assert inj.fired[("s", "corrupt")] == 2
+        assert inj.hits("s") == 6
+
+    def test_sites_count_independently(self):
+        inj = faults.FaultInjector(
+            faults.FaultPlan.parse("a:corrupt@2;b:corrupt@1")
+        )
+        assert inj.fire("a") is None          # a hit 1
+        assert inj.fire("b") is not None      # b hit 1
+        assert inj.fire("a") is not None      # a hit 2
+        assert inj.fire("unwired") is None    # unknown sites are free
+
+    def test_worker_scoping(self):
+        inj = faults.FaultInjector(faults.FaultPlan.parse("s:corrupt@1w1"))
+        # Worker 0 consumes hit 1 without firing; the spec never
+        # matches again (the window moved past), worker 1 or not.
+        assert inj.fire("s", worker=0) is None
+        assert inj.fire("s", worker=1) is None
+        inj2 = faults.FaultInjector(faults.FaultPlan.parse("s:corrupt@1w1"))
+        assert inj2.fire("s", worker=1) is not None
+
+    def test_chance_is_seed_deterministic(self):
+        plan = faults.FaultPlan.parse("seed=42;s:corrupt@p0.3")
+        a = faults.FaultInjector(plan)
+        b = faults.FaultInjector(plan)
+        pattern_a = [a.fire("s") is not None for _ in range(64)]
+        pattern_b = [b.fire("s") is not None for _ in range(64)]
+        assert pattern_a == pattern_b
+        assert any(pattern_a) and not all(pattern_a)
+
+    def test_chance_varies_with_seed(self):
+        p1 = [
+            faults.FaultInjector(
+                faults.FaultPlan.parse(f"seed={s};s:corrupt@p0.5")
+            ).fire("s") is not None
+            for s in range(32)
+        ]
+        assert any(p1) and not all(p1)
+
+
+class TestActions:
+    def test_error_raises_injected_fault(self):
+        inj = faults.FaultInjector(faults.FaultPlan.parse("s:error@1"))
+        with pytest.raises(faults.InjectedFault, match="site 's'"):
+            inj.fire("s")
+
+    def test_injected_fault_is_a_repro_error(self):
+        from repro.errors import ReproError
+
+        assert issubclass(faults.InjectedFault, ReproError)
+        assert issubclass(faults.InjectedFault, RuntimeError)
+
+    def test_delay_sleeps_then_continues(self):
+        import time
+
+        inj = faults.FaultInjector(faults.FaultPlan.parse("s:delay(0.05)@1"))
+        start = time.perf_counter()
+        assert inj.fire("s") is None
+        assert time.perf_counter() - start >= 0.04
+
+    def test_corrupt_returns_the_spec(self):
+        inj = faults.FaultInjector(faults.FaultPlan.parse("s:corrupt@1"))
+        spec = inj.fire("s")
+        assert spec.action == "corrupt" and spec.site == "s"
+
+
+class TestActivation:
+    def test_fire_is_noop_when_inactive(self):
+        assert faults.active() is None
+        assert faults.fire("worker.exec") is None
+
+    def test_install_and_clear(self):
+        inj = faults.install("s:error@1")
+        assert faults.active() is inj
+        with pytest.raises(faults.InjectedFault):
+            faults.fire("s")
+        faults.clear()
+        assert faults.active() is None
+
+    def test_env_activation_is_lazy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "s:corrupt@1")
+        faults.clear()  # forget the earlier env check
+        assert faults.fire("s") is not None
+        assert faults.active_render() == "s:corrupt@1"
+
+    def test_bad_env_plan_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "not a spec")
+        faults.clear()
+        with pytest.raises(ConfigError):
+            faults.active()
+
+    def test_install_outranks_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "env.site:error@1")
+        faults.clear()
+        faults.install("s:corrupt@1")
+        assert faults.fire("env.site") is None
+        assert faults.fire("s") is not None
+
+    def test_active_render_round_trips(self):
+        faults.install("seed=3;s:hang(60)@2w1")
+        assert faults.active_render() == "seed=3;s:hang(60)@2w1"
+
+
+class TestOptionsIntegration:
+    def test_string_plans_validate(self):
+        api.Options(faults="worker.exec:crash@3w0").validate()
+        with pytest.raises(ConfigError, match="bad fault spec"):
+            api.Options(faults="worker.exec:explode@!").validate()
+
+    def test_plan_and_spec_objects_accepted(self):
+        plan = faults.FaultPlan.parse("s:error@1")
+        api.Options(faults=plan).validate()
+        api.Options(faults=plan.specs[0]).validate()
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ConfigError, match="faults must be"):
+            api.Options(faults=42).validate()
+
+    def test_session_installs_plan_process_wide(self):
+        with api.Session(faults="s:corrupt@1"):
+            assert faults.active() is not None
+            assert faults.fire("s") is not None

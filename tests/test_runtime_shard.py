@@ -25,11 +25,12 @@ from __future__ import annotations
 import gc
 import multiprocessing
 import pickle
+import signal
 
 import numpy as np
 import pytest
 
-from repro import api
+from repro import api, faults
 from repro.errors import ConfigError, GraphError
 from repro.frameworks import tfsim
 from repro.ir import trace
@@ -43,10 +44,16 @@ from repro.runtime import (
     graph_to_payload,
     graph_signature,
 )
-from repro.runtime import shard as shard_module
 from repro.tensor import Property, random_general, random_spd, random_vector
 
 HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+@pytest.fixture
+def fault_plan():
+    """Install a fault plan for one test; always deactivated afterwards."""
+    yield faults.install
+    faults.clear()
 
 
 def _workload(loops: int = 4):
@@ -254,8 +261,12 @@ class TestWorkerFailure:
             pool.run([feeds] * 4)
             pool._procs[0].kill()
             pool._procs[0].join()
-            with pytest.raises(ShardWorkerError, match="died"):
+            with pytest.raises(ShardWorkerError, match="died") as ei:
                 pool.run([feeds] * 4)
+            # Structured fields, not just a formatted string.
+            assert ei.value.cause == "crash"
+            assert ei.value.worker == 0
+            assert ei.value.exitcode == -signal.SIGKILL
             # Broken is sticky: no half-working pools.
             with pytest.raises(ShardWorkerError, match="broken"):
                 pool.run([feeds] * 4)
@@ -270,6 +281,10 @@ class TestWorkerFailure:
             pool._procs[1].join()
             result = pool.run([feeds] * 4)
             assert all(np.array_equal(o[0], ref[0]) for o in result.outputs)
+            # Health counters record the recovery.
+            assert pool.respawns == 1
+            assert pool.waves_replayed == 1
+            assert pool.hangs_detected == 0
             # Same pool keeps serving afterwards.
             result = pool.run([feeds] * 6)
             assert len(result) == 6
@@ -309,54 +324,112 @@ class TestWorkerFailure:
                     np.array_equal(o[0], ref[0]) for o in result.outputs
                 )
 
-    @pytest.mark.skipif(not HAVE_FORK, reason="fault hook needs fork")
+    @pytest.mark.skipif(not HAVE_FORK, reason="fork keeps these fast")
     def test_multi_shard_exception_drains_all_replies(
-        self, monkeypatch, workload
+        self, fault_plan, workload
     ):
         graph, feeds = workload
         plan = compile_plan(graph, fusion=True)
         ref, _ = plan.execute(feeds, record=False)
 
-        def boom(item_index: int) -> None:
-            if item_index == 1:
-                raise RuntimeError("injected fault")
-
-        monkeypatch.setattr(shard_module, "_test_fault_hook", boom)
+        # Each worker raises InjectedFault on its second ring entry.
+        fault_plan("worker.exec:error@2")
         with ShardPool(plan, shards=2, start_method="fork",
                        dtype=np.float32) as pool:
             # Both workers serve 2 items and fault on their second:
             # both error replies must be consumed (first one raised).
-            with pytest.raises(ShardWorkerError, match="injected fault"):
+            with pytest.raises(ShardWorkerError, match="injected fault") \
+                    as ei:
                 pool.run([feeds] * 4)
-            # One item per worker stays under the faulting index — the
+            assert ei.value.cause == "exec"
+            assert ei.value.exitcode is None  # worker survived
+            # One item per worker stays under the faulting hit — the
             # pool is still wave-aligned and serves correct results.
             result = pool.run([feeds] * 2)
             assert all(
                 np.array_equal(o[0], ref[0]) for o in result.outputs
             )
 
-    @pytest.mark.skipif(not HAVE_FORK, reason="fault hook needs fork")
+    @pytest.mark.skipif(not HAVE_FORK, reason="fork keeps these fast")
     def test_mid_batch_exception_reports_and_pool_survives(
-        self, monkeypatch, workload
+        self, fault_plan, workload
     ):
         graph, feeds = workload
         plan = compile_plan(graph, fusion=True)
 
-        def boom(item_index: int) -> None:
-            if item_index == 1:
-                raise RuntimeError("injected fault")
-
-        # Fork workers inherit the hook; the second ring entry of a wave
-        # explodes inside the worker.
-        monkeypatch.setattr(shard_module, "_test_fault_hook", boom)
+        # The worker's second ring entry explodes inside the worker.
+        fault_plan("worker.exec:error@2")
         with ShardPool(plan, shards=1, start_method="fork",
                        dtype=np.float32) as pool:
             with pytest.raises(ShardWorkerError, match="injected fault"):
                 pool.run([feeds] * 3)
-            # The worker caught the exception and kept its loop: a batch
-            # that stays under the faulting index still serves.
+            # The worker caught the exception and kept its loop: later
+            # hits fall outside the fault's trigger window and serve.
             result = pool.run([feeds])
             assert len(result) == 1
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="fork keeps these fast")
+    def test_hung_worker_detected_and_kill_escalated(
+        self, fault_plan, workload
+    ):
+        # The hang action ignores SIGTERM, so plain terminate() leaves a
+        # live process — this exercises the terminate→kill escalation
+        # and the full detect/kill/respawn/replay cycle.  The trigger
+        # fires on exec hit 3 (second run): the replayed wave's fresh
+        # worker counts 1..2 and stays under it.
+        graph, feeds = workload
+        plan = compile_plan(graph, fusion=True)
+        ref, _ = plan.execute(feeds, record=False)
+        fault_plan("worker.exec:hang(60)@3")
+        with ShardPool(plan, shards=1, start_method="fork",
+                       dtype=np.float32, respawn=True,
+                       wave_deadline=0.5) as pool:
+            pool.run([feeds] * 2)
+            hung = pool._procs[0]
+            result = pool.run([feeds] * 2)
+            assert all(
+                np.array_equal(o[0], ref[0]) for o in result.outputs
+            )
+            assert pool.hangs_detected == 1
+            assert pool.respawns == 1
+            assert pool.waves_replayed == 1
+            # terminate() was ignored; only the kill escalation reaped it.
+            assert not hung.is_alive()
+            assert hung.exitcode == -signal.SIGKILL
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="fork keeps these fast")
+    def test_hang_without_respawn_breaks_pool_with_cause(
+        self, fault_plan, workload
+    ):
+        graph, feeds = workload
+        plan = compile_plan(graph, fusion=True)
+        fault_plan("worker.exec:hang(60)@1")
+        with ShardPool(plan, shards=1, start_method="fork",
+                       dtype=np.float32, wave_deadline=0.5) as pool:
+            with pytest.raises(ShardWorkerError, match="hung") as ei:
+                pool.run([feeds])
+            assert ei.value.cause == "hang"
+            assert ei.value.worker == 0
+            assert ei.value.exitcode == -signal.SIGKILL
+            with pytest.raises(ShardWorkerError, match="broken"):
+                pool.run([feeds])
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="fork keeps these fast")
+    def test_corrupt_reply_recovers_via_respawn(self, fault_plan, workload):
+        # A garbled wave reply (pipe.send corruption in the worker) is
+        # classified "protocol"; the worker is reaped and the wave
+        # replayed on a replacement with correct results.
+        graph, feeds = workload
+        plan = compile_plan(graph, fusion=True)
+        ref, _ = plan.execute(feeds, record=False)
+        fault_plan("pipe.send:corrupt@2")
+        with ShardPool(plan, shards=1, start_method="fork",
+                       dtype=np.float32, respawn=True) as pool:
+            pool.run([feeds])
+            result = pool.run([feeds])
+            assert np.array_equal(result.outputs[0][0], ref[0])
+            assert pool.respawns == 1
+            assert pool.waves_replayed == 1
 
 
 # -- session integration ------------------------------------------------------

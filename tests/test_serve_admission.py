@@ -215,3 +215,39 @@ class TestWaitPolicy:
             assert ctl.depth() == 0
 
         run(main())
+
+    def test_grant_in_same_tick_as_wait_timeout_returns_slot(
+        self, monkeypatch
+    ):
+        # The nastiest interleaving: wait_for's timer fires in the very
+        # tick _dispatch_waiters grants the parked future.  The slot was
+        # already charged to the timed-out request — acquire must hand
+        # it back before rejecting, or the pool shrinks by one forever.
+        async def main():
+            import repro.serve.admission as admission_module
+
+            ctl = AdmissionController(
+                AdmissionConfig(max_inflight=1, wait_timeout=0.05)
+            )
+            await ctl.acquire("a")
+
+            async def grant_then_time_out(fut, timeout):
+                ctl.release("a")  # frees the slot; grants fut to "b"
+                assert fut.done() and not fut.cancelled()
+                raise asyncio.TimeoutError
+
+            monkeypatch.setattr(
+                admission_module.asyncio, "wait_for", grant_then_time_out
+            )
+            try:
+                with pytest.raises(ServeOverloadError):
+                    await ctl.acquire("b")
+            finally:
+                monkeypatch.undo()
+            # The granted-then-timed-out slot was released again...
+            assert ctl.depth() == 0
+            assert ctl.depth("b") == 0
+            await ctl.acquire("c")  # ...and is immediately grantable
+            assert ctl.depth("c") == 1
+
+        run(main())
