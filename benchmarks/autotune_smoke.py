@@ -1,0 +1,140 @@
+"""End-to-end smoke of online autotuning across two processes.
+
+Run this script **twice** with the same store directory::
+
+    python benchmarks/autotune_smoke.py /tmp/plan-store
+
+The first invocation drives the ``(A @ B) @ x`` chain on integer-valued
+feeds (reassociation is bit-exact there) past the hot threshold: the
+session races 2 candidates — the canonical left-association and the
+derivation-search rival — under the ``REPRO_AUTOTUNE_BUDGET`` the CI job
+sets, promotes the winner, and persists it (artifact + alias record) in
+the store.  The output digest and the winner's name land in a marker
+file inside the store dir.
+
+The second invocation is a brand-new process — a service restart — and
+must:
+
+* **restore the promotion from disk**: ``promotions_restored >= 1`` with
+  ``tuning_seconds == 0.0`` (zero re-tuning) and ``signatures_tuned ==
+  0`` (the signature never re-races, however hot it gets);
+* compile **zero** plans cold (``misses == 0`` — the winner warm-starts
+  through the plan store);
+* produce a bit-identical output digest (the promoted plan computes the
+  same answer the canonical one did).
+
+Any violated invariant exits non-zero — this is the CI ``autotune-smoke``
+job's assertion surface.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+
+import numpy as np
+
+from repro import api
+from repro.tensor.tensor import Tensor
+
+MARKER = "autotune_smoke_cold.json"
+AUTOTUNE = {"hot_threshold": 3, "max_candidates": 2, "seed": 7}
+N = 128
+CALLS = 6
+
+
+def _chain(p, q, v):
+    return (p @ q) @ v
+
+
+def _drive(store_dir: str):
+    rng = np.random.default_rng(7)
+    feeds = [
+        Tensor(rng.integers(0, 4, (N, N)).astype(np.float32)),
+        Tensor(rng.integers(0, 4, (N, N)).astype(np.float32)),
+        Tensor(rng.integers(0, 4, (N, 1)).astype(np.float32)),
+    ]
+    with api.Session(plan_store=store_dir, autotune=AUTOTUNE) as session:
+        chain = session.compile(_chain)
+        for _ in range(CALLS):
+            out = chain(*feeds)
+        stats = session.stats()
+    digest = hashlib.sha1(out.data.tobytes()).hexdigest()
+    return stats, digest
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("store_dir", help="plan store directory shared "
+                                          "by both invocations")
+    args = parser.parse_args(argv)
+    marker = os.path.join(args.store_dir, MARKER)
+    warm_phase = os.path.exists(marker)
+
+    stats, digest = _drive(args.store_dir)
+    at = stats.autotune
+    failures = []
+
+    if not warm_phase:
+        if at.promotions != 1:
+            failures.append(
+                f"cold run expected 1 promotion, saw {at.promotions} "
+                f"({at.candidates_raced} raced, {at.tuning_errors} "
+                "error(s))"
+            )
+        if at.candidates_rejected:
+            failures.append(
+                f"integer feeds must keep every candidate bit-exact; "
+                f"{at.candidates_rejected} rejected"
+            )
+        with open(marker, "w") as fh:
+            json.dump({"digest": digest, "speedup_pct": at.speedup_pct},
+                      fh)
+        print(
+            f"autotune-smoke COLD: {at.candidates_raced} candidate(s) "
+            f"raced, {at.promotions} promotion(s) "
+            f"(+{at.speedup_pct:.1f}% vs canonical), "
+            f"{at.tuning_seconds:.4f}s tuning"
+        )
+    else:
+        with open(marker) as fh:
+            cold = json.load(fh)
+        if at.promotions_restored < 1:
+            failures.append(
+                f"warm run restored {at.promotions_restored} "
+                "promotion(s); expected >= 1"
+            )
+        if at.tuning_seconds != 0.0:
+            failures.append(
+                f"warm run spent {at.tuning_seconds:.4f}s tuning; "
+                "expected 0 (the winner restores, it never re-races)"
+            )
+        if at.signatures_tuned != 0:
+            failures.append(
+                f"warm run re-tuned {at.signatures_tuned} signature(s)"
+            )
+        if stats.misses != 0:
+            failures.append(
+                f"warm run compiled {stats.misses} plan(s) cold; "
+                "expected 0 (store warm start)"
+            )
+        if digest != cold["digest"]:
+            failures.append("warm output differs from the cold run's")
+        print(
+            f"autotune-smoke WARM: {at.promotions_restored} promotion(s) "
+            f"restored, {at.tuning_seconds:.4f}s tuning, "
+            f"{stats.misses} cold compile(s), digest "
+            f"{'match' if digest == cold['digest'] else 'MISMATCH'}"
+        )
+    print(stats.render())
+
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,7 @@ GATED_KEYS = (
     "sharded_supervised_seconds",
     "serve_p50_latency_seconds",
     "plan_store_warm_start_seconds",
+    "autotuned_exec_seconds",
 )
 
 #: Keys a runner may legitimately not produce (sharding disabled via
@@ -182,6 +183,26 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"plan_store_warm_start_seconds {warm:.6g} not below "
                 f"plan_store_cold_compile_seconds {cold:.6g}"
+            )
+    # Structural autotune gate, same shape: the promoted plan's steady
+    # state must not exceed the canonical plan's, measured in the same
+    # run.  Skipped when the fresh results predate the autotune metrics.
+    tuned = fresh.get("autotuned_exec_seconds")
+    canonical = fresh.get("autotune_canonical_exec_seconds")
+    if tuned is None or canonical is None:
+        print("bench-regression: autotune metrics absent from fresh "
+              "results, skipping tuned-vs-canonical check")
+    else:
+        verdict = "OK" if tuned <= canonical else "REGRESSED"
+        print(
+            f"bench-regression: autotune tuned={tuned:.6g} "
+            f"canonical={canonical:.6g} (tuned must be <= canonical) "
+            f"{verdict}"
+        )
+        if tuned > canonical:
+            failures.append(
+                f"autotuned_exec_seconds {tuned:.6g} above "
+                f"autotune_canonical_exec_seconds {canonical:.6g}"
             )
     if failures:
         for f in failures:

@@ -79,6 +79,14 @@ class Concrete:
     pin: bool = False
     pinned_key: tuple | None = None
     pinned_binding: "object | None" = None
+    #: Autotune bookkeeping (set by ``Session._build`` when the session
+    #: tunes): the plan-cache key hotness is tracked under, the plan-
+    #: store trace key promotions re-alias, and whether this concrete is
+    #: done tuning (raced, restored from the store, or claimed by a
+    #: concurrent race).
+    cache_key: "tuple | None" = None
+    trace_key: "str | None" = None
+    autotune_done: bool = False
 
 
 class Compiled:
@@ -186,11 +194,11 @@ class Compiled:
 
     def _call_in(self, session, args: Sequence[Tensor]):
         concrete = self._concrete_in(session, args)
+        datas = [a.data for a in args]
         start = time.perf_counter()
         if concrete.arena is None:
-            outputs, report = concrete.plan.execute([a.data for a in args])
+            outputs, report = concrete.plan.execute(datas)
         else:
-            datas = [a.data for a in args]
             with concrete.arena_lock:
                 if concrete.pin:
                     outputs = self._execute_pinned(concrete, datas)
@@ -204,6 +212,7 @@ class Compiled:
                 # rewrites the buffers these outputs alias.
                 outputs = [out.copy() for out in outputs]
         session._record_exec(concrete.plan, time.perf_counter() - start)
+        session._maybe_autotune(concrete, datas)
         self.last_report = report
         return self._wrap(outputs)
 

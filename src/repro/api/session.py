@@ -44,7 +44,9 @@ from ..runtime import (
     execute_batch,
 )
 from ..runtime import cache as _cache_module
+from ..runtime.autotune import Autotuner, AutotuneConfig, AutotuneStats
 from ..runtime.plan import Plan
+from ..runtime.signature import graph_signature
 from ..tensor.tensor import Tensor
 from .compiled import Compiled, Concrete
 from .options import Options
@@ -138,6 +140,11 @@ class SessionStats:
     store_corrupt_evicted: int = 0
     store_bytes_mapped: int = 0
     store_seconds_saved: float = 0.0
+    #: Online autotuning (PR 10): the session autotuner's counters —
+    #: signatures tuned, candidates raced/rejected, promotions (live and
+    #: restored from the store), tuning wall time and the last measured
+    #: speedup.  ``None`` when the session doesn't tune.
+    autotune: "AutotuneStats | None" = None
 
     @property
     def fused_sites(self) -> int:
@@ -208,6 +215,8 @@ class SessionStats:
                 f"~{self.store_seconds_saved:.4f}s saved "
                 f"({self.plan_store})"
             )
+        if self.autotune is not None:
+            lines.append(self.autotune.render())
         if self.plans:
             lw = max(12, max(len(p.label) for p in self.plans))
             bw = max(7, max(len(p.backend) for p in self.plans))
@@ -265,6 +274,13 @@ class Session:
             PlanStore(self.options.plan_store)
             if self.options.plan_store is not None
             else None
+        )
+        #: Online autotuner (``Options(autotune=...)``); ``None`` when
+        #: off.  Per-session like the plan cache — serve tenants tuning
+        #: through their own sessions get independent budgets.
+        autotune_config = AutotuneConfig.normalize(self.options.autotune)
+        self._autotuner: Autotuner | None = (
+            Autotuner(autotune_config) if autotune_config is not None else None
         )
         # Weak keys: accounting must not pin plans the LRU has evicted
         # and nothing else references — a stats row lives as long as its
@@ -419,6 +435,9 @@ class Session:
         self._record_exec(
             concrete.plan, time.perf_counter() - start, count=len(feed_sets)
         )
+        self._maybe_autotune(
+            concrete, [t.data for t in feed_sets[0]], count=len(feed_sets)
+        )
         return result
 
     # -- sharded + pinned serving ------------------------------------------------
@@ -529,6 +548,9 @@ class Session:
         self._record_exec(
             concrete.plan, time.perf_counter() - start, count=len(feed_sets)
         )
+        self._maybe_autotune(
+            concrete, [t.data for t in feed_sets[0]], count=len(feed_sets)
+        )
         return result
 
     def _shard_pool(
@@ -590,6 +612,8 @@ class Session:
         of rebuilding worker processes nobody would tear down.
         """
         self._closed = True
+        if self._autotuner is not None:
+            self._autotuner.close()
         self.close_shard_pools()
 
     @property
@@ -663,6 +687,11 @@ class Session:
             store_seconds_saved=(
                 self.plan_store.stats.seconds_saved if self.plan_store else 0.0
             ),
+            autotune=(
+                self._autotuner.stats()
+                if self._autotuner is not None
+                else None
+            ),
         )
 
     # -- internals ---------------------------------------------------------------
@@ -709,17 +738,34 @@ class Session:
         # build and write the artifact back.
         optimized = None
         trace_key = None
+        alias_record = None
         if store is not None:
             trace_key = store.trace_key(
                 graph, backend=profile.name, pipeline=pipeline_choice,
                 fold_constants=fold, fusion=fusion,
             )
-            optimized = store.load_graph(trace_key)
+            optimized, alias_record = store.load_graph_with_record(trace_key)
         warm_start = optimized is not None
+        # A promoted autotune winner re-aliased this trace: the stored
+        # graph is the *winner's* (possibly a rewrite derivation), and
+        # the record carries the knobs it raced with — a fusion-flip
+        # winner must recompile with its own fusion setting, not the
+        # session's.  Restored winners never re-tune.
+        restored_promotion = (
+            warm_start
+            and isinstance(alias_record, dict)
+            and "winner" in alias_record
+        )
+        build_fold, build_fusion = fold, fusion
+        if restored_promotion:
+            build_fold = bool(alias_record.get("fold_constants", fold))
+            build_fusion = bool(alias_record.get("fusion", fusion))
         if warm_start:
             pipeline_log = (
                 f"plan store warm start ({pipeline_choice} passes skipped)"
             )
+            if restored_promotion:
+                pipeline_log += " | autotuned winner restored"
         else:
             pipeline = profile.pipeline(pipeline_choice)
             optimized = pipeline.run(graph)
@@ -728,8 +774,8 @@ class Session:
             validate_graph(optimized)
         plan, compiled_here = self.plan_cache.get_with_info(
             optimized,
-            fold_constants=fold,
-            fusion=fusion,
+            fold_constants=build_fold,
+            fusion=build_fusion,
             via_store=warm_start,
         )
         elapsed = time.perf_counter() - start
@@ -760,7 +806,7 @@ class Session:
                 rec.fused_sites = plan.fusion_stats.sites
             if compiled_here:
                 rec.plan_compile_seconds += plan.compile_seconds
-        return Concrete(
+        concrete = Concrete(
             graph=graph,
             optimized=optimized,
             plan=plan,
@@ -773,7 +819,20 @@ class Session:
             else None,
             donate=self._donate_mode(),
             pin=self.options.pin,
+            cache_key=(
+                (graph_signature(optimized), build_fold, build_fusion)
+                if self._autotuner is not None
+                else None
+            ),
+            trace_key=trace_key,
         )
+        if restored_promotion:
+            # The tuned plan is already in hand — no hotness tracking,
+            # no race, zero tuning seconds this process.
+            concrete.autotune_done = True
+            if self._autotuner is not None:
+                self._autotuner.mark_restored(concrete.cache_key)
+        return concrete
 
     def _record_exec(self, plan: Plan, seconds: float, *, count: int = 1) -> None:
         with self._lock:
@@ -784,6 +843,90 @@ class Session:
                 )
             rec.executions += count
             rec.exec_seconds += seconds
+
+    # -- autotuning ----------------------------------------------------------------
+
+    def _maybe_autotune(
+        self, concrete: Concrete, datas: Sequence[np.ndarray], *,
+        count: int = 1,
+    ) -> None:
+        """Hotness bookkeeping + race trigger — called after every
+        execution through ``concrete``.
+
+        Sub-microsecond when the session doesn't tune or the concrete is
+        already tuned; otherwise folds ``count`` executions into the
+        plan-cache stats row and, on crossing the threshold, claims the
+        key (exactly one racer per key, across threads) and races on
+        *these* feeds — the real traffic that made the signature hot.
+        """
+        tuner = self._autotuner
+        if tuner is None or concrete.autotune_done \
+                or concrete.cache_key is None:
+            return
+        hotness = self.plan_cache.note_execution(
+            concrete.cache_key, count=count
+        )
+        if hotness < tuner.config.hot_threshold:
+            return
+        if not tuner.claim(concrete.cache_key):
+            concrete.autotune_done = True  # raced (or racing) elsewhere
+            return
+        concrete.autotune_done = True
+        if tuner.config.mode == "worker":
+            # The race outlives this call — snapshot the feeds so pinned
+            # buffers rewritten in place can't skew the measurement.
+            feeds = [np.array(d) for d in datas]
+        else:
+            feeds = list(datas)
+        tuner.tune(self, concrete, feeds)
+
+    def _apply_promotion(
+        self, concrete: Concrete, winner, record: dict
+    ) -> None:
+        """Install a race winner: plan cache, live concrete, plan store.
+
+        Called by the autotuner (possibly from its worker-driving
+        thread).  The cache swap makes every *future* build of this
+        signature resolve to the winner; the concrete swap (under the
+        arena lock, paired with a fresh arena and cleared pinned
+        binding) moves the live serving path over atomically; the store
+        re-alias persists the winner plus its derivation record so a
+        restarted process warm-starts straight onto it.
+        """
+        winner_plan = winner.plan
+        if winner_plan is None:
+            return
+        canonical_plan = concrete.plan
+        if concrete.cache_key is not None:
+            self.plan_cache.promote(concrete.cache_key, winner_plan)
+        with concrete.arena_lock:
+            concrete.plan = winner_plan
+            if concrete.arena is not None:
+                concrete.arena = winner_plan.new_arena()
+            concrete.pinned_key = None
+            concrete.pinned_binding = None
+        with self._lock:
+            old = self._plan_stats.get(canonical_plan)
+            if winner_plan not in self._plan_stats:
+                self._plan_stats[winner_plan] = PlanStats(
+                    labels=old.labels if old else ("<autotuned>",),
+                    backends=old.backends if old else ("?",),
+                    pipelines=tuple(
+                        dict.fromkeys(
+                            (old.pipelines if old else ())
+                            + ("autotuned",)
+                        )
+                    ),
+                    plan_compile_seconds=winner_plan.compile_seconds,
+                )
+        store = self.plan_store
+        if store is not None and concrete.trace_key is not None:
+            plan_key = store.put_plan(winner_plan)
+            if plan_key is not None:
+                store.put_alias(
+                    concrete.trace_key, plan_key,
+                    record=record, overwrite=True,
+                )
 
     # -- context management -------------------------------------------------------
 

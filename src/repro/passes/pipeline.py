@@ -32,10 +32,18 @@ class PassPipeline:
         self.history: list[PassStats] = []
 
     def run(self, graph: Graph) -> Graph:
+        from .. import faults
+
         self.history = []
         if self.validate:
             validate_graph(graph)
         for p in self.passes:
+            # Chaos site: a deterministic mid-compile failure.  An
+            # "error" spec raises InjectedFault out of the optimize
+            # stage — on the session build path that surfaces to the
+            # caller; on the autotune candidate-generation path it must
+            # be swallowed and the canonical plan kept.
+            faults.fire("optimize.pass")
             try:
                 graph = p.run(graph)
             except GraphError as exc:

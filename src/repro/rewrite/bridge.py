@@ -1,0 +1,178 @@
+"""Bridge between the runtime IR (:class:`~repro.ir.graph.Graph`) and the
+symbolic rewrite algebra (:class:`~repro.rewrite.expr.Expr`).
+
+The derivation search (:func:`repro.rewrite.variants`) explores an
+*expression* space — n-ary products, transposes pushed to leaves, sums
+with merged coefficients — while plans compile from *graphs*.  Until now
+the two never met: passes rewrite graphs directly, and the derivation
+search only ran on hand-built expressions in experiments.  The online
+autotuner (:mod:`repro.runtime.autotune`) needs both directions:
+
+* :func:`graph_to_expr` lifts a single-output graph over the GEMM-tier
+  op subset (input/const/matmul/transpose/add/sub/neg/scale) into an
+  ``Expr`` plus an environment mapping symbol names back to the original
+  leaf nodes.  Graphs containing anything else (loops, slices, concat,
+  dot, structured-kernel hints) return ``None`` — the autotuner then
+  races compile-knob candidates only.
+* :func:`expr_to_graph` lowers an ``Expr`` back to builder nodes,
+  binarizing every n-ary product with the matrix-chain DP
+  (:func:`repro.chain.optimal_parenthesization`) — association is *not*
+  part of expression identity, so this is where the search's "pick the
+  best parenthesization" promise is actually cashed in.  Shared
+  subexpressions map to shared nodes (memoized by expression key), so
+  lowering does not lose the DAG structure CSE would have to recover.
+
+Symbols are named positionally (``%a0`` for ``graph.inputs[0]``, ``%c0``
+for the first const in topological order), not by ``Node.name`` — node
+names embed a process-global uid, and the canonical sort order of
+``Add`` terms keys on symbol names, so positional names are what make a
+round trip deterministic across processes (the autotune determinism
+contract).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..chain import optimal_parenthesization
+from ..ir import builder
+from ..ir.graph import Graph
+from ..ir.node import Node
+from .expr import Add, Expr, Identity, MatMul, Scale, Symbol, Transpose, Zero
+
+__all__ = ["graph_to_expr", "expr_to_graph", "BRIDGED_OPS"]
+
+#: Ops :func:`graph_to_expr` can lift.  ``matmul`` nodes carrying a
+#: ``kernel`` attr (structured-kernel pins from the aware pipeline) are
+#: excluded even though the op name matches — re-deriving around a
+#: pinned kernel would silently drop the pin.
+BRIDGED_OPS = frozenset(
+    {"input", "const", "matmul", "transpose", "add", "sub", "neg", "scale"}
+)
+
+
+def graph_to_expr(
+    graph: Graph,
+) -> "tuple[Expr, dict[str, Node]] | None":
+    """Lift ``graph`` into ``(expr, env)``; ``None`` when unsupported.
+
+    ``env`` maps every symbol name in ``expr`` to the graph node it
+    stands for (input placeholders and const nodes), which is exactly
+    what :func:`expr_to_graph` needs to rebuild a graph over the *same*
+    leaves — preserving input identity, order, and const payloads.
+    """
+    if len(graph.outputs) != 1:
+        return None
+    topo = graph.topological()
+    for node in topo:
+        if node.op not in BRIDGED_OPS:
+            return None
+        if node.op == "matmul" and node.attrs.get("kernel") is not None:
+            return None
+    env: dict[str, Node] = {}
+    names: dict[int, str] = {}
+    for i, node in enumerate(graph.inputs):
+        names[id(node)] = f"%a{i}"
+        env[f"%a{i}"] = node
+    const_i = 0
+    exprs: dict[int, Expr] = {}
+    for node in topo:
+        if node.op == "input":
+            name = names[id(node)]
+            expr: Expr = Symbol(
+                name, node.shape[0], node.shape[1],
+                props=node.attrs.get("props", frozenset()),
+            )
+        elif node.op == "const":
+            name = f"%c{const_i}"
+            const_i += 1
+            env[name] = node
+            expr = Symbol(name, node.shape[0], node.shape[1])
+        elif node.op == "matmul":
+            a, b = (exprs[id(x)] for x in node.inputs)
+            if node.attrs.get("trans_a"):
+                a = Transpose(a)
+            if node.attrs.get("trans_b"):
+                b = Transpose(b)
+            expr = MatMul(a, b)
+        elif node.op == "transpose":
+            expr = Transpose(exprs[id(node.inputs[0])])
+        elif node.op == "add":
+            expr = Add(*(exprs[id(x)] for x in node.inputs))
+        elif node.op == "sub":
+            a, b = (exprs[id(x)] for x in node.inputs)
+            expr = Add(a, Scale(-1.0, b))
+        elif node.op == "neg":
+            expr = Scale(-1.0, exprs[id(node.inputs[0])])
+        else:  # scale
+            expr = Scale(
+                float(node.attrs["alpha"]), exprs[id(node.inputs[0])]
+            )
+        exprs[id(node)] = expr
+    root = exprs[id(graph.outputs[0])]
+    # Canonicalization can collapse the whole graph to a bare Zero /
+    # Identity (no symbols left) — nothing to race there.
+    return root, env
+
+
+def expr_to_graph(
+    expr: Expr,
+    env: dict[str, Node],
+    *,
+    inputs: "tuple[Node, ...] | None" = None,
+    dtype: object = "float32",
+) -> Graph:
+    """Lower ``expr`` back to a single-output :class:`Graph`.
+
+    ``env`` binds symbol names to leaf nodes (from
+    :func:`graph_to_expr`); ``inputs`` fixes the graph's input order —
+    pass the original graph's ``inputs`` so the candidate binds the same
+    positional feeds even when a rewrite eliminated one of them
+    (declared-but-unreached inputs are legal).  ``dtype`` types the
+    structural ``Identity``/``Zero`` constants a rewrite may introduce.
+    """
+    dtype = np.dtype(dtype)
+    memo: dict[tuple, Node] = {}
+
+    def lower(e: Expr) -> Node:
+        key = e.key()
+        node = memo.get(key)
+        if node is not None:
+            return node
+        if isinstance(e, Symbol):
+            node = env[e.name]
+        elif isinstance(e, Identity):
+            node = builder.const(np.eye(e.rows, dtype=dtype))
+        elif isinstance(e, Zero):
+            node = builder.const(np.zeros((e.rows, e.cols), dtype=dtype))
+        elif isinstance(e, Transpose):
+            node = builder.transpose(lower(e.child))
+        elif isinstance(e, Scale):
+            if e.alpha == -1.0:
+                node = builder.neg(lower(e.child))
+            else:
+                node = builder.scale(lower(e.child), e.alpha)
+        elif isinstance(e, Add):
+            terms = e.terms
+            node = lower(terms[0])
+            for t in terms[1:]:
+                if isinstance(t, Scale) and t.alpha == -1.0:
+                    node = builder.sub(node, lower(t.child))
+                else:
+                    node = builder.add(node, lower(t))
+        elif isinstance(e, MatMul):
+            sol = optimal_parenthesization([f.shape for f in e.factors])
+
+            def walk(tree: object) -> Node:
+                if isinstance(tree, int):
+                    return lower(e.factors[tree])
+                left, right = tree
+                return builder.matmul(walk(left), walk(right))
+
+            node = walk(sol.tree)
+        else:  # pragma: no cover - exhaustive over Expr subclasses
+            raise TypeError(f"cannot lower {type(e).__name__}")
+        memo[key] = node
+        return node
+
+    return Graph([lower(expr)], inputs=inputs)

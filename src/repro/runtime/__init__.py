@@ -58,8 +58,15 @@ This package is that compile-once / execute-many layer:
                keyed by signature digest, with trace-signature aliases
                so a cold ``Session`` skips the optimization pipeline
                and shard workers warm-start instead of recompiling.
+               Bounded by :meth:`PlanStore.gc` (LRU-by-atime eviction,
+               orphan and dangling-alias sweeps — ``laab store-gc``).
+``autotune``   Online plan autotuning — hot signatures race rewrite
+               derivations and compile-knob variants on real feeds,
+               bit-identity-gated, and promote the winner into the
+               cache and the store (``Options(autotune=...)``).
 """
 
+from .autotune import AutotuneConfig, AutotuneStats, Autotuner
 from .batch import ARENA_MODES, BatchResult, execute_batch
 from .cache import CacheStats, PlanCache, default_plan_cache
 from .compiler import compile_plan
@@ -68,13 +75,17 @@ from .plan import Instruction, PinnedBinding, Plan, PlanArena, SlotDescriptor
 from .serialize import graph_from_payload, graph_to_payload
 from .shard import ShardPool, ShardWorkerError, default_shards
 from .signature import graph_signature
-from .store import PlanStore, StoreStats, runtime_fingerprint
+from .store import GCStats, PlanStore, StoreStats, runtime_fingerprint
 
 __all__ = [
     "ARENA_MODES",
+    "AutotuneConfig",
+    "AutotuneStats",
+    "Autotuner",
     "BatchResult",
     "CacheStats",
     "FusionStats",
+    "GCStats",
     "Instruction",
     "PinnedBinding",
     "Plan",

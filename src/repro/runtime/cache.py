@@ -47,6 +47,8 @@ class CacheStats:
     #: either — ``misses`` stays the count of *full* compiles, which is
     #: what "a warm store compiles zero plans" is measured against.
     store_hits: int = 0
+    #: Autotune winners swapped in via :meth:`PlanCache.promote`.
+    promotions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -69,7 +71,8 @@ class PlanCache:
         #: Per-key lookup accounting that *survives eviction* — what the
         #: cross-run persistence layer (``laab cache-stats --save``)
         #: snapshots: key → [hits, compiles, total compile seconds,
-        #: store loads].
+        #: store loads, executions].  The last entry is the hotness
+        #: signal :meth:`note_execution` feeds the autotuner.
         self._key_stats: dict[tuple, list] = {}
         self._lock = threading.Lock()
         #: Single-flights concurrent compiles of one key (shares _lock so
@@ -152,7 +155,7 @@ class PlanCache:
             if self._epoch != leader_epoch[0]:
                 return  # clear() happened mid-compile — don't repopulate
             self._plans[key] = plan
-            rec = self._key_stats.setdefault(key, [0, 0, 0.0, 0])
+            rec = self._key_stats.setdefault(key, [0, 0, 0.0, 0, 0])
             if via_store:
                 rec[3] += 1
             else:
@@ -163,6 +166,43 @@ class PlanCache:
                 self.stats.evictions += 1
 
         return self._flight.run(key, probe, build, publish, on_leader)
+
+    # -- autotune hooks --------------------------------------------------------
+
+    def note_execution(self, key: tuple, *, count: int = 1) -> int:
+        """Fold ``count`` plan executions into ``key``'s stats row.
+
+        Returns the key's *hotness* — cumulative lookup hits plus
+        executions — which is what the autotuner compares against its
+        threshold.  ``key`` is the full cache key tuple
+        ``(graph_signature(optimized), fold_constants, fusion)``; a
+        Concrete caches its plan and never re-looks it up per call, so
+        the execution count, not the hit count, is what actually grows
+        with serving traffic.
+        """
+        with self._lock:
+            rec = self._key_stats.setdefault(key, [0, 0, 0.0, 0, 0])
+            while len(rec) < 5:  # rows created by older publishes
+                rec.append(0)
+            rec[4] += count
+            return rec[0] + rec[4]
+
+    def promote(self, key: tuple, plan: Plan) -> None:
+        """Atomically swap ``plan`` in as the cached entry for ``key``.
+
+        The autotune promotion point: future lookups that resolve to
+        ``key`` (the *canonical* optimized graph and knobs) receive the
+        winning plan, even though the winner was compiled from a rewrite
+        of that graph and carries its own signature.  Re-inserts when
+        the key was evicted; respects LRU capacity.
+        """
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            self.stats.promotions += 1
+            while len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
+                self.stats.evictions += 1
 
     def snapshot(self) -> list[dict]:
         """Per-signature accounting rows for the persistence layer.
@@ -191,6 +231,8 @@ class PlanCache:
                 # Plans re-lowered from a persistent-store artifact
                 # rather than cold-compiled (0 on storeless sessions).
                 "store_loads": rec[3] if len(rec) > 3 else 0,
+                # Executions noted by the session layer (autotune hotness).
+                "executions": rec[4] if len(rec) > 4 else 0,
             })
         return rows
 

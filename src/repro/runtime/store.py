@@ -73,8 +73,9 @@ from .serialize import (
 )
 from .signature import graph_signature
 
-__all__ = ["PlanStore", "StoreStats", "runtime_fingerprint",
-           "STORE_FORMAT_VERSION", "DEFAULT_MMAP_THRESHOLD"]
+__all__ = ["PlanStore", "StoreStats", "GCStats", "runtime_fingerprint",
+           "STORE_FORMAT_VERSION", "DEFAULT_MMAP_THRESHOLD",
+           "DEFAULT_GC_GRACE_SECONDS"]
 
 #: Artifact layout version — bumped on any change to the on-disk shape.
 STORE_FORMAT_VERSION = 1
@@ -83,6 +84,14 @@ STORE_FORMAT_VERSION = 1
 #: for an ``.npy`` sidecar (mmap-loaded).  Below it, a file-per-array
 #: costs more than it saves.
 DEFAULT_MMAP_THRESHOLD = 4096
+
+#: GC never touches a file younger than this (seconds).  Publishes are
+#: ordered sidecars → ``.plan`` → alias, each atomic but the *sequence*
+#: is not: an artifact whose alias is still being written looks
+#: unreferenced, and a freshly published alias can look dangling while a
+#: concurrent eviction races its target.  The grace window is what makes
+#: "never evict an artifact referenced by a live alias mid-publish" hold.
+DEFAULT_GC_GRACE_SECONDS = 60.0
 
 _write_counter = itertools.count()
 
@@ -153,6 +162,34 @@ class StoreStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
 
+@dataclasses.dataclass(frozen=True)
+class GCStats:
+    """What one :meth:`PlanStore.gc` sweep found and freed."""
+
+    artifacts_before: int
+    artifacts_evicted: int
+    bytes_before: int
+    bytes_freed: int
+    aliases_swept: int
+    #: Orphan files removed: sidecars whose ``.plan`` is gone, and
+    #: abandoned ``.tmp`` files from publishers that died mid-write.
+    orphans_removed: int
+
+    @property
+    def bytes_after(self) -> int:
+        return self.bytes_before - self.bytes_freed
+
+    def render(self) -> str:
+        return (
+            f"store gc: {self.artifacts_evicted}/{self.artifacts_before} "
+            f"artifact(s) evicted | {self.bytes_freed / 1024:.1f} KiB freed "
+            f"({self.bytes_before / 1024:.1f} -> "
+            f"{self.bytes_after / 1024:.1f} KiB) | "
+            f"{self.aliases_swept} dangling alias(es) swept | "
+            f"{self.orphans_removed} orphan file(s) removed"
+        )
+
+
 class PlanStore:
     """Content-addressed on-disk plan artifacts under one ``root`` dir.
 
@@ -164,9 +201,16 @@ class PlanStore:
     def __init__(
         self, root: "str | os.PathLike", *,
         mmap_threshold: int = DEFAULT_MMAP_THRESHOLD,
+        max_bytes: "int | None" = None,
+        gc_grace_seconds: float = DEFAULT_GC_GRACE_SECONDS,
     ) -> None:
         self.root = os.fspath(root)
         self.mmap_threshold = int(mmap_threshold)
+        #: Soft size cap of ``objects/``: every write that grows the
+        #: store checks it and runs :meth:`gc` when exceeded.  ``None``
+        #: leaves collection to explicit ``gc()`` / ``laab store-gc``.
+        self.max_bytes = max_bytes
+        self.gc_grace_seconds = float(gc_grace_seconds)
         self._objects = os.path.join(self.root, "objects")
         self._aliases = os.path.join(self.root, "aliases")
         os.makedirs(self._objects, exist_ok=True)
@@ -297,23 +341,41 @@ class PlanStore:
         self._publish(path, lambda fh: fh.write(blob))
         with self._lock:
             self.stats.writes += 1
+        if self.max_bytes is not None:
+            _, nbytes = self.disk_stats()
+            if nbytes > self.max_bytes:
+                self.gc(max_bytes=self.max_bytes)
         return key
 
-    def put_alias(self, trace_key: str, plan_key: str) -> None:
-        """Point ``aliases/<trace_key>`` at ``plan_key`` (idempotent)."""
+    def put_alias(
+        self, trace_key: str, plan_key: str, *,
+        record: "dict | None" = None, overwrite: bool = False,
+    ) -> None:
+        """Point ``aliases/<trace_key>`` at ``plan_key`` (idempotent).
+
+        ``record`` attaches a JSON-able dict to the alias — the autotune
+        promotion path stores the winner's derivation record and
+        measured cost here, which is how a warm restart knows the plan
+        it loaded was a tuned winner.  ``overwrite=True`` repoints an
+        existing alias (promotion re-aliases the trace to the winning
+        artifact); the default keeps the first write, as before.
+        """
         path = os.path.join(self._aliases, trace_key)
-        if os.path.exists(path):
+        if os.path.exists(path) and not overwrite:
             return
-        blob = json.dumps({
+        spec = {
             "format": STORE_FORMAT_VERSION,
             "fingerprint": runtime_fingerprint(),
             "target": plan_key,
-        }).encode()
+        }
+        if record is not None:
+            spec["record"] = record
+        blob = json.dumps(spec).encode()
         self._publish(path, lambda fh: fh.write(blob))
 
     # -- loads (never raise) ---------------------------------------------------
 
-    def _load_alias(self, trace_key: str) -> str | None:
+    def _load_alias_spec(self, trace_key: str) -> "dict | None":
         path = os.path.join(self._aliases, trace_key)
         try:
             with open(path, "rb") as fh:
@@ -324,7 +386,7 @@ class PlanStore:
             target = spec["target"]
             if not isinstance(target, str):
                 raise ValueError("bad alias target")
-            return target
+            return spec
         except FileNotFoundError:
             return None
         except Exception:
@@ -336,6 +398,10 @@ class PlanStore:
             with self._lock:
                 self.stats.corrupt_evicted += 1
             return None
+
+    def _load_alias(self, trace_key: str) -> str | None:
+        spec = self._load_alias_spec(trace_key)
+        return None if spec is None else spec["target"]
 
     def _load_artifact(self, key: str) -> "tuple[Graph, dict] | None":
         """Artifact ``key`` → (optimized graph, header) with hit/miss/
@@ -401,12 +467,30 @@ class PlanStore:
         if (trace_key is None) == (plan_key is None):
             raise TypeError("pass exactly one of trace_key/plan_key")
         if plan_key is None:
-            plan_key = self._load_alias(trace_key)
-            if plan_key is None:
-                self._miss()
-                return None
+            return self.load_graph_with_record(trace_key)[0]
         loaded = self._load_artifact(plan_key)
         return None if loaded is None else loaded[0]
+
+    def load_graph_with_record(
+        self, trace_key: str
+    ) -> "tuple[Graph | None, dict | None]":
+        """Like :meth:`load_graph` (trace-alias form), also returning the
+        alias's attached ``record``.
+
+        The record is how restarted sessions recognize an autotuned
+        winner: a promotion re-aliased this trace key to the winning
+        artifact and attached its derivation record, so a warm start
+        that sees one restores the promotion with zero re-tuning.
+        """
+        spec = self._load_alias_spec(trace_key)
+        if spec is None:
+            self._miss()
+            return None, None
+        loaded = self._load_artifact(spec["target"])
+        if loaded is None:
+            return None, None
+        record = spec.get("record")
+        return loaded[0], record if isinstance(record, dict) else None
 
     def load_plan(self, plan_key: str) -> "Plan | None":
         """Artifact → compiled :class:`Plan` (the shard-worker path).
@@ -431,6 +515,162 @@ class PlanStore:
                 self.stats.hits -= 1
             self._evict(plan_key)
             return None
+
+    # -- garbage collection ----------------------------------------------------
+
+    def gc(
+        self, *,
+        max_bytes: "int | None" = None,
+        grace_seconds: "float | None" = None,
+    ) -> GCStats:
+        """Bound the store: sweep garbage, then evict LRU-by-atime.
+
+        Three phases, all best-effort and multi-process-safe:
+
+        1. **Orphan removal** — abandoned ``.tmp`` files and sidecars
+           whose ``.plan`` is gone (a dead publisher, or a previous
+           eviction interrupted partway).
+        2. **Dangling-alias sweep** — aliases whose target artifact no
+           longer exists (evicted or corrupt-evicted).
+        3. **Size-cap eviction** — when ``max_bytes`` is set (argument,
+           else the store's ``max_bytes``), whole artifacts (``.plan`` +
+           sidecars) are evicted least-recently-*accessed* first until
+           ``objects/`` fits; aliases pointing at an evicted artifact
+           are swept in the same pass.
+
+        Nothing younger than the grace window is touched: a publish is a
+        *sequence* of atomic renames (sidecars → ``.plan`` → alias), so
+        an artifact referenced by an alias still mid-publish always
+        looks "fresh" and survives — that is the no-torn-eviction
+        guarantee.  Every deletion tolerates a concurrent deleter.
+        """
+        grace = self.gc_grace_seconds if grace_seconds is None \
+            else float(grace_seconds)
+        if max_bytes is None:
+            max_bytes = self.max_bytes
+        now = time.time()
+
+        def fresh(st: os.stat_result) -> bool:
+            return now - st.st_mtime < grace
+
+        # One scan of objects/: size, atime, freshness per file.
+        files: dict[str, os.stat_result] = {}
+        try:
+            names = os.listdir(self._objects)
+        except OSError:
+            names = []
+        for name in names:
+            try:
+                files[name] = os.stat(os.path.join(self._objects, name))
+            except OSError:
+                continue
+        plan_keys = {n[: -len(".plan")] for n in files if n.endswith(".plan")}
+        alias_bytes = 0
+        alias_targets: dict[str, str] = {}
+        try:
+            alias_names = os.listdir(self._aliases)
+        except OSError:
+            alias_names = []
+        for name in alias_names:
+            path = os.path.join(self._aliases, name)
+            try:
+                alias_bytes += os.path.getsize(path)
+                with open(path, "rb") as fh:
+                    target = json.loads(fh.read()).get("target")
+                alias_targets[name] = target if isinstance(target, str) else ""
+            except OSError:
+                continue
+            except Exception:
+                alias_targets[name] = ""  # unreadable → dangling
+        bytes_before = sum(st.st_size for st in files.values()) + alias_bytes
+        artifacts_before = len(plan_keys)
+        freed = 0
+        orphans = 0
+        aliases_swept = 0
+        evicted = 0
+
+        def unlink(path: str, size: int) -> int:
+            nonlocal freed
+            try:
+                os.unlink(path)
+            except OSError:
+                return 0
+            freed += size
+            return 1
+
+        # Phase 1: orphans.
+        for name, st in list(files.items()):
+            if fresh(st):
+                continue
+            is_tmp = name.endswith(".tmp")
+            is_orphan_sidecar = (
+                name.endswith(".npy") and ".c" in name
+                and name.rsplit(".c", 1)[0] not in plan_keys
+            )
+            if is_tmp or is_orphan_sidecar:
+                n = unlink(os.path.join(self._objects, name), st.st_size)
+                orphans += n
+                if n:
+                    del files[name]
+
+        # Phase 2: dangling aliases.
+        for name, target in list(alias_targets.items()):
+            path = os.path.join(self._aliases, name)
+            if target and f"{target}.plan" in files:
+                continue
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            if fresh(st):
+                continue
+            n = unlink(path, st.st_size)
+            aliases_swept += n
+            if n:
+                del alias_targets[name]
+
+        # Phase 3: size-cap eviction, LRU by access time.
+        if max_bytes is not None:
+            groups: dict[str, list[str]] = {k: [] for k in plan_keys}
+            for name in files:
+                if name.endswith(".plan"):
+                    groups[name[: -len(".plan")]].append(name)
+                elif name.endswith(".npy") and ".c" in name:
+                    key = name.rsplit(".c", 1)[0]
+                    if key in groups:
+                        groups[key].append(name)
+            total = sum(st.st_size for st in files.values())
+            order = sorted(
+                groups,
+                key=lambda k: files[f"{k}.plan"].st_atime,
+            )
+            for key in order:
+                if total <= max_bytes:
+                    break
+                if fresh(files[f"{key}.plan"]):
+                    continue  # possibly mid-publish: never evict
+                evicted += 1
+                for name in groups[key]:
+                    size = files[name].st_size
+                    if unlink(os.path.join(self._objects, name), size):
+                        total -= size
+                for name, target in list(alias_targets.items()):
+                    if target == key:
+                        path = os.path.join(self._aliases, name)
+                        try:
+                            size = os.path.getsize(path)
+                        except OSError:
+                            continue
+                        aliases_swept += unlink(path, size)
+                        del alias_targets[name]
+        return GCStats(
+            artifacts_before=artifacts_before,
+            artifacts_evicted=evicted,
+            bytes_before=bytes_before,
+            bytes_freed=freed,
+            aliases_swept=aliases_swept,
+            orphans_removed=orphans,
+        )
 
     # -- reporting -------------------------------------------------------------
 

@@ -2,10 +2,11 @@
 
 One :func:`chaos_run` covers every recovery path end to end — worker
 crash, SIGTERM-ignoring hang (kill escalation), garbled wave reply,
-in-worker exception, serve-dispatch failure, torn store artifact and
-mid-run inline fallback — asserting bit-correct answers or typed
-errors, exact health counters, and zero leaked processes or
-shared-memory segments.
+in-worker exception, serve-dispatch failure, torn store artifact,
+mid-run inline fallback and a mid-compile fault during autotune
+candidate generation — asserting bit-correct answers or typed errors,
+exact health counters, and zero leaked processes or shared-memory
+segments.
 
 The CI matrix runs this file twice: natively (fork where available) and
 with ``REPRO_CHAOS_START_METHOD=spawn``, because hang detection and
@@ -52,7 +53,8 @@ class TestChaosRun:
         assert report.ok, report.render()
         names = [p.name for p in report.phases]
         assert names == ["clean", "crash", "hang", "protocol",
-                         "exec-error", "serve", "store", "fallback"]
+                         "exec-error", "serve", "store", "fallback",
+                         "autotune"]
         by_name = {p.name: p for p in report.phases}
         # Exact recovery accounting, not just "it passed".
         assert by_name["clean"].respawns == 0

@@ -1,0 +1,186 @@
+"""Graph <-> Expr bridge: the autotuner's lift/lower round trip.
+
+Contracts under test (PR 10):
+
+* **Lift** — :func:`graph_to_expr` handles exactly the GEMM-tier op
+  subset (``BRIDGED_OPS``), bails with ``None`` on anything else
+  (multi-output graphs, unbridged ops, structured-kernel pins), and
+  names symbols *positionally* so two traces of the same function in
+  different processes lift to byte-identical expression keys — the
+  autotune determinism contract.
+* **Lower** — :func:`expr_to_graph` rebuilds a graph over the original
+  leaf nodes, binarizes n-ary products with the matrix-chain DP, shares
+  common subexpressions, and keeps declared-but-unreached inputs legal
+  (a rewrite may eliminate an argument without changing the call
+  signature).
+* **Value preservation** — every derivation-search variant, lowered and
+  compiled, computes the same answer as the canonical plan; on
+  integer-valued feeds the round trip is bit-exact, which is what lets
+  the autotuner's bit-identity gate pass for real workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir import builder, trace
+from repro.ir.node import Node
+from repro.passes import default_pipeline
+from repro.rewrite import (
+    Add,
+    MatMul,
+    Symbol,
+    Transpose,
+    graph_to_expr,
+    expr_to_graph,
+    variants,
+)
+from repro.runtime import compile_plan
+from repro.tensor import random_general
+
+
+def _chain(n: int = 16):
+    """A 3-matrix product plus additive terms — lifts fully."""
+    args = [random_general(n, seed=s) for s in (1, 2, 3)]
+    graph = trace(lambda a, b, c: (a @ b) @ c + a - c, args)
+    return default_pipeline().run(graph), [t.data for t in args]
+
+
+def _run(graph, feeds):
+    outs, _ = compile_plan(graph).execute(feeds, record=False)
+    return outs[0]
+
+
+class TestLift:
+    def test_gemm_tier_graph_lifts(self):
+        graph, _ = _chain()
+        lifted = graph_to_expr(graph)
+        assert lifted is not None
+        expr, env = lifted
+        # Every symbol resolves to a real leaf node of the source graph.
+        leaves = {id(n) for n in graph.topological()
+                  if n.op in ("input", "const")}
+        for name, node in env.items():
+            assert name.startswith(("%a", "%c"))
+            assert id(node) in leaves
+
+    def test_positional_names_are_cross_trace_deterministic(self):
+        """Node names embed a process-global uid; expression keys must
+        not.  Two independent traces of the same function lift to equal
+        keys — what makes a race (and its persisted winner) reproducible
+        across processes."""
+        g1, _ = _chain()
+        g2, _ = _chain()
+        assert [n.name for n in g1.topological()] != \
+            [n.name for n in g2.topological()]
+        e1, _ = graph_to_expr(g1)
+        e2, _ = graph_to_expr(g2)
+        assert e1.key() == e2.key()
+        assert e1.pretty() == e2.pretty()
+
+    def test_multi_output_bails(self):
+        a = builder.input_node((4, 4), index=0)
+        graph_cls = type(trace(lambda x: x + x,
+                                [random_general(4, seed=1)]))
+        graph = graph_cls([builder.add(a, a), builder.neg(a)], inputs=(a,))
+        assert graph_to_expr(graph) is None
+
+    def test_unbridged_op_bails(self):
+        args = [random_general(4, seed=s) for s in (1, 2)]
+        graph = trace(lambda a, b: (a @ b)[0:2, 0:2], args)
+        assert graph_to_expr(graph) is None
+
+    def test_pinned_structured_kernel_bails(self):
+        """A ``matmul`` carrying a ``kernel`` attr (the aware pipeline's
+        structured-kernel pin) must not lift — re-deriving around the
+        pin would silently drop it."""
+        a = builder.input_node((4, 4), index=0)
+        b = builder.input_node((4, 4), index=1)
+        m = builder.matmul(a, b)
+        pinned = Node("matmul", m.inputs, {**m.attrs, "kernel": "trmm"})
+        graph_cls = type(trace(lambda x: x + x,
+                                [random_general(4, seed=1)]))
+        graph = graph_cls([pinned], inputs=(a, b))
+        assert graph_to_expr(graph) is None
+
+
+class TestLower:
+    def test_round_trip_bit_exact_on_integer_feeds(self):
+        graph, _ = _chain()
+        expr, env = graph_to_expr(graph)
+        rebuilt = default_pipeline().run(
+            expr_to_graph(expr, env, inputs=graph.inputs,
+                          dtype=graph.outputs[0].dtype)
+        )
+        rng = np.random.default_rng(3)
+        feeds = [rng.integers(0, 4, (16, 16)).astype(np.float32)
+                 for _ in range(3)]
+        assert np.array_equal(_run(graph, feeds), _run(rebuilt, feeds))
+
+    def test_nary_product_binarized_by_chain_dp(self):
+        """A @ B @ x with x a vector: the DP must pick the right-to-left
+        association, so the root matmul's left operand is the leaf A,
+        not an intermediate product."""
+        nodes = [
+            builder.input_node((64, 64), index=0),
+            builder.input_node((64, 64), index=1),
+            builder.input_node((64, 1), index=2),
+        ]
+        syms = [Symbol("%a0", 64, 64), Symbol("%a1", 64, 64),
+                Symbol("%a2", 64, 1)]
+        env = dict(zip(("%a0", "%a1", "%a2"), nodes))
+        graph = expr_to_graph(MatMul(*syms), env, inputs=tuple(nodes))
+        root = graph.outputs[0]
+        assert root.op == "matmul"
+        assert root.inputs[0].op == "input"       # A stays a leaf
+        assert root.inputs[1].op == "matmul"      # (B @ x) computed first
+
+    def test_shared_subexpression_lowers_once(self):
+        nodes = [builder.input_node((8, 8), index=i) for i in range(2)]
+        a, b = Symbol("%a0", 8, 8), Symbol("%a1", 8, 8)
+        env = {"%a0": nodes[0], "%a1": nodes[1]}
+        graph = expr_to_graph(MatMul(Add(a, b), Add(a, b)), env,
+                              inputs=tuple(nodes))
+        adds = [n for n in graph.topological() if n.op == "add"]
+        assert len(adds) == 1  # memoized by expression key, DAG preserved
+
+    def test_eliminated_input_stays_declared(self):
+        """(a @ b + c) - c cancels to a @ b in the algebra; the lowered
+        graph still declares all three inputs so positional feeds bind
+        unchanged."""
+        args = [random_general(8, seed=s) for s in (1, 2, 3)]
+        graph = trace(lambda a, b, c: (a @ b + c) - c, args)
+        expr, env = graph_to_expr(graph)
+        rebuilt = expr_to_graph(expr, env, inputs=graph.inputs)
+        assert len(rebuilt.inputs) == 3
+        feeds = [t.data for t in args]
+        assert np.allclose(_run(rebuilt, feeds), feeds[0] @ feeds[1],
+                           rtol=1e-5, atol=1e-5)
+
+
+class TestVariantsThroughBridge:
+    def test_every_variant_preserves_value(self):
+        graph, feeds = _chain()
+        want = _run(graph, feeds)
+        expr, env = graph_to_expr(graph)
+        ranked = variants(expr, max_nodes=200, limit=4)
+        assert ranked
+        for variant, _flops in ranked:
+            rebuilt = default_pipeline().run(
+                expr_to_graph(variant, env, inputs=graph.inputs)
+            )
+            assert np.allclose(_run(rebuilt, feeds), want,
+                               rtol=1e-4, atol=1e-5)
+
+    def test_transposes_lift_and_lower(self):
+        args = [random_general(8, seed=s) for s in (4, 5)]
+        graph = trace(lambda a, b: (a.T @ b).T, args)
+        expr, env = graph_to_expr(graph)
+        assert expr is not None
+        rebuilt = expr_to_graph(expr, env, inputs=graph.inputs)
+        feeds = [t.data for t in args]
+        assert np.allclose(
+            _run(rebuilt, feeds), (feeds[0].T @ feeds[1]).T,
+            rtol=1e-5, atol=1e-5,
+        )

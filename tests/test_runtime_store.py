@@ -572,3 +572,175 @@ class TestServerAggregation:
             assert "plan store (fleet):" not in stats.render()
 
         asyncio.run(main())
+
+
+# -- garbage collection (PR 10) ------------------------------------------------
+
+
+def _age(path: str, seconds: float = 3600.0) -> None:
+    """Push a file's atime *and* mtime past the GC grace window."""
+    import time
+
+    past = time.time() - seconds
+    os.utime(path, (past, past))
+
+
+class TestGC:
+    """``PlanStore.gc``: orphan sweep, dangling aliases, LRU size cap."""
+
+    def _obj(self, store, name):
+        return os.path.join(store.root, "objects", name)
+
+    def _alias(self, store, name):
+        return os.path.join(store.root, "aliases", name)
+
+    def test_stale_tmp_and_orphan_sidecars_removed(self, tmp_path, optimized):
+        graph, _ = optimized
+        store = PlanStore(tmp_path)
+        key = store.put_plan(compile_plan(graph))
+        for name in ("dead.plan.123.0.tmp", "deadbeef.c0.npy"):
+            with open(self._obj(store, name), "wb") as fh:
+                fh.write(b"x" * 64)
+            _age(self._obj(store, name))
+        stats = store.gc()
+        assert stats.orphans_removed == 2
+        assert stats.bytes_freed == 128
+        assert not os.path.exists(self._obj(store, "dead.plan.123.0.tmp"))
+        assert os.path.exists(self._obj(store, f"{key}.plan"))
+
+    def test_grace_window_protects_fresh_files(self, tmp_path):
+        store = PlanStore(tmp_path)
+        # Fresh garbage — possibly a publish in flight — must survive.
+        with open(self._obj(store, "inflight.c0.npy"), "wb") as fh:
+            fh.write(b"x")
+        store.put_alias("mid-publish", "not-yet-there")
+        stats = store.gc()
+        assert stats.orphans_removed == 0
+        assert stats.aliases_swept == 0
+        assert os.path.exists(self._obj(store, "inflight.c0.npy"))
+
+    def test_dangling_and_garbage_aliases_swept(self, tmp_path, optimized):
+        graph, _ = optimized
+        store = PlanStore(tmp_path)
+        key = store.put_plan(compile_plan(graph))
+        store.put_alias("live", key)
+        store.put_alias("dangling", "no-such-artifact")
+        with open(self._alias(store, "garbage"), "wb") as fh:
+            fh.write(b"\x80not json")
+        for name in ("live", "dangling", "garbage"):
+            _age(self._alias(store, name))
+        stats = store.gc()
+        assert stats.aliases_swept == 2
+        assert os.path.exists(self._alias(store, "live"))
+        assert not os.path.exists(self._alias(store, "dangling"))
+        assert not os.path.exists(self._alias(store, "garbage"))
+
+    def test_size_cap_evicts_lru_by_atime(self, tmp_path, optimized):
+        import time
+
+        graph, _ = optimized
+        store = PlanStore(tmp_path)
+        keys = [
+            store.put_plan(compile_plan(graph, fold_constants=fold,
+                                        fusion=fusion))
+            for fold, fusion in ((False, False), (False, True),
+                                 (True, False))
+        ]
+        store.put_alias("hot-alias", keys[2])
+        store.put_alias("cold-alias", keys[0])
+        # Age everything past the grace window, with keys[2] the most
+        # recently *accessed* (atime drives eviction order, not mtime).
+        now = time.time()
+        for i, key in enumerate(keys):
+            path = self._obj(store, f"{key}.plan")
+            os.utime(path, (now - 3600 + i, now - 3600))
+        for name in ("hot-alias", "cold-alias"):
+            _age(self._alias(store, name))
+        keep = os.path.getsize(self._obj(store, f"{keys[2]}.plan"))
+        stats = store.gc(max_bytes=keep)
+        assert stats.artifacts_evicted == 2
+        assert os.path.exists(self._obj(store, f"{keys[2]}.plan"))
+        assert not os.path.exists(self._obj(store, f"{keys[0]}.plan"))
+        assert not os.path.exists(self._obj(store, f"{keys[1]}.plan"))
+        # Aliases of evicted artifacts went with them; the hot one stays.
+        assert os.path.exists(self._alias(store, "hot-alias"))
+        assert not os.path.exists(self._alias(store, "cold-alias"))
+        assert stats.aliases_swept == 1
+        assert stats.bytes_after <= stats.bytes_before
+
+    def test_put_plan_auto_gcs_past_the_cap(self, tmp_path, optimized):
+        graph, _ = optimized
+        store = PlanStore(tmp_path, gc_grace_seconds=0.0)
+        first = store.put_plan(compile_plan(graph))
+        _age(self._obj(store, f"{first}.plan"))
+        _, one_artifact = store.disk_stats()
+        store.max_bytes = one_artifact
+        second = store.put_plan(compile_plan(graph, fusion=True))
+        plans, nbytes = store.disk_stats()
+        assert plans == 1
+        assert not os.path.exists(self._obj(store, f"{first}.plan"))
+        assert os.path.exists(self._obj(store, f"{second}.plan"))
+
+    def test_gc_stats_render(self, tmp_path):
+        stats = PlanStore(tmp_path).gc()
+        assert "store gc:" in stats.render()
+        assert stats.artifacts_before == 0
+
+    def test_sidecars_evicted_with_their_plan(self, tmp_path):
+        graph, _ = _big_const_graph()
+        store = PlanStore(tmp_path)
+        key = store.put_plan(compile_plan(graph))
+        sidecar = self._obj(store, f"{key}.c0.npy")
+        assert os.path.exists(sidecar)
+        for name in (f"{key}.plan", f"{key}.c0.npy"):
+            _age(self._obj(store, name))
+        stats = store.gc(max_bytes=0)
+        assert stats.artifacts_evicted == 1
+        assert not os.path.exists(sidecar)
+        assert not os.path.exists(self._obj(store, f"{key}.plan"))
+
+
+class TestAliasRecords:
+    """Alias ``record`` payloads — the autotune promotion substrate."""
+
+    def test_record_round_trip(self, tmp_path, traced, optimized):
+        raw, _ = traced
+        graph, _ = optimized
+        store = PlanStore(tmp_path)
+        tkey = store.trace_key(raw, backend="tfsim", pipeline="default",
+                               fold_constants=False, fusion=True)
+        pkey = store.put_plan(compile_plan(graph, fusion=True))
+        record = {"winner": "derivation-0", "speedup_pct": 12.5}
+        store.put_alias(tkey, pkey, record=record)
+        loaded, rec = PlanStore(tmp_path).load_graph_with_record(tkey)
+        assert loaded is not None
+        assert rec == record
+
+    def test_no_record_loads_as_none(self, tmp_path, traced, optimized):
+        raw, _ = traced
+        graph, _ = optimized
+        store = PlanStore(tmp_path)
+        tkey = store.trace_key(raw, backend="tfsim", pipeline="default",
+                               fold_constants=False, fusion=False)
+        store.put_alias(tkey, store.put_plan(compile_plan(graph)))
+        _, rec = PlanStore(tmp_path).load_graph_with_record(tkey)
+        assert rec is None
+
+    def test_overwrite_repoints_default_keeps_first(
+        self, tmp_path, traced, optimized
+    ):
+        raw, _ = traced
+        graph, _ = optimized
+        store = PlanStore(tmp_path)
+        tkey = store.trace_key(raw, backend="tfsim", pipeline="default",
+                               fold_constants=False, fusion=False)
+        k_plain = store.put_plan(compile_plan(graph))
+        k_fused = store.put_plan(compile_plan(graph, fusion=True))
+        store.put_alias(tkey, k_plain)
+        store.put_alias(tkey, k_fused)  # default: first write wins
+        assert store._load_alias(tkey) == k_plain
+        store.put_alias(tkey, k_fused, record={"winner": "fusion-on"},
+                        overwrite=True)
+        spec = store._load_alias_spec(tkey)
+        assert spec["target"] == k_fused
+        assert spec["record"] == {"winner": "fusion-on"}
